@@ -1,0 +1,169 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure.  To isolate the *scheduler*, the pipeline runs once
+(profile -> calibrate -> baseline -> configuration selection); every
+variant then schedules the same corpus on the *same* selected operating
+point with one mechanism disabled:
+
+* recurrence pre-placement off (section 4.1.1),
+* ED^2-driven refinement off (section 4.1.2, balance heuristic only),
+* synchronisation-queue penalties off (section 2.1's queues, an
+  optimistic-hardware variant).
+
+A second table shows the section 5.3 discussion: loop unrolling
+amortising synchronisation-driven IT stretches under a coarse frequency
+palette.
+"""
+
+from fractions import Fraction
+
+from repro.ir import Loop, unroll
+from repro.machine import (
+    DomainSetting,
+    FrequencyPalette,
+    OperatingPoint,
+    paper_machine,
+)
+from repro.pipeline.experiment import evaluate_corpus
+from repro.pipeline.profiling import profile_corpus
+from repro.power import EnergyBreakdown, EnergyModel, TechnologyModel, calibrate
+from repro.reporting import render_table
+from repro.scheduler import (
+    HeterogeneousModuloScheduler,
+    HomogeneousModuloScheduler,
+    SchedulerOptions,
+)
+from repro.scheduler.context import PartitionEnergyWeights
+from repro.sim import PowerMeter
+from repro.vfs import ConfigurationSelector
+
+from common import corpus_scale, publish
+
+BENCH = "200.sixtrack"
+
+
+def schedule_and_measure(corpus, point, meter, weights, scheduler_options):
+    scheduler = HeterogeneousModuloScheduler(paper_machine(), scheduler_options)
+    measurements = []
+    for loop in corpus.loops:
+        schedule = scheduler.schedule(loop, point, weights=weights)
+        measurements.append(
+            meter.measure_loop(
+                schedule,
+                point,
+                iterations=loop.trip_count,
+                invocations=loop.weight,
+                simulate=False,
+            )
+        )
+    return meter.measure_program(measurements)
+
+
+def run_ablations():
+    from repro.workloads import build_corpus, spec_profile
+
+    corpus = build_corpus(spec_profile(BENCH), scale=corpus_scale())
+    machine = paper_machine()
+    technology = TechnologyModel()
+    homogeneous = HomogeneousModuloScheduler(machine, technology)
+    profile, _ = profile_corpus(corpus, homogeneous)
+    units = calibrate(
+        profile,
+        technology.reference_setting,
+        EnergyBreakdown.paper_baseline(),
+        machine.n_clusters,
+    )
+    weights = PartitionEnergyWeights(
+        e_ins_unit=units.e_ins_unit,
+        e_comm=units.e_comm,
+        static_rate_per_cluster=units.static_rate_per_cluster,
+        static_rate_icn=units.static_rate_icn,
+    )
+    meter = PowerMeter(EnergyModel(units, technology))
+    point = ConfigurationSelector(machine, technology).select(profile, units).point
+
+    variants = {
+        "full algorithm": SchedulerOptions(),
+        "no recurrence pre-placement": SchedulerOptions(preplace_recurrences=False),
+        "no ED^2 refinement": SchedulerOptions(ed2_refinement=False),
+        "no sync penalties": SchedulerOptions(sync_penalties=False),
+    }
+    return {
+        label: schedule_and_measure(corpus, point, meter, weights, options)
+        for label, options in variants.items()
+    }
+
+
+def bench_ablations(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    full = results["full algorithm"]
+    rows = []
+    for label, measured in results.items():
+        rows.append(
+            (
+                label,
+                f"{measured.ed2 / full.ed2:.4f}",
+                f"{measured.energy.total / full.energy.total:.4f}",
+                f"{measured.exec_time_ns / full.exec_time_ns:.4f}",
+            )
+        )
+    text = render_table(
+        ["variant", "ED2 vs full", "energy vs full", "time vs full"],
+        rows,
+        title=f"Scheduler ablations on {BENCH}, fixed operating point "
+        "(1.0 = the full algorithm)",
+    )
+
+    # --- unrolling vs a coarse palette (section 5.3) -------------------
+    # Construction: fast cluster 0.95 ns, slow clusters 1.9 ns, a 4-entry
+    # per-domain divider ladder.  The loop's MIT is 8.55 ns (a 9-cycle FP
+    # recurrence); at that IT the slow domains cannot synchronise
+    # (f_slow * IT = 4.5, never integral with k/4 scaling) and the loop's
+    # twelve memory operations do not fit on the fast cluster alone, so
+    # the plain kernel stretches the IT to 9.5 ns.  Unrolling doubles the
+    # MIT to 17.1 ns, where every domain synchronises exactly — the
+    # effective per-iteration time returns to 8.55 ns.
+    from repro.ir import DDGBuilder, OpClass
+
+    machine = paper_machine()
+    coarse = SchedulerOptions(palette=FrequencyPalette.per_domain_uniform(4))
+    fast = DomainSetting(Fraction(19, 20), 1.1, 0.28)
+    slow = DomainSetting(Fraction(19, 10), 0.8, 0.32)
+    point = OperatingPoint(
+        clusters=(fast, slow, slow, slow),
+        icn=DomainSetting(Fraction(19, 20), 1.0, 0.30),
+        cache=DomainSetting(Fraction(19, 20), 1.2, 0.35),
+    )
+    b = DDGBuilder("sync_demo")
+    f1, f2, f3 = (b.op(f"f{i}", OpClass.FADD) for i in range(3))
+    b.recurrence([f1, f2, f3], distance=1)
+    for i in range(12):
+        b.op(f"ld{i}", OpClass.LOAD)
+    base_loop = Loop(b.build(), trip_count=100)
+
+    scheduler = HeterogeneousModuloScheduler(machine, coarse)
+    plain = scheduler.schedule(base_loop, point)
+    unrolled_loop = Loop(
+        unroll(base_loop.ddg, 2), trip_count=base_loop.trip_count / 2
+    )
+    unrolled = scheduler.schedule(unrolled_loop, point)
+    plain_per_iter = float(plain.it)
+    unrolled_per_iter = float(unrolled.it) / 2
+    text += "\n\n" + render_table(
+        ["kernel", "IT (ns)", "time per original iteration (ns)"],
+        [
+            ("plain", str(plain.it), f"{plain_per_iter:.3f}"),
+            ("unrolled x2", str(unrolled.it), f"{unrolled_per_iter:.3f}"),
+        ],
+        title="Section 5.3: unrolling amortises synchronisation-driven IT "
+        "increases under a 4-frequency palette (MIT per iteration: 8.55 ns)",
+    )
+    publish("ablations", text)
+
+    # On a fixed operating point the full algorithm must be at least as
+    # good as every ablated variant (small tolerance for heuristic noise).
+    for label, measured in results.items():
+        assert full.ed2 <= measured.ed2 * 1.03, label
+    assert plain_per_iter > 8.55  # the palette really stretched the IT
+    assert unrolled_per_iter < plain_per_iter

@@ -1,0 +1,62 @@
+"""Figure 6: heterogeneous ED^2 normalised to the optimum homogeneous.
+
+The paper's headline result: for 1-bus and 2-bus machines, the selected
+heterogeneous configuration improves ED^2 for every SPECfp2000 benchmark,
+~15% on average and up to ~35% (200.sixtrack).  This bench runs the full
+pipeline per benchmark and bus count, prints the two bar charts with the
+paper's values alongside, and times one representative evaluation.
+"""
+
+from repro.pipeline import ExperimentOptions
+from repro.reporting import PAPER_FIGURE6_ED2, bar_chart, comparison_rows, render_table
+
+from common import evaluate_all, evaluate_benchmark, mean_ed2, publish
+
+
+def bench_figure6(benchmark):
+    benchmark.pedantic(
+        evaluate_benchmark, args=("200.sixtrack",), rounds=1, iterations=1
+    )
+
+    sections = []
+    for n_buses in (1, 2):
+        evaluations = evaluate_all(ExperimentOptions(n_buses=n_buses))
+        measured = {name: e.ed2_ratio for name, e in evaluations.items()}
+        measured["mean"] = mean_ed2(evaluations)
+        chart = bar_chart(
+            measured,
+            title=f"Figure 6 ({n_buses} bus{'es' if n_buses > 1 else ''}): "
+            "ED^2 normalised to the optimum homogeneous",
+            maximum=1.0,
+        )
+        comparison = render_table(
+            ["benchmark", "measured", "paper", "delta"],
+            comparison_rows(measured, PAPER_FIGURE6_ED2),
+            title="paper comparison (paper values: 1-bus chart)",
+        )
+        detail = render_table(
+            ["benchmark", "ED2", "energy", "time", "fast", "slow/fast"],
+            [
+                (
+                    name,
+                    f"{e.ed2_ratio:.3f}",
+                    f"{e.energy_ratio:.3f}",
+                    f"{e.time_ratio:.3f}",
+                    str(e.heterogeneous_selection.fast_factor),
+                    str(e.heterogeneous_selection.slow_ratio),
+                )
+                for name, e in evaluations.items()
+            ],
+            title="selected configurations and component ratios",
+        )
+        sections.extend([chart, comparison, detail])
+
+        # Shape assertions: every benchmark benefits; the mean benefit is
+        # substantial; sixtrack leads.
+        assert all(v < 1.02 for v in measured.values())
+        assert measured["mean"] < 0.97
+        assert measured["200.sixtrack"] == min(
+            v for k, v in measured.items() if k != "mean"
+        )
+
+    publish("figure6_ed2", "\n\n".join(sections))

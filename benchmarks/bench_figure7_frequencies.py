@@ -1,0 +1,67 @@
+"""Figure 7: ED^2 sensitivity to the number of supported frequencies.
+
+The clock network can only generate a limited set of frequencies; a loop
+whose IT cannot be synchronised with any supported (frequency, II) pair
+must stretch its IT.  The paper finds 16 frequencies indistinguishable
+from an unconstrained network, <1% degradation with 8 and ~2% with 4.
+
+The sweep runs on a representative benchmark subset (see
+``common.SENSITIVITY_BENCHMARKS``).  Each clock domain owns a
+multiplier/divider chain off its own maximum-frequency clock (the
+Figure 2 organisation), so "N frequencies" means each domain supports
+the N even fractions of its fmax.
+"""
+
+from repro.machine import FrequencyPalette
+from repro.pipeline import ExperimentOptions
+from repro.reporting import PAPER_FIGURE7_DEGRADATION, render_table
+from repro.scheduler import SchedulerOptions
+
+from common import SENSITIVITY_BENCHMARKS, evaluate_all, mean_ed2, publish
+
+PALETTES = {
+    "any": FrequencyPalette.any_frequency(),
+    "16": FrequencyPalette.per_domain_uniform(16),
+    "8": FrequencyPalette.per_domain_uniform(8),
+    "4": FrequencyPalette.per_domain_uniform(4),
+}
+
+
+def evaluate_palette(palette: FrequencyPalette):
+    options = ExperimentOptions(scheduler=SchedulerOptions(palette=palette))
+    return evaluate_all(options, benchmarks=SENSITIVITY_BENCHMARKS)
+
+
+def bench_figure7(benchmark):
+    benchmark.pedantic(
+        evaluate_palette, args=(PALETTES["4"],), rounds=1, iterations=1
+    )
+
+    means = {}
+    for label, palette in PALETTES.items():
+        means[label] = mean_ed2(evaluate_palette(palette))
+
+    rows = []
+    for label in PALETTES:
+        degradation = means[label] - means["any"]
+        rows.append(
+            (
+                label,
+                f"{means[label]:.4f}",
+                f"{degradation:+.4f}",
+                f"{PAPER_FIGURE7_DEGRADATION[label]:+.4f}",
+            )
+        )
+    text = render_table(
+        ["frequencies", "mean ED2 ratio", "degradation", "paper degr."],
+        rows,
+        title="Figure 7: ED^2 vs number of supported frequencies "
+        f"(subset: {', '.join(SENSITIVITY_BENCHMARKS)})",
+    )
+    publish("figure7_frequencies", text)
+
+    # Shape: richer palettes cannot hurt; the coarse 4-frequency palette
+    # costs at most a few percent.
+    assert means["16"] <= means["8"] + 0.02
+    assert means["16"] - means["any"] <= 0.015
+    assert means["4"] - means["any"] <= 0.06

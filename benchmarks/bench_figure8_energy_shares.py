@@ -1,0 +1,63 @@
+"""Figure 8: ED^2 sensitivity to the ICN/cache shares of baseline energy.
+
+Each column re-runs the whole methodology — including re-finding the
+optimum homogeneous baseline — under different assumptions about what
+fraction of the reference machine's energy the interconnect and the
+cache consume.  The paper's finding: results vary only slightly.
+"""
+
+from repro.pipeline import ExperimentOptions
+from repro.power import EnergyBreakdown
+from repro.reporting import render_table
+
+from common import SENSITIVITY_BENCHMARKS, evaluate_all, mean_ed2, publish
+
+#: (ICN share, cache share) columns exactly as labelled in Figure 8.
+SHARE_COLUMNS = (
+    (0.10, 0.25),
+    (0.10, 1.0 / 3.0),
+    (0.15, 0.30),
+    (0.20, 0.25),
+    (0.20, 0.30),
+)
+
+
+def evaluate_shares(icn_share: float, cache_share: float):
+    breakdown = EnergyBreakdown.paper_baseline().with_shares(icn_share, cache_share)
+    return evaluate_all(
+        ExperimentOptions(breakdown=breakdown), benchmarks=SENSITIVITY_BENCHMARKS
+    )
+
+
+def bench_figure8(benchmark):
+    benchmark.pedantic(
+        evaluate_shares, args=SHARE_COLUMNS[0], rounds=1, iterations=1
+    )
+
+    means = {}
+    per_bench = {}
+    for icn_share, cache_share in SHARE_COLUMNS:
+        label = f"{icn_share:.2f} / {cache_share:.2f}"
+        evaluations = evaluate_shares(icn_share, cache_share)
+        means[label] = mean_ed2(evaluations)
+        per_bench[label] = evaluations
+
+    rows = []
+    for label, value in means.items():
+        detail = "  ".join(
+            f"{name.split('.')[1]}={e.ed2_ratio:.3f}"
+            for name, e in per_bench[label].items()
+        )
+        rows.append((label, f"{value:.4f}", detail))
+    text = render_table(
+        ["ICN / cache share", "mean ED2 ratio", "per-benchmark"],
+        rows,
+        title="Figure 8: ED^2 vs baseline energy shares "
+        f"(subset: {', '.join(SENSITIVITY_BENCHMARKS)})",
+    )
+    publish("figure8_energy_shares", text)
+
+    # Shape: heterogeneity keeps winning and the spread stays small.
+    values = list(means.values())
+    assert all(v < 1.0 for v in values)
+    assert max(values) - min(values) < 0.08

@@ -1,0 +1,57 @@
+"""Table 1: instruction latencies and relative energies.
+
+Table 1 is an input of the evaluation (the ISA the machine implements);
+this bench regenerates it from the machine model and verifies it against
+the published constants, then times the table construction + a scheduling
+query mix that exercises it.
+"""
+
+from repro.ir.opcodes import Domain, OpCategory, OpClass
+from repro.machine.isa import PAPER_TABLE_1, InstructionTable
+from repro.reporting import render_table
+
+from common import publish
+
+ROWS = (
+    ("Memory", OpClass.LOAD, OpClass.LOAD),
+    ("Arithmetic", OpClass.IADD, OpClass.FADD),
+    ("Multiply", OpClass.IMUL, OpClass.FMUL),
+    ("Division/Modulo/sqrt", OpClass.IDIV, OpClass.FDIV),
+)
+
+
+def regenerate_table1() -> str:
+    table = InstructionTable.paper_defaults()
+    rows = []
+    for label, int_class, fp_class in ROWS:
+        rows.append(
+            (
+                label,
+                table.latency(int_class),
+                f"{table.energy(int_class):.1f}",
+                table.latency(fp_class),
+                f"{table.energy(fp_class):.1f}",
+            )
+        )
+    return render_table(
+        ["ISA class", "INT lat", "INT E", "FP lat", "FP E"],
+        rows,
+        title="Table 1: latency and energy relative to an integer add",
+    )
+
+
+def bench_table1(benchmark):
+    text = benchmark(regenerate_table1)
+    # Cross-check against the published constants.
+    table = InstructionTable.paper_defaults()
+    expected = {
+        (OpCategory.MEMORY, Domain.INT): (2, 1.0),
+        (OpCategory.ARITH, Domain.FP): (3, 1.2),
+        (OpCategory.MULTIPLY, Domain.FP): (6, 1.5),
+        (OpCategory.DIVIDE, Domain.FP): (18, 2.0),
+    }
+    for key, (latency, energy) in expected.items():
+        entry = PAPER_TABLE_1[key]
+        assert (entry.latency, entry.energy) == (latency, energy)
+    assert table.latency(OpClass.FDIV) == 18
+    publish("table1_isa", text)

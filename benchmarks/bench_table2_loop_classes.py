@@ -1,0 +1,61 @@
+"""Table 2: % of execution time per constraint class, per benchmark.
+
+Regenerates the paper's Table 2 by profiling every synthetic corpus on
+the reference homogeneous machine and classifying each loop's time by
+``recMII`` vs ``resMII`` (resource / balanced / recurrence).  The paper's
+printed values are the generator's calibration target; this bench shows
+the *measured* shares next to them.
+"""
+
+from repro.machine import paper_machine
+from repro.pipeline.profiling import profile_corpus
+from repro.power import TechnologyModel
+from repro.reporting import PAPER_TABLE2_SHARES, render_table
+from repro.scheduler import HomogeneousModuloScheduler
+from repro.workloads import SPEC2000_PROFILES, build_corpus, spec_profile
+
+from common import corpus_scale, publish
+
+
+def profile_one(name: str):
+    corpus = build_corpus(spec_profile(name), scale=corpus_scale())
+    scheduler = HomogeneousModuloScheduler(paper_machine(), TechnologyModel())
+    profile, _schedules = profile_corpus(corpus, scheduler)
+    return profile
+
+
+def bench_table2(benchmark):
+    # Time one representative profiling run; regenerate the table outside
+    # the timer.
+    benchmark.pedantic(profile_one, args=("200.sixtrack",), rounds=1, iterations=1)
+
+    rows = []
+    for name in SPEC2000_PROFILES:
+        shares = profile_one(name).time_share_by_constraint_class()
+        paper = PAPER_TABLE2_SHARES[name]
+        rows.append(
+            (
+                name,
+                f"{shares['resource']:.1%}",
+                f"{shares['balanced']:.1%}",
+                f"{shares['recurrence']:.1%}",
+                f"{paper[0]:.1%}",
+                f"{paper[1]:.1%}",
+                f"{paper[2]:.1%}",
+            )
+        )
+    text = render_table(
+        [
+            "benchmark",
+            "res (meas)",
+            "bal (meas)",
+            "rec (meas)",
+            "res (paper)",
+            "bal (paper)",
+            "rec (paper)",
+        ],
+        rows,
+        title="Table 2: execution-time share per constraint class "
+        "(measured on the synthetic corpora vs the paper)",
+    )
+    publish("table2_loop_classes", text)

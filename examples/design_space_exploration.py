@@ -1,0 +1,82 @@
+"""Walking the heterogeneous design space (section 3.3).
+
+For one benchmark corpus, this example shows what the configuration
+selector actually sees: every (fast cycle time, slow/fast ratio)
+structure with its model-estimated execution time, energy and ED^2, and
+which one wins.  It also contrasts two recurrence-width regimes: facerec
+(narrow critical recurrences — big wins) and fma3d (wide — smaller wins).
+
+Run: ``python examples/design_space_exploration.py``
+"""
+
+from repro import (
+    EnergyBreakdown,
+    TechnologyModel,
+    build_corpus,
+    calibrate,
+    paper_machine,
+    spec_profile,
+)
+from repro.pipeline.profiling import profile_corpus
+from repro.reporting import render_table
+from repro.scheduler import HomogeneousModuloScheduler
+from repro.vfs import ConfigurationSelector
+from repro.vfs.selector import effective_fast_share
+
+
+def explore(benchmark: str) -> None:
+    machine = paper_machine()
+    technology = TechnologyModel()
+    corpus = build_corpus(spec_profile(benchmark), scale=0.04)
+    profile, _ = profile_corpus(
+        corpus, HomogeneousModuloScheduler(machine, technology)
+    )
+    units = calibrate(
+        profile,
+        technology.reference_setting,
+        EnergyBreakdown.paper_baseline(),
+        machine.n_clusters,
+    )
+    selector = ConfigurationSelector(machine, technology)
+    results = selector.enumerate(profile, units)
+
+    print(
+        f"\n=== {benchmark}: critical-instruction share "
+        f"{profile.critical_energy_fraction:.2f}, effective fast share "
+        f"{effective_fast_share(profile):.2f} ==="
+    )
+    rows = []
+    for rank, result in enumerate(results[:8]):
+        rows.append(
+            (
+                rank + 1,
+                str(result.fast_factor),
+                str(result.slow_ratio),
+                f"{result.estimated_time_ns:.3e}",
+                f"{result.estimated_energy:.4f}",
+                f"{result.estimated_ed2:.4e}",
+            )
+        )
+    print(
+        render_table(
+            ["rank", "fast factor", "slow/fast", "est. time", "est. energy", "est. ED^2"],
+            rows,
+            title="top structures by model-estimated ED^2 "
+            f"({len(results)} feasible structures explored)",
+        )
+    )
+    best = results[0]
+    print(
+        "winner voltages: "
+        f"clusters {[s.vdd for s in best.point.clusters]} V, "
+        f"ICN {best.point.icn.vdd} V, cache {best.point.cache.vdd} V"
+    )
+
+
+def main() -> None:
+    for benchmark in ("187.facerec", "191.fma3d"):
+        explore(benchmark)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The paper's headline scenario on a single benchmark: 200.sixtrack.
+
+Runs the complete methodology on a (reduced) sixtrack-like corpus:
+profile on the reference homogeneous machine, calibrate the energy
+model, find the optimum homogeneous baseline, select a heterogeneous
+configuration with the section 3.3 models, schedule with the section 4
+algorithm, and report ED^2 against the baseline — the single bar of
+Figure 6 this benchmark contributes.
+
+Run: ``python examples/recurrence_bound_kernel.py``
+"""
+
+from repro import ExperimentOptions, build_corpus, evaluate_corpus, spec_profile
+from repro.reporting import render_table
+
+
+def main() -> None:
+    corpus = build_corpus(spec_profile("200.sixtrack"), scale=0.05)
+    print(f"corpus: {len(corpus)} loops (reduced; scale with REPRO_CORPUS_SCALE)")
+
+    evaluation = evaluate_corpus(corpus, ExperimentOptions(n_buses=1))
+
+    shares = evaluation.profile.time_share_by_constraint_class()
+    print(
+        f"constraint mix: {shares['resource']:.1%} resource / "
+        f"{shares['balanced']:.1%} balanced / "
+        f"{shares['recurrence']:.1%} recurrence-bound "
+        "(paper Table 2: 0.1% / 0% / 99.9%)"
+    )
+
+    baseline = evaluation.baseline_selection
+    selected = evaluation.heterogeneous_selection
+    print(
+        f"optimum homogeneous baseline: cycle time factor {baseline.fast_factor}, "
+        f"Vdd {baseline.point.clusters[0].vdd:.2f} V"
+    )
+    print(
+        f"selected heterogeneous point: fast x{selected.fast_factor}, "
+        f"slow/fast {selected.slow_ratio}, "
+        f"cluster Vdd {[s.vdd for s in selected.point.clusters]}"
+    )
+
+    rows = [
+        (
+            "optimum homogeneous",
+            f"{evaluation.baseline_measured.energy.total:.4f}",
+            f"{evaluation.baseline_measured.exec_time_ns:.3e}",
+            "1.000",
+        ),
+        (
+            "heterogeneous",
+            f"{evaluation.heterogeneous_measured.energy.total:.4f}",
+            f"{evaluation.heterogeneous_measured.exec_time_ns:.3e}",
+            f"{evaluation.ed2_ratio:.3f}",
+        ),
+    ]
+    print()
+    print(
+        render_table(
+            ["configuration", "energy (norm.)", "time (ns)", "ED^2 ratio"],
+            rows,
+            title="sixtrack: heterogeneous vs optimum homogeneous",
+        )
+    )
+    print(
+        f"\nED^2 improves by {1 - evaluation.ed2_ratio:.1%} "
+        "(paper: ~35% on the full corpus)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""repro — a reproduction of *Heterogeneous Clustered VLIW
+Microarchitectures* (Aletà, Codina, González, Kaeli — CGO 2007).
+
+The package implements, from scratch:
+
+* a loop IR with recurrence/criticality analyses (:mod:`repro.ir`),
+* the clustered VLIW machine model with multi-clock-domain clocking
+  (:mod:`repro.machine`),
+* the paper's compile-time energy and execution-time models
+  (:mod:`repro.power`),
+* the section 3.3 voltage/frequency configuration selection
+  (:mod:`repro.vfs`),
+* the section 4 heterogeneous modulo scheduler built on multilevel graph
+  partitioning with recurrence pre-placement and ED^2-driven refinement
+  (:mod:`repro.scheduler`),
+* a discrete-event multi-clock-domain simulator (:mod:`repro.sim`),
+* synthetic SPECfp2000 loop corpora calibrated to the paper's Table 2
+  (:mod:`repro.workloads`),
+* the end-to-end experiment pipeline behind every figure
+  (:mod:`repro.pipeline`), and plain-text reporting
+  (:mod:`repro.reporting`).
+
+Quick start::
+
+    from repro import (
+        DDGBuilder, OpClass, Loop, paper_machine,
+        HomogeneousModuloScheduler,
+    )
+
+    b = DDGBuilder("dot")
+    x, y = b.op("x", OpClass.LOAD), b.op("y", OpClass.LOAD)
+    m, s = b.op("m", OpClass.FMUL), b.op("s", OpClass.FADD)
+    b.flow(x, m).flow(y, m).flow(m, s).flow(s, s, distance=1)
+    schedule = HomogeneousModuloScheduler(paper_machine()).schedule(
+        Loop(b.build(), trip_count=256)
+    )
+    print(schedule)
+"""
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    GraphValidationError,
+    InfeasibleITError,
+    IRError,
+    PartitionError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SynchronizationError,
+    TechnologyError,
+    WorkloadError,
+)
+from repro.ir import (
+    DDG,
+    DDGBuilder,
+    Dependence,
+    DepKind,
+    Loop,
+    OpClass,
+    Operation,
+    Recurrence,
+    find_recurrences,
+    rec_mii,
+    res_mii,
+    unroll,
+)
+from repro.machine import (
+    ClusterConfig,
+    DomainSetting,
+    FrequencyPalette,
+    FUType,
+    InstructionTable,
+    InterconnectConfig,
+    MachineDescription,
+    MemoryConfig,
+    OperatingPoint,
+    paper_machine,
+)
+from repro.power import (
+    CalibratedUnits,
+    EnergyBreakdown,
+    EnergyModel,
+    EventCounts,
+    LoopProfile,
+    ProgramProfile,
+    TechnologyModel,
+    TimeModel,
+    calibrate,
+    ed2,
+)
+from repro.scheduler import (
+    HeterogeneousModuloScheduler,
+    HomogeneousModuloScheduler,
+    Schedule,
+    SchedulerOptions,
+)
+from repro.sim import LoopExecutor, MeasuredExecution, PowerMeter, SimulationResult
+from repro.vfs import ConfigurationSelector, DesignSpaceSpec, optimum_homogeneous
+from repro.workloads import (
+    SPEC2000_PROFILES,
+    Corpus,
+    LoopGenerator,
+    build_corpus,
+    spec2000_suite,
+    spec_profile,
+)
+from repro.pipeline import (
+    BenchmarkEvaluation,
+    ExperimentOptions,
+    SuiteResult,
+    evaluate_corpus,
+    evaluate_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "IRError",
+    "GraphValidationError",
+    "SchedulingError",
+    "InfeasibleITError",
+    "SynchronizationError",
+    "PartitionError",
+    "ConfigurationError",
+    "TechnologyError",
+    "CalibrationError",
+    "SimulationError",
+    "WorkloadError",
+    # ir
+    "DDG",
+    "DDGBuilder",
+    "Dependence",
+    "DepKind",
+    "Loop",
+    "OpClass",
+    "Operation",
+    "Recurrence",
+    "find_recurrences",
+    "rec_mii",
+    "res_mii",
+    "unroll",
+    # machine
+    "ClusterConfig",
+    "DomainSetting",
+    "FrequencyPalette",
+    "FUType",
+    "InstructionTable",
+    "InterconnectConfig",
+    "MachineDescription",
+    "MemoryConfig",
+    "OperatingPoint",
+    "paper_machine",
+    # power
+    "CalibratedUnits",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EventCounts",
+    "LoopProfile",
+    "ProgramProfile",
+    "TechnologyModel",
+    "TimeModel",
+    "calibrate",
+    "ed2",
+    # scheduler
+    "HeterogeneousModuloScheduler",
+    "HomogeneousModuloScheduler",
+    "Schedule",
+    "SchedulerOptions",
+    # sim
+    "LoopExecutor",
+    "MeasuredExecution",
+    "PowerMeter",
+    "SimulationResult",
+    # vfs
+    "ConfigurationSelector",
+    "DesignSpaceSpec",
+    "optimum_homogeneous",
+    # workloads
+    "SPEC2000_PROFILES",
+    "Corpus",
+    "LoopGenerator",
+    "build_corpus",
+    "spec2000_suite",
+    "spec_profile",
+    # pipeline
+    "BenchmarkEvaluation",
+    "ExperimentOptions",
+    "SuiteResult",
+    "evaluate_corpus",
+    "evaluate_suite",
+]

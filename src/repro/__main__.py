@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``evaluate <benchmark>`` — run the full pipeline for one SPECfp2000
+  benchmark and print the Figure 6 row (``--buses``, ``--scale``),
+* ``suite`` — run every benchmark and print the Figure 6 chart,
+* ``table2`` — print the measured constraint-class time shares,
+* ``list`` — list the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.pipeline import ExperimentOptions, evaluate_corpus
+from repro.reporting import PAPER_FIGURE6_ED2, bar_chart, render_table
+from repro.workloads import SPEC2000_PROFILES, build_corpus, spec_profile
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Heterogeneous Clustered VLIW "
+        "Microarchitectures' (CGO 2007)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the pipeline for one benchmark"
+    )
+    evaluate.add_argument("benchmark", help="e.g. 200.sixtrack or sixtrack")
+    evaluate.add_argument("--buses", type=int, default=1, choices=(1, 2))
+    evaluate.add_argument("--scale", type=float, default=0.05)
+
+    suite = commands.add_parser("suite", help="run all ten benchmarks")
+    suite.add_argument("--buses", type=int, default=1, choices=(1, 2))
+    suite.add_argument("--scale", type=float, default=0.05)
+
+    table2 = commands.add_parser("table2", help="measured Table 2 shares")
+    table2.add_argument("--scale", type=float, default=0.05)
+
+    commands.add_parser("list", help="list the available benchmarks")
+    return parser
+
+
+def _evaluate(name: str, buses: int, scale: float):
+    corpus = build_corpus(spec_profile(name), scale=scale)
+    return evaluate_corpus(corpus, ExperimentOptions(n_buses=buses))
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    evaluation = _evaluate(args.benchmark, args.buses, args.scale)
+    selection = evaluation.heterogeneous_selection
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("ED^2 vs optimum homogeneous", f"{evaluation.ed2_ratio:.3f}"),
+                ("energy ratio", f"{evaluation.energy_ratio:.3f}"),
+                ("time ratio", f"{evaluation.time_ratio:.3f}"),
+                ("fast cycle factor", str(selection.fast_factor)),
+                ("slow/fast ratio", str(selection.slow_ratio)),
+                (
+                    "cluster Vdd",
+                    "/".join(f"{s.vdd:.2f}" for s in selection.point.clusters),
+                ),
+            ],
+            title=f"{evaluation.benchmark} ({args.buses} bus(es), "
+            f"scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    measured = {}
+    for name in SPEC2000_PROFILES:
+        evaluation = _evaluate(name, args.buses, args.scale)
+        measured[name] = evaluation.ed2_ratio
+        print(f"{name}: {evaluation.ed2_ratio:.3f}", file=sys.stderr)
+    measured["mean"] = sum(measured.values()) / len(measured)
+    print(
+        bar_chart(
+            measured,
+            title=f"Figure 6 ({args.buses} bus(es)): ED^2 vs optimum "
+            "homogeneous (paper values in PAPER_FIGURE6_ED2)",
+            maximum=1.0,
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.machine import paper_machine
+    from repro.pipeline.profiling import profile_corpus
+    from repro.power import TechnologyModel
+    from repro.scheduler import HomogeneousModuloScheduler
+
+    rows = []
+    for name in SPEC2000_PROFILES:
+        corpus = build_corpus(spec_profile(name), scale=args.scale)
+        profile, _ = profile_corpus(
+            corpus, HomogeneousModuloScheduler(paper_machine(), TechnologyModel())
+        )
+        shares = profile.time_share_by_constraint_class()
+        rows.append(
+            (
+                name,
+                f"{shares['resource']:.1%}",
+                f"{shares['balanced']:.1%}",
+                f"{shares['recurrence']:.1%}",
+            )
+        )
+    print(
+        render_table(
+            ["benchmark", "resource", "balanced", "recurrence"],
+            rows,
+            title="Table 2 (measured)",
+        )
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, spec in SPEC2000_PROFILES.items():
+        print(
+            f"{name}: {spec.recurrence_share:.0%} recurrence-bound, "
+            f"{spec.recurrence_width.value} recurrences, "
+            f"trips {spec.trip_counts[0]:g}-{spec.trip_counts[1]:g}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    handlers = {
+        "evaluate": _cmd_evaluate,
+        "suite": _cmd_suite,
+        "table2": _cmd_table2,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Loop intermediate representation.
+
+The IR models exactly what the paper's scheduler consumes: a **data
+dependence graph** (DDG) per innermost loop, whose nodes are operations
+classified by the instruction classes of Table 1 and whose edges carry a
+latency and an iteration distance (omega).
+
+Public surface:
+
+* :class:`~repro.ir.opcodes.OpClass` — instruction classes,
+* :class:`~repro.ir.operation.Operation` — a DDG node,
+* :class:`~repro.ir.dependence.Dependence` / :class:`~repro.ir.dependence.DepKind`,
+* :class:`~repro.ir.ddg.DDG` — the graph container,
+* :class:`~repro.ir.builder.DDGBuilder` — fluent construction,
+* :mod:`~repro.ir.analysis` — recMII / resMII / slack / criticality,
+* :mod:`~repro.ir.cycles` — SCCs and elementary circuits,
+* :func:`~repro.ir.transforms.unroll` — loop unrolling,
+* :class:`~repro.ir.loop.Loop` — DDG plus dynamic profile attributes.
+"""
+
+from repro.ir.opcodes import OpClass, Domain, OpCategory
+from repro.ir.operation import Operation
+from repro.ir.dependence import Dependence, DepKind
+from repro.ir.ddg import DDG
+from repro.ir.builder import DDGBuilder
+from repro.ir.loop import Loop
+from repro.ir.cycles import strongly_connected_components, elementary_circuits
+from repro.ir.analysis import (
+    Recurrence,
+    rec_mii,
+    res_mii,
+    find_recurrences,
+    asap_times,
+    alap_times,
+    slack,
+    operation_heights,
+)
+from repro.ir.transforms import unroll
+
+__all__ = [
+    "OpClass",
+    "Domain",
+    "OpCategory",
+    "Operation",
+    "Dependence",
+    "DepKind",
+    "DDG",
+    "DDGBuilder",
+    "Loop",
+    "strongly_connected_components",
+    "elementary_circuits",
+    "Recurrence",
+    "rec_mii",
+    "res_mii",
+    "find_recurrences",
+    "asap_times",
+    "alap_times",
+    "slack",
+    "operation_heights",
+    "unroll",
+]

@@ -1,0 +1,292 @@
+"""DDG analyses: recurrence enumeration, recMII, resMII, slack.
+
+Latencies live in the machine's instruction table, not on the IR, so
+every analysis takes a ``table`` argument — any object exposing
+``latency(opclass) -> int`` (duck-typed to avoid an ir -> machine import
+cycle; :class:`repro.machine.isa.InstructionTable` is the implementation
+used in practice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.errors import GraphValidationError
+from repro.ir.cycles import elementary_circuits
+from repro.ir.ddg import DDG
+from repro.ir.dependence import Dependence
+from repro.ir.operation import Operation
+from repro.ir.opcodes import OpClass
+
+
+def edge_delay(dep: Dependence, table) -> int:
+    """Scheduling delay of an edge given the machine's latency table."""
+    return dep.delay_cycles(table.latency(dep.src.opclass))
+
+
+# ----------------------------------------------------------------------
+# Recurrences and recMII
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Recurrence:
+    """An elementary circuit of the DDG.
+
+    ``ratio = total_delay / total_distance`` is the circuit's contribution
+    to recMII: no schedule can initiate iterations faster than one every
+    ``ratio`` cycles (of whatever clock executes the circuit).
+    """
+
+    operations: Tuple[Operation, ...]
+    total_delay: int
+    total_distance: int
+    ratio: Fraction
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        names = ",".join(op.name for op in self.operations)
+        return (
+            f"Recurrence([{names}], delay={self.total_delay}, "
+            f"distance={self.total_distance}, ratio={self.ratio})"
+        )
+
+
+def _adjacency(ddg: DDG) -> Dict[Operation, List[Operation]]:
+    return {op: [d.dst for d in ddg.out_edges(op)] for op in ddg.operations}
+
+
+def _circuit_weight(
+    ddg: DDG, circuit: List[Operation], table
+) -> Tuple[int, int]:
+    """(total delay, total distance) of a circuit, maximising the delay
+    over parallel edges between consecutive circuit nodes."""
+    total_delay = 0
+    total_distance = 0
+    size = len(circuit)
+    for position, src in enumerate(circuit):
+        dst = circuit[(position + 1) % size]
+        best: Optional[Tuple[int, int]] = None
+        for dep in ddg.out_edges(src):
+            if dep.dst is not dst:
+                continue
+            candidate = (edge_delay(dep, table), dep.distance)
+            # Prefer larger delay; among equal delays prefer smaller
+            # distance — both make the constraint tighter.
+            if (
+                best is None
+                or candidate[0] > best[0]
+                or (candidate[0] == best[0] and candidate[1] < best[1])
+            ):
+                best = candidate
+        if best is None:  # pragma: no cover - circuits come from the graph
+            raise GraphValidationError("circuit references a missing edge")
+        total_delay += best[0]
+        total_distance += best[1]
+    return total_delay, total_distance
+
+
+def find_recurrences(
+    ddg: DDG, table, limit: int = 100_000
+) -> List[Recurrence]:
+    """All elementary circuits as :class:`Recurrence`, most critical first.
+
+    Ordering: descending ``ratio``, then descending delay, then ascending
+    size, then lexicographic operation names (fully deterministic).
+    """
+    circuits = elementary_circuits(_adjacency(ddg), limit=limit)
+    recurrences: List[Recurrence] = []
+    for circuit in circuits:
+        delay, distance = _circuit_weight(ddg, circuit, table)
+        if distance == 0:
+            raise GraphValidationError(
+                f"DDG {ddg.name!r} has a zero-distance cycle through "
+                f"{[op.name for op in circuit]}"
+            )
+        recurrences.append(
+            Recurrence(tuple(circuit), delay, distance, Fraction(delay, distance))
+        )
+    recurrences.sort(
+        key=lambda r: (
+            -r.ratio,
+            -r.total_delay,
+            len(r.operations),
+            tuple(op.name for op in r.operations),
+        )
+    )
+    return recurrences
+
+
+def rec_mii(ddg: DDG, table, limit: int = 100_000) -> Fraction:
+    """Recurrence-constrained minimum initiation interval, in cycles.
+
+    Exact maximum cycle ratio over all elementary circuits.  Graphs whose
+    circuit count exceeds ``limit`` fall back to the Lawler binary search
+    (:func:`rec_mii_lawler`), exact up to denominator bounded by the total
+    loop-carried distance.
+    """
+    try:
+        recurrences = find_recurrences(ddg, table, limit=limit)
+    except RuntimeError:
+        return rec_mii_lawler(ddg, table)
+    if not recurrences:
+        return Fraction(0)
+    return recurrences[0].ratio
+
+
+def _has_positive_cycle(
+    ddg: DDG, table, rate: Fraction
+) -> bool:
+    """True when some cycle has ``sum(delay) - rate * sum(distance) > 0``.
+
+    Bellman-Ford on longest paths; a relaxation succeeding after |V|
+    rounds certifies a positive cycle.
+    """
+    ops = ddg.operations
+    potential: Dict[Operation, Fraction] = {op: Fraction(0) for op in ops}
+    edges = [
+        (d.src, d.dst, Fraction(edge_delay(d, table)) - rate * d.distance)
+        for d in ddg.dependences
+    ]
+    for _ in range(len(ops)):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = potential[src] + weight
+            if candidate > potential[dst]:
+                potential[dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii_lawler(ddg: DDG, table) -> Fraction:
+    """recMII by Lawler's parametric search (positive-cycle oracle).
+
+    The optimum is a ratio of integers with denominator at most the sum of
+    all edge distances; a binary search narrowed below ``1/den_max**2``
+    identifies it exactly via ``Fraction.limit_denominator``.
+    """
+    den_max = sum(d.distance for d in ddg.dependences)
+    if den_max == 0:
+        return Fraction(0)
+    low = Fraction(0)
+    high = Fraction(sum(edge_delay(d, table) for d in ddg.dependences) + 1)
+    if not _has_positive_cycle(ddg, table, low):
+        return Fraction(0)
+    # Invariant: positive cycle at `low`, none at `high`; optimum in (low, high].
+    while high - low > Fraction(1, 2 * den_max * den_max):
+        mid = (low + high) / 2
+        if _has_positive_cycle(ddg, table, mid):
+            low = mid
+        else:
+            high = mid
+    candidate = ((low + high) / 2).limit_denominator(den_max)
+    # The true optimum rate r satisfies: positive cycle strictly below r,
+    # none at r. Validate and nudge if the snap landed one step off.
+    if _has_positive_cycle(ddg, table, candidate):
+        candidate = Fraction(
+            candidate.numerator * den_max + 1, candidate.denominator * den_max
+        ).limit_denominator(den_max)
+    return candidate
+
+
+# ----------------------------------------------------------------------
+# resMII
+# ----------------------------------------------------------------------
+def res_mii(
+    ddg: DDG,
+    resource_of: Callable[[OpClass], Hashable],
+    resource_counts: Mapping[Hashable, int],
+) -> int:
+    """Resource-constrained minimum initiation interval, in cycles.
+
+    ``resource_of`` maps an operation class to a resource kind (e.g. the
+    FU type) and ``resource_counts`` gives the number of units of each
+    kind in the *whole* machine.  Classes mapping to ``None`` consume no
+    resource.  resMII = max over kinds of ceil(uses / units).
+    """
+    demand: Dict[Hashable, int] = {}
+    for op in ddg.operations:
+        kind = resource_of(op.opclass)
+        if kind is None:
+            continue
+        demand[kind] = demand.get(kind, 0) + 1
+    worst = 0
+    for kind, uses in sorted(demand.items(), key=lambda kv: str(kv[0])):
+        units = resource_counts.get(kind, 0)
+        if units <= 0:
+            raise GraphValidationError(
+                f"loop uses resource {kind!r} but the machine has none"
+            )
+        worst = max(worst, math.ceil(uses / units))
+    return worst
+
+
+# ----------------------------------------------------------------------
+# ASAP / ALAP / slack / height (static, over intra-iteration edges)
+# ----------------------------------------------------------------------
+def asap_times(ddg: DDG, table) -> Dict[Operation, int]:
+    """Earliest issue cycle of each op over the omega-0 subgraph."""
+    order = ddg.topological_order(intra_iteration_only=True)
+    if order is None:
+        raise GraphValidationError(f"DDG {ddg.name!r} has a zero-distance cycle")
+    times = {op: 0 for op in ddg.operations}
+    for op in order:
+        for dep in ddg.out_edges(op):
+            if dep.is_loop_carried:
+                continue
+            times[dep.dst] = max(times[dep.dst], times[op] + edge_delay(dep, table))
+    return times
+
+
+def alap_times(ddg: DDG, table) -> Dict[Operation, int]:
+    """Latest issue cycle keeping the ASAP makespan, omega-0 subgraph."""
+    asap = asap_times(ddg, table)
+    makespan = max(asap.values(), default=0)
+    order = ddg.topological_order(intra_iteration_only=True)
+    assert order is not None  # asap_times already validated
+    times = {op: makespan for op in ddg.operations}
+    for op in reversed(order):
+        for dep in ddg.out_edges(op):
+            if dep.is_loop_carried:
+                continue
+            times[op] = min(times[op], times[dep.dst] - edge_delay(dep, table))
+    return times
+
+
+def slack(ddg: DDG, table) -> Dict[Operation, int]:
+    """Per-op scheduling freedom: ALAP - ASAP over the acyclic subgraph."""
+    asap = asap_times(ddg, table)
+    alap = alap_times(ddg, table)
+    return {op: alap[op] - asap[op] for op in ddg.operations}
+
+
+def operation_heights(ddg: DDG, table) -> Dict[Operation, int]:
+    """Longest delay-weighted path from each op to any sink (omega-0).
+
+    This is the classic list-scheduling priority: higher means more
+    critical.
+    """
+    order = ddg.topological_order(intra_iteration_only=True)
+    if order is None:
+        raise GraphValidationError(f"DDG {ddg.name!r} has a zero-distance cycle")
+    heights = {op: 0 for op in ddg.operations}
+    for op in reversed(order):
+        for dep in ddg.out_edges(op):
+            if dep.is_loop_carried:
+                continue
+            heights[op] = max(heights[op], edge_delay(dep, table) + heights[dep.dst])
+    return heights
+
+
+def critical_path_length(ddg: DDG, table) -> int:
+    """Delay-weighted longest path through one iteration (cycles)."""
+    asap = asap_times(ddg, table)
+    longest = 0
+    for op, start in asap.items():
+        longest = max(longest, start + table.latency(op.opclass))
+    return longest

@@ -1,0 +1,117 @@
+"""Fluent construction of data dependence graphs.
+
+Example::
+
+    b = DDGBuilder("dot_product")
+    x = b.op("x", OpClass.LOAD)
+    y = b.op("y", OpClass.LOAD)
+    m = b.op("m", OpClass.FMUL)
+    s = b.op("s", OpClass.FADD)
+    b.flow(x, m).flow(y, m).flow(m, s)
+    b.flow(s, s, distance=1)          # the accumulation recurrence
+    loop_ddg = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.ir.ddg import DDG
+from repro.ir.dependence import Dependence, DepKind
+from repro.ir.operation import Operation
+from repro.ir.opcodes import OpClass
+
+OpRef = Union[Operation, str]
+
+
+class DDGBuilder:
+    """Incrementally builds a validated :class:`DDG`."""
+
+    def __init__(self, name: str = "loop"):
+        self._ddg = DDG(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def op(self, name: Optional[str] = None, opclass: OpClass = OpClass.IADD) -> Operation:
+        """Add an operation; a unique name is generated when omitted."""
+        if name is None:
+            name = f"op{self._counter}"
+            self._counter += 1
+        return self._ddg.add_operation(Operation(name, opclass))
+
+    def ops(self, opclass: OpClass, count: int, prefix: str = "op") -> List[Operation]:
+        """Add ``count`` operations of one class with numbered names."""
+        created = []
+        for _ in range(count):
+            name = f"{prefix}{self._counter}"
+            self._counter += 1
+            created.append(self.op(name, opclass))
+        return created
+
+    # ------------------------------------------------------------------
+    def _resolve(self, ref: OpRef) -> Operation:
+        if isinstance(ref, Operation):
+            return ref
+        return self._ddg.operation(ref)
+
+    def dep(
+        self,
+        src: OpRef,
+        dst: OpRef,
+        distance: int = 0,
+        kind: DepKind = DepKind.FLOW,
+        latency: Optional[int] = None,
+    ) -> "DDGBuilder":
+        """Add a dependence edge; returns the builder for chaining."""
+        self._ddg.add_dependence(
+            Dependence(
+                self._resolve(src),
+                self._resolve(dst),
+                distance=distance,
+                kind=kind,
+                latency_override=latency,
+            )
+        )
+        return self
+
+    def flow(self, src: OpRef, dst: OpRef, distance: int = 0) -> "DDGBuilder":
+        """Add a register flow dependence."""
+        return self.dep(src, dst, distance=distance, kind=DepKind.FLOW)
+
+    def chain(self, refs: Sequence[OpRef], distance_last: Optional[int] = None) -> "DDGBuilder":
+        """Chain flow edges ``refs[0] -> refs[1] -> ...``.
+
+        When ``distance_last`` is given, an extra loop-carried back edge
+        ``refs[-1] -> refs[0]`` with that distance closes the chain into a
+        recurrence.
+        """
+        for src, dst in zip(refs, refs[1:]):
+            self.flow(src, dst)
+        if distance_last is not None:
+            self.flow(refs[-1], refs[0], distance=distance_last)
+        return self
+
+    def recurrence(self, refs: Sequence[OpRef], distance: int = 1) -> "DDGBuilder":
+        """Chain the ops and close the cycle with a ``distance``-carried edge."""
+        if len(refs) == 1:
+            return self.flow(refs[0], refs[0], distance=distance)
+        return self.chain(refs, distance_last=distance)
+
+    def fanin(self, sources: Iterable[OpRef], dst: OpRef) -> "DDGBuilder":
+        """Flow edges from every source to ``dst``."""
+        for src in sources:
+            self.flow(src, dst)
+        return self
+
+    def fanout(self, src: OpRef, dests: Iterable[OpRef]) -> "DDGBuilder":
+        """Flow edges from ``src`` to every destination."""
+        for dst in dests:
+            self.flow(src, dst)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> DDG:
+        """Finish construction; validates structural invariants by default."""
+        if validate:
+            self._ddg.validate()
+        return self._ddg

@@ -1,0 +1,161 @@
+"""Strongly connected components and elementary circuits.
+
+Self-contained implementations of Tarjan's SCC algorithm (iterative, so
+deep graphs do not hit the recursion limit) and Johnson's elementary
+circuit enumeration.  The scheduler uses circuits to compute recMII and to
+identify critical recurrences for pre-placement; networkx is used only in
+tests as a cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+Node = Hashable
+Adjacency = Mapping[Node, Sequence[Node]]
+
+
+def strongly_connected_components(adjacency: Adjacency) -> List[List[Node]]:
+    """Tarjan's algorithm, iterative formulation.
+
+    ``adjacency`` maps each node to its successors; every node must appear
+    as a key.  Components are returned in reverse topological order of the
+    condensation (Tarjan's natural output order), each as a list of nodes.
+    """
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index:
+            continue
+        # Each work item is (node, iterator over successors).
+        work: List[Tuple[Node, Iterator[Node]]] = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node or member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def elementary_circuits(
+    adjacency: Adjacency, limit: int = 100_000
+) -> List[List[Node]]:
+    """Johnson's algorithm for all elementary circuits.
+
+    Returns each circuit as the list of nodes in traversal order (the
+    closing edge back to the first node is implicit).  Self-loops yield
+    single-node circuits.  ``limit`` bounds the number of circuits
+    produced; exceeding it raises ``RuntimeError`` so pathological graphs
+    fail loudly instead of hanging (callers fall back to the binary-search
+    recMII in that case).
+    """
+    nodes = list(adjacency)
+    order = {node: position for position, node in enumerate(nodes)}
+    circuits: List[List[Node]] = []
+
+    # Self-loops are not produced by the main loop; emit them up front.
+    for node in nodes:
+        if any(succ is node or succ == node for succ in adjacency[node]):
+            circuits.append([node])
+
+    def unblock(node: Node, blocked: Set[Node], blocked_map: Dict[Node, Set[Node]]) -> None:
+        pending = [node]
+        while pending:
+            current = pending.pop()
+            if current in blocked:
+                blocked.discard(current)
+                pending.extend(blocked_map.pop(current, ()))
+
+    # Process one SCC at a time, rooted at its minimum-order node.
+    remaining: Set[Node] = set(nodes)
+    while remaining:
+        sub_adj = {
+            node: [succ for succ in adjacency[node] if succ in remaining]
+            for node in remaining
+        }
+        components = [c for c in strongly_connected_components(sub_adj) if len(c) > 1]
+        if not components:
+            break
+        component = min(components, key=lambda c: min(order[n] for n in c))
+        start = min(component, key=lambda n: order[n])
+        component_set = set(component)
+        comp_adj = {
+            node: [succ for succ in sub_adj[node] if succ in component_set]
+            for node in component
+        }
+
+        blocked: Set[Node] = set()
+        blocked_map: Dict[Node, Set[Node]] = {}
+        path: List[Node] = []
+
+        def circuit(node: Node) -> bool:
+            found = False
+            path.append(node)
+            blocked.add(node)
+            for succ in comp_adj[node]:
+                if succ == start:
+                    circuits.append(list(path))
+                    if len(circuits) > limit:
+                        raise RuntimeError(
+                            f"circuit enumeration exceeded limit of {limit}"
+                        )
+                    found = True
+                elif succ not in blocked:
+                    if circuit(succ):
+                        found = True
+            if found:
+                unblock(node, blocked, blocked_map)
+            else:
+                for succ in comp_adj[node]:
+                    blocked_map.setdefault(succ, set()).add(node)
+            path.pop()
+            return found
+
+        circuit(start)
+        remaining.discard(start)
+
+    # Deduplicate the trivial single-node circuits that the main loop may
+    # also have produced for nodes with self-loops inside larger SCCs.
+    unique: List[List[Node]] = []
+    seen: Set[Tuple[Node, ...]] = set()
+    for circ in circuits:
+        # Canonical rotation: start at the minimum-order node.
+        pivot = min(range(len(circ)), key=lambda i: order[circ[i]])
+        key = tuple(circ[pivot:] + circ[:pivot])
+        if key not in seen:
+            seen.add(key)
+            unique.append(list(key))
+    return unique

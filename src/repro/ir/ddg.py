@@ -1,0 +1,217 @@
+"""The data dependence graph container."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphValidationError, IRError
+from repro.ir.dependence import Dependence, DepKind
+from repro.ir.operation import Operation
+from repro.ir.opcodes import OpClass
+
+
+class DDG:
+    """Data dependence graph of one innermost-loop body.
+
+    Nodes are :class:`Operation` objects with unique names; edges are
+    :class:`Dependence` objects.  Parallel edges between the same pair of
+    operations are allowed (e.g. a flow edge and a loop-carried output
+    edge).  Iteration order over nodes and edges is insertion order, which
+    keeps every algorithm in the package deterministic.
+    """
+
+    def __init__(self, name: str = "loop"):
+        self.name = name
+        self._ops: List[Operation] = []
+        self._by_name: Dict[str, Operation] = {}
+        self._deps: List[Dependence] = []
+        self._out: Dict[Operation, List[Dependence]] = {}
+        self._in: Dict[Operation, List[Dependence]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> Operation:
+        """Insert ``op`` as a node; names must be unique within the graph."""
+        if op.name in self._by_name:
+            raise IRError(f"duplicate operation name {op.name!r} in DDG {self.name!r}")
+        self._ops.append(op)
+        self._by_name[op.name] = op
+        self._out[op] = []
+        self._in[op] = []
+        return op
+
+    def add_dependence(self, dep: Dependence) -> Dependence:
+        """Insert ``dep``; both endpoints must already be nodes."""
+        for endpoint in (dep.src, dep.dst):
+            if self._by_name.get(endpoint.name) is not endpoint:
+                raise IRError(
+                    f"dependence endpoint {endpoint.name!r} is not a node of DDG {self.name!r}"
+                )
+        self._deps.append(dep)
+        self._out[dep.src].append(dep)
+        self._in[dep.dst].append(dep)
+        return dep
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._ops)
+
+    @property
+    def dependences(self) -> Tuple[Dependence, ...]:
+        """All edges, in insertion order."""
+        return tuple(self._deps)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __contains__(self, op: Operation) -> bool:
+        return self._by_name.get(op.name) is op
+
+    def operation(self, name: str) -> Operation:
+        """Look a node up by name; raises ``KeyError`` when absent."""
+        return self._by_name[name]
+
+    def out_edges(self, op: Operation) -> Tuple[Dependence, ...]:
+        """Edges whose source is ``op``."""
+        return tuple(self._out[op])
+
+    def in_edges(self, op: Operation) -> Tuple[Dependence, ...]:
+        """Edges whose destination is ``op``."""
+        return tuple(self._in[op])
+
+    def successors(self, op: Operation) -> Tuple[Operation, ...]:
+        """Distinct successor nodes of ``op`` (insertion order)."""
+        seen: List[Operation] = []
+        for dep in self._out[op]:
+            if dep.dst not in seen:
+                seen.append(dep.dst)
+        return tuple(seen)
+
+    def predecessors(self, op: Operation) -> Tuple[Operation, ...]:
+        """Distinct predecessor nodes of ``op`` (insertion order)."""
+        seen: List[Operation] = []
+        for dep in self._in[op]:
+            if dep.src not in seen:
+                seen.append(dep.src)
+        return tuple(seen)
+
+    def class_counts(self) -> Counter:
+        """Number of operations per :class:`OpClass`."""
+        return Counter(op.opclass for op in self._ops)
+
+    def count(self, opclass: OpClass) -> int:
+        """Number of operations of one class."""
+        return sum(1 for op in self._ops if op.opclass is opclass)
+
+    # ------------------------------------------------------------------
+    # validation and copies
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphValidationError`.
+
+        A DDG is schedulable only if the subgraph of intra-iteration
+        (omega = 0) edges is acyclic: a zero-distance cycle would require
+        an operation to precede itself within one iteration.
+        """
+        if not self._ops:
+            raise GraphValidationError(f"DDG {self.name!r} has no operations")
+        order = self.topological_order(intra_iteration_only=True)
+        if order is None:
+            raise GraphValidationError(
+                f"DDG {self.name!r} has a cycle of zero-distance dependences"
+            )
+
+    def topological_order(
+        self, intra_iteration_only: bool = True
+    ) -> Optional[List[Operation]]:
+        """Kahn topological order over omega-0 edges (or all edges).
+
+        Returns ``None`` when the considered subgraph has a cycle.
+        """
+        indeg = {op: 0 for op in self._ops}
+        for dep in self._deps:
+            if intra_iteration_only and dep.is_loop_carried:
+                continue
+            indeg[dep.dst] += 1
+        ready = [op for op in self._ops if indeg[op] == 0]
+        order: List[Operation] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for dep in self._out[op]:
+                if intra_iteration_only and dep.is_loop_carried:
+                    continue
+                indeg[dep.dst] -= 1
+                if indeg[dep.dst] == 0:
+                    ready.append(dep.dst)
+        if len(order) != len(self._ops):
+            return None
+        return order
+
+    def copy(self, name: Optional[str] = None) -> "DDG":
+        """Deep-copy the graph (fresh Operation objects, same names)."""
+        clone = DDG(name if name is not None else self.name)
+        mapping = {op: clone.add_operation(op.with_name(op.name)) for op in self._ops}
+        for dep in self._deps:
+            clone.add_dependence(
+                Dependence(
+                    mapping[dep.src],
+                    mapping[dep.dst],
+                    distance=dep.distance,
+                    kind=dep.kind,
+                    latency_override=dep.latency_override,
+                )
+            )
+        return clone
+
+    def to_edge_list(self) -> List[Tuple[str, str, int]]:
+        """(src name, dst name, distance) triples — handy for debugging."""
+        return [(d.src.name, d.dst.name, d.distance) for d in self._deps]
+
+    def __repr__(self) -> str:
+        return f"DDG({self.name!r}, ops={len(self._ops)}, deps={len(self._deps)})"
+
+
+def merge_parallel_edges(ddg: DDG) -> DDG:
+    """Return a copy of ``ddg`` keeping, per (src, dst, distance, kind),
+    only the edge with the largest effective delay.
+
+    Scheduling constraints are monotone in the edge delay, so dropping
+    dominated parallel edges never changes legal schedules but shrinks the
+    graphs the analyses walk.
+    """
+    clone = DDG(ddg.name)
+    mapping = {op: clone.add_operation(op.with_name(op.name)) for op in ddg.operations}
+    best: Dict[Tuple[str, str, int, DepKind], Dependence] = {}
+    for dep in ddg.dependences:
+        key = (dep.src.name, dep.dst.name, dep.distance, dep.kind)
+        current = best.get(key)
+        if current is None:
+            best[key] = dep
+            continue
+        new_delay = dep.latency_override if dep.latency_override is not None else -1
+        old_delay = current.latency_override if current.latency_override is not None else -1
+        if new_delay > old_delay:
+            best[key] = dep
+    for dep in ddg.dependences:
+        key = (dep.src.name, dep.dst.name, dep.distance, dep.kind)
+        if best.get(key) is dep:
+            clone.add_dependence(
+                Dependence(
+                    mapping[dep.src],
+                    mapping[dep.dst],
+                    distance=dep.distance,
+                    kind=dep.kind,
+                    latency_override=dep.latency_override,
+                )
+            )
+    return clone

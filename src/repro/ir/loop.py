@@ -1,0 +1,45 @@
+"""A loop: DDG plus the dynamic profile attributes the models need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ddg import DDG
+
+
+@dataclass
+class Loop:
+    """One software-pipelining candidate.
+
+    ``trip_count`` is the average number of iterations per entry to the
+    loop (``N`` in the paper's ``Texec = (N - 1 + SC) * II * Tcyc``), and
+    ``weight`` is the number of times the loop is entered during the
+    profiled execution.  Both come from profiling in the paper; the
+    workload generator synthesises them.
+    """
+
+    ddg: DDG
+    trip_count: float = 100.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise ValueError(f"trip count must be >= 1, got {self.trip_count}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+    @property
+    def name(self) -> str:
+        """The loop inherits its DDG's name."""
+        return self.ddg.name
+
+    @property
+    def total_iterations(self) -> float:
+        """Iterations executed across all invocations."""
+        return self.trip_count * self.weight
+
+    def __repr__(self) -> str:
+        return (
+            f"Loop({self.name!r}, ops={len(self.ddg)}, "
+            f"trip={self.trip_count:g}, weight={self.weight:g})"
+        )

@@ -1,0 +1,126 @@
+"""Instruction classes.
+
+The paper's Table 1 defines four latency/energy classes (memory,
+arithmetic, multiply, divide) split across the integer and floating-point
+domains.  We add the two architectural operations the microarchitecture
+needs: ``COPY`` (an inter-cluster register move travelling over a register
+bus) and ``BRANCH`` (the unbundled branch of HPL-PD, executed on the
+integer unit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Domain(enum.Enum):
+    """Datapath domain of an operation."""
+
+    INT = "int"
+    FP = "fp"
+    #: Operations with no datapath domain (copies, which live on the bus).
+    NONE = "none"
+
+
+class OpCategory(enum.Enum):
+    """Latency/energy category, one per row of Table 1 plus architectural."""
+
+    MEMORY = "memory"
+    ARITH = "arith"
+    MULTIPLY = "multiply"
+    DIVIDE = "divide"
+    COPY = "copy"
+    BRANCH = "branch"
+
+
+class OpClass(enum.Enum):
+    """Concrete instruction class of a DDG node.
+
+    The (category, domain) pair of each class indexes the latency/energy
+    table (:class:`repro.machine.isa.InstructionTable`).
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    IADD = "iadd"
+    FADD = "fadd"
+    IMUL = "imul"
+    FMUL = "fmul"
+    IDIV = "idiv"
+    FDIV = "fdiv"
+    COPY = "copy"
+    BRANCH = "branch"
+
+    @property
+    def category(self) -> OpCategory:
+        """The Table 1 row this class belongs to."""
+        return _CATEGORY[self]
+
+    @property
+    def domain(self) -> Domain:
+        """The Table 1 column (INT/FP) this class belongs to."""
+        return _DOMAIN[self]
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores (they occupy a memory port)."""
+        return self.category is OpCategory.MEMORY
+
+    @property
+    def is_copy(self) -> bool:
+        """True for inter-cluster copies (they occupy a bus slot)."""
+        return self is OpClass.COPY
+
+    @property
+    def is_float(self) -> bool:
+        """True for operations executed on the floating-point unit."""
+        return self.domain is Domain.FP
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the operation produces a register value.
+
+        Stores and branches produce no register result, so flow edges out
+        of them model memory/control ordering rather than values, and they
+        create no register lifetime.
+        """
+        return self not in (OpClass.STORE, OpClass.BRANCH)
+
+
+_CATEGORY = {
+    OpClass.LOAD: OpCategory.MEMORY,
+    OpClass.STORE: OpCategory.MEMORY,
+    OpClass.IADD: OpCategory.ARITH,
+    OpClass.FADD: OpCategory.ARITH,
+    OpClass.IMUL: OpCategory.MULTIPLY,
+    OpClass.FMUL: OpCategory.MULTIPLY,
+    OpClass.IDIV: OpCategory.DIVIDE,
+    OpClass.FDIV: OpCategory.DIVIDE,
+    OpClass.COPY: OpCategory.COPY,
+    OpClass.BRANCH: OpCategory.BRANCH,
+}
+
+_DOMAIN = {
+    OpClass.LOAD: Domain.INT,
+    OpClass.STORE: Domain.INT,
+    OpClass.IADD: Domain.INT,
+    OpClass.FADD: Domain.FP,
+    OpClass.IMUL: Domain.INT,
+    OpClass.FMUL: Domain.FP,
+    OpClass.IDIV: Domain.INT,
+    OpClass.FDIV: Domain.FP,
+    OpClass.COPY: Domain.NONE,
+    OpClass.BRANCH: Domain.INT,
+}
+
+#: Classes a workload generator may draw from (architectural ops excluded).
+COMPUTE_CLASSES = (
+    OpClass.LOAD,
+    OpClass.STORE,
+    OpClass.IADD,
+    OpClass.FADD,
+    OpClass.IMUL,
+    OpClass.FMUL,
+    OpClass.IDIV,
+    OpClass.FDIV,
+)

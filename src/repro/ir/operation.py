@@ -1,0 +1,33 @@
+"""DDG nodes."""
+
+from __future__ import annotations
+
+from repro.ir.opcodes import OpClass
+
+
+class Operation:
+    """A single operation (instruction) in a loop body.
+
+    Operations are identity-hashed graph nodes: two operations with the
+    same name are still distinct objects, and a :class:`~repro.ir.ddg.DDG`
+    enforces name uniqueness within one graph.  Latency and energy are
+    *not* stored on the node; they are looked up in the machine's
+    instruction table so the same loop can be retargeted.
+    """
+
+    __slots__ = ("name", "opclass")
+
+    def __init__(self, name: str, opclass: OpClass):
+        if not name:
+            raise ValueError("operation name must be non-empty")
+        if not isinstance(opclass, OpClass):
+            raise TypeError(f"opclass must be an OpClass, got {opclass!r}")
+        self.name = name
+        self.opclass = opclass
+
+    def __repr__(self) -> str:
+        return f"Operation({self.name!r}, {self.opclass.name})"
+
+    def with_name(self, name: str) -> "Operation":
+        """Return a fresh operation of the same class under a new name."""
+        return Operation(name, self.opclass)

@@ -1,0 +1,64 @@
+"""IR-to-IR transforms.
+
+Currently: loop unrolling, the mitigation the paper proposes (section 5.3)
+for machines with coarse frequency palettes — unrolling multiplies the MIT,
+shrinking the relative cost of the IT increases forced by synchronisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.ddg import DDG
+from repro.ir.dependence import Dependence
+from repro.ir.operation import Operation
+from repro.ir.loop import Loop
+
+
+def unroll(ddg: DDG, factor: int) -> DDG:
+    """Unroll a loop body ``factor`` times.
+
+    Each operation ``op`` becomes copies ``op@0 .. op@{factor-1}``.  A
+    dependence ``u -> v`` with distance ``w`` becomes, for each copy index
+    ``i``, an edge ``u@i -> v@((i+w) mod factor)`` with distance
+    ``(i+w) // factor`` — the standard index arithmetic that preserves the
+    iteration-space dependences exactly.
+    """
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return ddg.copy()
+    unrolled = DDG(f"{ddg.name}@x{factor}")
+    copies: Dict[Tuple[str, int], Operation] = {}
+    for index in range(factor):
+        for op in ddg.operations:
+            clone = Operation(f"{op.name}@{index}", op.opclass)
+            unrolled.add_operation(clone)
+            copies[(op.name, index)] = clone
+    for dep in ddg.dependences:
+        for index in range(factor):
+            target_index = index + dep.distance
+            unrolled.add_dependence(
+                Dependence(
+                    copies[(dep.src.name, index)],
+                    copies[(dep.dst.name, target_index % factor)],
+                    distance=target_index // factor,
+                    kind=dep.kind,
+                    latency_override=dep.latency_override,
+                )
+            )
+    return unrolled
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Unroll a :class:`Loop`, dividing the trip count by the factor.
+
+    The total amount of work (iterations of the original body) is
+    preserved: ``factor`` original iterations execute per unrolled
+    iteration.
+    """
+    return Loop(
+        ddg=unroll(loop.ddg, factor),
+        trip_count=loop.trip_count / factor,
+        weight=loop.weight,
+    )

@@ -1,0 +1,41 @@
+"""Machine model: clusters, function units, ISA table, buses, clocking.
+
+The evaluated machine (paper section 5) is a 4-cluster VLIW: each cluster
+holds 1 integer FU, 1 floating-point FU, 1 memory port and 16 registers;
+clusters communicate over 1 or 2 single-cycle register buses; the memory
+hierarchy is shared and always hits.
+"""
+
+from repro.machine.fu import FUType, fu_for
+from repro.machine.isa import InstructionTable, ClassEntry
+from repro.machine.cluster import ClusterConfig
+from repro.machine.interconnect import InterconnectConfig
+from repro.machine.memory import MemoryConfig
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.machine.clocking import (
+    CACHE_DOMAIN,
+    ICN_DOMAIN,
+    FrequencyPalette,
+    cluster_domain,
+    domain_ids,
+)
+from repro.machine.operating_point import DomainSetting, OperatingPoint
+
+__all__ = [
+    "CACHE_DOMAIN",
+    "ICN_DOMAIN",
+    "cluster_domain",
+    "domain_ids",
+    "DomainSetting",
+    "OperatingPoint",
+    "FUType",
+    "fu_for",
+    "InstructionTable",
+    "ClassEntry",
+    "ClusterConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "MachineDescription",
+    "paper_machine",
+    "FrequencyPalette",
+]

@@ -1,0 +1,48 @@
+"""Per-cluster resource description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machine.fu import FUType
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Resources of one cluster.
+
+    The paper's evaluation splits a 4-wide machine into four identical
+    clusters of 1 integer FU, 1 floating-point FU, 1 memory port and 16
+    registers.
+    """
+
+    n_int: int = 1
+    n_fp: int = 1
+    n_mem: int = 1
+    n_regs: int = 16
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("n_int", self.n_int),
+            ("n_fp", self.n_fp),
+            ("n_mem", self.n_mem),
+            ("n_regs", self.n_regs),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be >= 0, got {value}")
+        if self.n_int + self.n_fp + self.n_mem == 0:
+            raise ValueError("a cluster must contain at least one function unit")
+
+    def fu_count(self, fu: FUType) -> int:
+        """Number of units of one FU type in this cluster."""
+        return {FUType.INT: self.n_int, FUType.FP: self.n_fp, FUType.MEM: self.n_mem}[fu]
+
+    def fu_counts(self) -> Dict[FUType, int]:
+        """All FU counts as a dict."""
+        return {FUType.INT: self.n_int, FUType.FP: self.n_fp, FUType.MEM: self.n_mem}
+
+    @property
+    def issue_width(self) -> int:
+        """Operations the cluster can issue per cycle (one per FU)."""
+        return self.n_int + self.n_fp + self.n_mem

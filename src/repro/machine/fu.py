@@ -1,0 +1,36 @@
+"""Function-unit kinds and the operation-class -> FU mapping."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.ir.opcodes import Domain, OpClass
+
+
+class FUType(enum.Enum):
+    """Resource kinds inside a cluster."""
+
+    INT = "int"
+    FP = "fp"
+    MEM = "mem"
+
+    def __lt__(self, other: "FUType") -> bool:
+        return self.value < other.value
+
+
+def fu_for(opclass: OpClass) -> Optional[FUType]:
+    """The function unit an operation occupies, or ``None``.
+
+    Memory operations occupy a memory port; FP-domain operations the FP
+    unit; remaining INT-domain operations (including branches) the integer
+    unit.  Copies occupy a bus slot, not a cluster FU, so they map to
+    ``None`` here.
+    """
+    if opclass.is_memory:
+        return FUType.MEM
+    if opclass is OpClass.COPY:
+        return None
+    if opclass.domain is Domain.FP:
+        return FUType.FP
+    return FUType.INT

@@ -1,0 +1,27 @@
+"""Inter-cluster connection network (register buses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """A set of shared register buses.
+
+    Each bus moves one register value per bus cycle, with ``latency`` bus
+    cycles from issue to availability.  The paper evaluates 1- and 2-bus
+    machines with single-cycle latency.  Crossing between clock domains of
+    different frequency additionally costs one consumer-domain cycle in
+    the synchronisation queues (section 2.1); that penalty is modelled by
+    the scheduler/simulator, not here.
+    """
+
+    n_buses: int = 1
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_buses < 0:
+            raise ValueError(f"n_buses must be >= 0, got {self.n_buses}")
+        if self.latency < 1:
+            raise ValueError(f"bus latency must be >= 1, got {self.latency}")

@@ -1,0 +1,26 @@
+"""Shared on-chip memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The memory hierarchy shared by all clusters.
+
+    The paper's evaluation assumes all cache accesses hit, so the model
+    reduces to the load/store latency of Table 1 (which the instruction
+    table owns) plus the cache's clock/voltage domain.  ``always_hit`` is
+    kept explicit so a miss model can be slotted in; the reproduction uses
+    the paper's assumption.
+    """
+
+    always_hit: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.always_hit:
+            raise NotImplementedError(
+                "the paper evaluates an always-hit memory hierarchy; "
+                "miss modelling is out of scope for this reproduction"
+            )

@@ -1,0 +1,25 @@
+"""End-to-end experiment pipeline.
+
+profile (reference homogeneous) -> calibrate -> optimum homogeneous
+baseline -> heterogeneous selection -> heterogeneous scheduling ->
+simulation -> ED^2 vs baseline.
+"""
+
+from repro.pipeline.profiling import profile_corpus, profile_loop
+from repro.pipeline.experiment import (
+    BenchmarkEvaluation,
+    ExperimentOptions,
+    SuiteResult,
+    evaluate_corpus,
+    evaluate_suite,
+)
+
+__all__ = [
+    "profile_corpus",
+    "profile_loop",
+    "BenchmarkEvaluation",
+    "ExperimentOptions",
+    "SuiteResult",
+    "evaluate_corpus",
+    "evaluate_suite",
+]

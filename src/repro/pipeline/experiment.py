@@ -1,0 +1,253 @@
+"""The full experiment: one benchmark (or the whole suite) end to end.
+
+This is the code path behind every figure of the evaluation:
+
+1. schedule every loop on the *reference* homogeneous machine and profile
+   it (section 3's profiling pass),
+2. calibrate the unit energies from the prescribed baseline breakdown,
+3. find the *optimum homogeneous* configuration — the paper's baseline
+   (section 5.1) — and measure it (homogeneous executions are
+   cycle-identical, so the reference schedules re-time exactly),
+4. select the heterogeneous configuration with the section 3.3 models,
+5. schedule every loop on the selected point with the section 4
+   algorithm, execute in the simulator, and meter energy,
+6. report heterogeneous/baseline ratios of ED^2, energy and time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.power.breakdown import EnergyBreakdown
+from repro.power.calibration import CalibratedUnits, calibrate
+from repro.power.energy import EnergyModel, EventCounts
+from repro.power.profile import ProgramProfile
+from repro.power.technology import TechnologyModel
+from repro.scheduler.context import PartitionEnergyWeights
+from repro.scheduler.heterogeneous import HeterogeneousModuloScheduler
+from repro.scheduler.homogeneous import HomogeneousModuloScheduler
+from repro.scheduler.options import SchedulerOptions
+from repro.sim.power_meter import MeasuredExecution, PowerMeter
+from repro.vfs.candidates import DesignSpaceSpec
+from repro.vfs.homogeneous import optimum_homogeneous
+from repro.vfs.selector import ConfigurationSelector, SelectionResult
+from repro.workloads.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Knobs of one experiment run (defaults = the paper's baseline)."""
+
+    n_buses: int = 1
+    breakdown: EnergyBreakdown = field(default_factory=EnergyBreakdown.paper_baseline)
+    technology: TechnologyModel = field(default_factory=TechnologyModel)
+    design_space: DesignSpaceSpec = field(default_factory=DesignSpaceSpec.paper)
+    scheduler: SchedulerOptions = field(default_factory=SchedulerOptions)
+    #: Run every heterogeneous schedule through the discrete-event
+    #: simulator (slower, fully checked) instead of using the schedule's
+    #: analytic counts.
+    simulate: bool = True
+    #: Per-class instruction energies (False collapses Table 1 energies).
+    per_class_energy: bool = True
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """Everything measured for one benchmark."""
+
+    benchmark: str
+    profile: ProgramProfile
+    units: CalibratedUnits
+    baseline_selection: SelectionResult
+    heterogeneous_selection: SelectionResult
+    reference_measured: MeasuredExecution
+    baseline_measured: MeasuredExecution
+    heterogeneous_measured: MeasuredExecution
+
+    @property
+    def ed2_ratio(self) -> float:
+        """Heterogeneous ED^2 over optimum-homogeneous ED^2 (Figure 6)."""
+        return self.heterogeneous_measured.ed2 / self.baseline_measured.ed2
+
+    @property
+    def energy_ratio(self) -> float:
+        """Heterogeneous energy over baseline energy."""
+        return (
+            self.heterogeneous_measured.energy.total
+            / self.baseline_measured.energy.total
+        )
+
+    @property
+    def time_ratio(self) -> float:
+        """Heterogeneous execution time over baseline execution time."""
+        return (
+            self.heterogeneous_measured.exec_time_ns
+            / self.baseline_measured.exec_time_ns
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Evaluations for several benchmarks plus the mean ratio."""
+
+    evaluations: List[BenchmarkEvaluation]
+
+    def __iter__(self):
+        return iter(self.evaluations)
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def mean_ed2_ratio(self) -> float:
+        """Arithmetic mean of the per-benchmark ED^2 ratios (the paper's
+        "mean" bar)."""
+        if not self.evaluations:
+            raise ValueError("empty suite")
+        return sum(e.ed2_ratio for e in self.evaluations) / len(self.evaluations)
+
+    def by_benchmark(self) -> Dict[str, BenchmarkEvaluation]:
+        """Evaluations keyed by benchmark name."""
+        return {e.benchmark: e for e in self.evaluations}
+
+
+# ----------------------------------------------------------------------
+def _measure_homogeneous(
+    corpus: Corpus,
+    schedules,
+    meter: PowerMeter,
+    point,
+    reference_ct,
+) -> MeasuredExecution:
+    """Measure a homogeneous point from the reference schedules.
+
+    Homogeneous executions are cycle-identical across speeds: only the
+    cycle time changes, so every reference schedule re-times by the ratio
+    of periods — exactly, not approximately.
+    """
+    scale = float(point.clusters[0].cycle_time / reference_ct)
+    measurements = []
+    for loop in corpus.loops:
+        schedule = schedules[loop.name]
+        counts = EventCounts(
+            cluster_energy_units=tuple(
+                u * loop.trip_count * loop.weight
+                for u in schedule.cluster_energy_units()
+            ),
+            n_comms=schedule.comms_per_iteration * loop.trip_count * loop.weight,
+            n_mem_accesses=(
+                schedule.mem_accesses_per_iteration * loop.trip_count * loop.weight
+            ),
+        )
+        time_ns = schedule.execution_time(loop.trip_count) * loop.weight * scale
+        energy = meter.model.estimate(point, counts, time_ns)
+        measurements.append(MeasuredExecution(energy=energy, exec_time_ns=time_ns))
+    return meter.measure_program(measurements)
+
+
+def evaluate_corpus(
+    corpus: Corpus, options: Optional[ExperimentOptions] = None
+) -> BenchmarkEvaluation:
+    """Run the full pipeline for one benchmark corpus."""
+    options = options if options is not None else ExperimentOptions()
+    machine = paper_machine(
+        n_buses=options.n_buses, uniform_energy=not options.per_class_energy
+    )
+    technology = options.technology
+
+    homogeneous = HomogeneousModuloScheduler(
+        machine, technology, options.scheduler
+    )
+    reference_setting = technology.reference_setting
+
+    # Two-pass profiling: the first pass schedules with default partition
+    # weights and calibrates the unit energies; the second re-schedules
+    # with the *calibrated* weights so the baseline and heterogeneous
+    # runs see identical partitioning economics, then re-calibrates.
+    profile, reference_schedules = profile_corpus_cached(corpus, homogeneous)
+    units = calibrate(
+        profile, reference_setting, options.breakdown, machine.n_clusters
+    )
+    weights = PartitionEnergyWeights(
+        e_ins_unit=units.e_ins_unit,
+        e_comm=units.e_comm,
+        static_rate_per_cluster=units.static_rate_per_cluster,
+        static_rate_icn=units.static_rate_icn,
+    )
+    profile, reference_schedules = profile_corpus_cached(
+        corpus, homogeneous, weights=weights
+    )
+    units = calibrate(
+        profile, reference_setting, options.breakdown, machine.n_clusters
+    )
+    weights = PartitionEnergyWeights(
+        e_ins_unit=units.e_ins_unit,
+        e_comm=units.e_comm,
+        static_rate_per_cluster=units.static_rate_per_cluster,
+        static_rate_icn=units.static_rate_icn,
+    )
+    model = EnergyModel(units, technology)
+    meter = PowerMeter(model)
+
+    # --- baseline: optimum homogeneous (section 5.1) -----------------
+    baseline = optimum_homogeneous(
+        profile, machine, technology, units, options.design_space
+    )
+    reference_point = homogeneous.reference_point()
+    reference_measured = _measure_homogeneous(
+        corpus, reference_schedules, meter, reference_point,
+        reference_setting.cycle_time,
+    )
+    baseline_measured = _measure_homogeneous(
+        corpus, reference_schedules, meter, baseline.point,
+        reference_setting.cycle_time,
+    )
+
+    # --- heterogeneous: select, schedule, simulate, meter -------------
+    selector = ConfigurationSelector(machine, technology, options.design_space)
+    selection = selector.select(profile, units)
+    scheduler = HeterogeneousModuloScheduler(machine, options.scheduler)
+    measurements = []
+    for loop in corpus.loops:
+        schedule = scheduler.schedule(loop, selection.point, weights=weights)
+        measurements.append(
+            meter.measure_loop(
+                schedule,
+                selection.point,
+                iterations=loop.trip_count,
+                invocations=loop.weight,
+                simulate=options.simulate,
+            )
+        )
+    heterogeneous_measured = meter.measure_program(measurements)
+
+    return BenchmarkEvaluation(
+        benchmark=corpus.benchmark,
+        profile=profile,
+        units=units,
+        baseline_selection=baseline,
+        heterogeneous_selection=selection,
+        reference_measured=reference_measured,
+        baseline_measured=baseline_measured,
+        heterogeneous_measured=heterogeneous_measured,
+    )
+
+
+def profile_corpus_cached(
+    corpus: Corpus, scheduler: HomogeneousModuloScheduler, weights=None
+):
+    """Indirection point for tests/benches to cache profiling runs."""
+    from repro.pipeline.profiling import profile_corpus
+
+    return profile_corpus(corpus, scheduler, weights=weights)
+
+
+def evaluate_suite(
+    corpora: Sequence[Corpus], options: Optional[ExperimentOptions] = None
+) -> SuiteResult:
+    """Evaluate several benchmarks under one option set."""
+    return SuiteResult(
+        evaluations=[evaluate_corpus(corpus, options) for corpus in corpora]
+    )

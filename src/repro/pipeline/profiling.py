@@ -1,0 +1,93 @@
+"""Profiling runs on the reference homogeneous machine (section 3).
+
+The configuration models consume, per loop: recMII/resMII, the achieved
+homogeneous II and iteration length, instruction/communication/memory
+counts, register lifetime totals, and the dynamic loop statistics (trip
+count, entry count).  All of it comes from scheduling each loop once on
+the reference point — exactly the paper's profiling pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.analysis import find_recurrences, rec_mii, res_mii
+from repro.ir.loop import Loop
+from repro.machine.fu import fu_for
+from repro.machine.machine import MachineDescription
+from repro.power.profile import LoopProfile, ProgramProfile
+from repro.scheduler.homogeneous import HomogeneousModuloScheduler
+from repro.scheduler.schedule import Schedule
+from repro.units import ceil_div
+from repro.workloads.corpus import Corpus
+
+
+def profile_loop(
+    loop: Loop, schedule: Schedule, machine: MachineDescription
+) -> LoopProfile:
+    """Extract the section 3 profile quantities from one schedule."""
+    ddg = loop.ddg
+    isa = machine.isa
+    reference_ct = schedule.cluster_cycle_time(0)
+
+    recurrences = find_recurrences(ddg, isa)
+    total_units = sum(isa.energy(op.opclass) for op in ddg.operations)
+    critical_fraction = 0.0
+    boundary_edges = 0
+    if recurrences and total_units > 0:
+        top_ratio = recurrences[0].ratio
+        critical_ops = {
+            op
+            for recurrence in recurrences
+            if recurrence.ratio >= top_ratio
+            for op in recurrence.operations
+        }
+        critical_fraction = (
+            sum(isa.energy(op.opclass) for op in critical_ops) / total_units
+        )
+        boundary_edges = sum(
+            1
+            for dep in ddg.dependences
+            if dep.carries_value and (dep.src in critical_ops) != (dep.dst in critical_ops)
+        )
+
+    return LoopProfile(
+        name=loop.name,
+        rec_mii=rec_mii(ddg, isa),
+        res_mii=res_mii(ddg, fu_for, machine.fu_totals()),
+        ii_homogeneous=schedule.cluster_assignment(0).ii,
+        cycles_per_iteration=ceil_div(schedule.it_length, reference_ct),
+        class_counts=dict(ddg.class_counts()),
+        energy_units_per_iteration=sum(
+            isa.energy(op.opclass) for op in ddg.operations
+        ),
+        comms_per_iteration=schedule.comms_per_iteration,
+        mem_accesses_per_iteration=schedule.mem_accesses_per_iteration,
+        lifetime_cycles_per_iteration=schedule.sum_lifetimes(),
+        trip_count=loop.trip_count,
+        weight=loop.weight,
+        critical_energy_fraction=critical_fraction,
+        critical_boundary_edges=boundary_edges,
+    )
+
+
+def profile_corpus(
+    corpus: Corpus,
+    scheduler: HomogeneousModuloScheduler,
+    weights=None,
+) -> Tuple[ProgramProfile, Dict[str, Schedule]]:
+    """Schedule every loop on the reference point; return the profile and
+    the reference schedules (reused for baseline measurement).
+
+    ``weights`` (partition energy weights) let a second profiling pass
+    re-schedule with the calibrated economics — see
+    :func:`repro.pipeline.experiment.evaluate_corpus`.
+    """
+    reference = scheduler.reference_point()
+    profiles = []
+    schedules: Dict[str, Schedule] = {}
+    for loop in corpus.loops:
+        schedule = scheduler.schedule(loop, reference, weights=weights)
+        schedules[loop.name] = schedule
+        profiles.append(profile_loop(loop, schedule, scheduler.machine))
+    return ProgramProfile(name=corpus.benchmark, loops=profiles), schedules

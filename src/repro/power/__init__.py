@@ -1,0 +1,46 @@
+"""Compile-time power/performance models (paper section 3).
+
+* :mod:`~repro.power.technology` — the alpha-power law linking voltage and
+  maximum frequency, with the metastability/variation margins on Vth,
+* :mod:`~repro.power.scaling` — the delta (dynamic) and sigma (static)
+  energy scaling factors of sections 3.1.1/3.1.2,
+* :mod:`~repro.power.breakdown` — baseline energy-share assumptions
+  (the Figure 8/9 knobs),
+* :mod:`~repro.power.profile` — per-loop profile data collected on the
+  reference homogeneous machine,
+* :mod:`~repro.power.calibration` — solving the unit energies from the
+  breakdown and the profiled event counts,
+* :mod:`~repro.power.energy` — the section 3.1.3 heterogeneous energy
+  estimate,
+* :mod:`~repro.power.time_model` — the section 3.2 execution-time
+  estimate,
+* :mod:`~repro.power.metrics` — ED^2 and friends.
+"""
+
+from repro.power.technology import TechnologyModel
+from repro.power.scaling import dynamic_scale, static_scale
+from repro.power.breakdown import EnergyBreakdown
+from repro.power.profile import LoopProfile, ProgramProfile
+from repro.power.calibration import CalibratedUnits, calibrate
+from repro.power.energy import EnergyModel, EnergyEstimate, EventCounts
+from repro.power.time_model import TimeModel, LoopTimeEstimate
+from repro.power.metrics import ed2, edp, energy_delay_product
+
+__all__ = [
+    "TechnologyModel",
+    "dynamic_scale",
+    "static_scale",
+    "EnergyBreakdown",
+    "LoopProfile",
+    "ProgramProfile",
+    "CalibratedUnits",
+    "calibrate",
+    "EnergyModel",
+    "EnergyEstimate",
+    "EventCounts",
+    "TimeModel",
+    "LoopTimeEstimate",
+    "ed2",
+    "edp",
+    "energy_delay_product",
+]

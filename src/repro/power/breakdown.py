@@ -1,0 +1,78 @@
+"""Baseline energy-share assumptions (the Figure 8 and Figure 9 knobs).
+
+For the reference homogeneous machine the paper assumes: one third of all
+energy goes to the memory hierarchy and 10% to the interconnect; leakage
+accounts for one third of the clusters' energy, two thirds of the cache's
+and 10% of the interconnect's.  The sensitivity studies (Figures 8 and 9)
+sweep these shares; :class:`EnergyBreakdown` carries them explicitly so a
+sweep is just a different instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Fractions describing where the reference machine's energy goes."""
+
+    #: Fraction of total energy consumed by the interconnect.
+    icn_share: float = 0.10
+    #: Fraction of total energy consumed by the memory hierarchy.
+    cache_share: float = 1.0 / 3.0
+    #: Fraction of *cluster* energy that is leakage.
+    cluster_leakage: float = 1.0 / 3.0
+    #: Fraction of *interconnect* energy that is leakage.
+    icn_leakage: float = 0.10
+    #: Fraction of *cache* energy that is leakage.
+    cache_leakage: float = 2.0 / 3.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("icn_share", self.icn_share),
+            ("cache_share", self.cache_share),
+            ("cluster_leakage", self.cluster_leakage),
+            ("icn_leakage", self.icn_leakage),
+            ("cache_leakage", self.cache_leakage),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise CalibrationError(f"{label} must be in [0, 1], got {value}")
+        if self.icn_share + self.cache_share >= 1.0:
+            raise CalibrationError(
+                "ICN and cache shares must leave a positive cluster share"
+            )
+
+    @property
+    def cluster_share(self) -> float:
+        """Fraction of total energy consumed by the clusters."""
+        return 1.0 - self.icn_share - self.cache_share
+
+    @classmethod
+    def paper_baseline(cls) -> "EnergyBreakdown":
+        """The assumptions of the paper's section 5 baseline."""
+        return cls()
+
+    def with_shares(self, icn_share: float, cache_share: float) -> "EnergyBreakdown":
+        """Copy with different component shares (the Figure 8 sweep)."""
+        return EnergyBreakdown(
+            icn_share=icn_share,
+            cache_share=cache_share,
+            cluster_leakage=self.cluster_leakage,
+            icn_leakage=self.icn_leakage,
+            cache_leakage=self.cache_leakage,
+        )
+
+    def with_leakage(
+        self, cluster: float, icn: float, cache: float
+    ) -> "EnergyBreakdown":
+        """Copy with different leakage fractions (the Figure 9 sweep)."""
+        return EnergyBreakdown(
+            icn_share=self.icn_share,
+            cache_share=self.cache_share,
+            cluster_leakage=cluster,
+            icn_leakage=icn,
+            cache_leakage=cache,
+        )

@@ -1,0 +1,33 @@
+"""Figure-of-merit helpers.
+
+The paper compares designs by the energy-delay-squared product ED^2: it
+rewards performance quadratically, so a design cannot "win" simply by
+running arbitrarily slowly at a low voltage.
+"""
+
+from __future__ import annotations
+
+
+def ed2(energy: float, time: float) -> float:
+    """Energy-delay-squared product (the paper's figure of merit)."""
+    if energy < 0 or time < 0:
+        raise ValueError("energy and time must be non-negative")
+    return energy * time * time
+
+
+def edp(energy: float, time: float) -> float:
+    """Energy-delay product."""
+    if energy < 0 or time < 0:
+        raise ValueError("energy and time must be non-negative")
+    return energy * time
+
+
+#: Alias: some of the literature calls EDP the energy-delay product.
+energy_delay_product = edp
+
+
+def relative(value: float, baseline: float) -> float:
+    """``value / baseline`` with a positive-baseline guard."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return value / baseline

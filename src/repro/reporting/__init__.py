@@ -1,0 +1,21 @@
+"""ASCII reporting: tables, bar charts, and paper-expected values."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.figures import bar_chart
+from repro.reporting.schedule_view import render_kernel
+from repro.reporting.paper import (
+    PAPER_FIGURE6_ED2,
+    PAPER_FIGURE7_DEGRADATION,
+    PAPER_TABLE2_SHARES,
+    comparison_rows,
+)
+
+__all__ = [
+    "render_table",
+    "bar_chart",
+    "render_kernel",
+    "PAPER_FIGURE6_ED2",
+    "PAPER_FIGURE7_DEGRADATION",
+    "PAPER_TABLE2_SHARES",
+    "comparison_rows",
+]

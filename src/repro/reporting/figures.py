@@ -1,0 +1,35 @@
+"""Plain-text bar charts (the paper's figures are all bar charts)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    maximum: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render labelled horizontal bars.
+
+    ``maximum`` fixes the full-scale value (defaults to the data maximum)
+    so charts across configurations stay comparable.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    scale_max = maximum if maximum is not None else max(values.values())
+    if scale_max <= 0:
+        raise ValueError("bar chart maximum must be positive")
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(min(value, scale_max) / scale_max * width))
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} {fmt.format(value)}"
+        )
+    return "\n".join(lines)

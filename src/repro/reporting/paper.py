@@ -1,0 +1,66 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Figure values are read off the published bar charts, so they carry
+roughly +/-0.02 of chart-reading error; Table 2 is printed exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: Figure 6 (1-bus machine): heterogeneous ED^2 normalised to the optimum
+#: homogeneous configuration, as read from the published chart.
+PAPER_FIGURE6_ED2: Dict[str, float] = {
+    "168.wupwise": 0.95,
+    "171.swim": 0.90,
+    "172.mgrid": 0.90,
+    "173.applu": 0.95,
+    "178.galgel": 0.88,
+    "187.facerec": 0.70,
+    "189.lucas": 0.77,
+    "191.fma3d": 0.85,
+    "200.sixtrack": 0.64,
+    "301.apsi": 0.85,
+    "mean": 0.85,
+}
+
+#: Table 2: % of execution time in (resource, balanced, recurrence)
+#: constrained loops, exactly as printed.
+PAPER_TABLE2_SHARES: Dict[str, Tuple[float, float, float]] = {
+    "168.wupwise": (0.1404, 0.6876, 0.1720),
+    "171.swim": (1.0, 0.0, 0.0),
+    "172.mgrid": (0.9554, 0.0, 0.0446),
+    "173.applu": (0.3194, 0.0617, 0.6189),
+    "178.galgel": (0.3327, 0.0918, 0.5755),
+    "187.facerec": (0.1659, 0.0, 0.8341),
+    "189.lucas": (0.3213, 0.0002, 0.6785),
+    "191.fma3d": (0.1522, 0.0296, 0.8182),
+    "200.sixtrack": (0.0008, 0.0, 0.9992),
+    "301.apsi": (0.1550, 0.0337, 0.8113),
+}
+
+#: Figure 7: ED^2 degradation (relative to an unconstrained palette) when
+#: only N frequencies are supported, as described in section 5.3.
+PAPER_FIGURE7_DEGRADATION: Dict[str, float] = {
+    "any": 0.0,
+    "16": 0.001,  # "differences are under 0.1%"
+    "8": 0.01,  # "degradation is smaller than 1%"
+    "4": 0.02,  # "the degradation grows to 2%"
+}
+
+
+def comparison_rows(
+    measured: Mapping[str, float],
+    expected: Mapping[str, float],
+    value_name: str = "ED^2 ratio",
+) -> List[Sequence[object]]:
+    """Rows (key, measured, paper, delta) for :func:`render_table`."""
+    rows: List[Sequence[object]] = []
+    for key, paper_value in expected.items():
+        if key not in measured:
+            continue
+        mine = measured[key]
+        rows.append(
+            (key, f"{mine:.3f}", f"{paper_value:.3f}", f"{mine - paper_value:+.3f}")
+        )
+    return rows

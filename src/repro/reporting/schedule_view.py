@@ -1,0 +1,93 @@
+"""Kernel visualisation: render a modulo schedule as text.
+
+Shows the kernel's modulo reservation view per cluster (one row per
+local cycle, one column per function unit, stage numbers marked) plus
+the bus table — the representation compiler engineers actually debug
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.machine.fu import FUType, fu_for
+from repro.scheduler.schedule import Schedule
+
+
+def _cluster_grid(schedule: Schedule, cluster: int) -> List[List[str]]:
+    assignment = schedule.cluster_assignment(cluster)
+    config = schedule.machine.cluster(cluster)
+    ii = assignment.ii
+    columns: List[Tuple[FUType, int]] = []
+    for fu in (FUType.INT, FUType.FP, FUType.MEM):
+        for unit in range(config.fu_count(fu)):
+            columns.append((fu, unit))
+    grid = [["." for _ in columns] for _ in range(ii)]
+    used: Dict[Tuple[int, FUType], int] = {}
+    for op, placed in sorted(
+        schedule.placements.items(), key=lambda kv: (kv[1].cycle, kv[0].name)
+    ):
+        if placed.cluster != cluster:
+            continue
+        fu = fu_for(op.opclass)
+        if fu is None:
+            continue
+        row = placed.cycle % ii
+        slot = used.get((row, fu), 0)
+        used[(row, fu)] = slot + 1
+        column = next(
+            index
+            for index, (kind, unit) in enumerate(columns)
+            if kind is fu and unit == slot
+        )
+        stage = placed.cycle // ii
+        grid[row][column] = f"{op.name}@s{stage}"
+    return grid
+
+
+def render_kernel(schedule: Schedule) -> str:
+    """A text view of the whole kernel, cluster by cluster.
+
+    Cells read ``name@sK``: the operation issues in that modulo row, K
+    software-pipeline stages after the iteration starts.
+    """
+    lines: List[str] = [
+        f"kernel of {schedule.ddg.name!r}: IT = {schedule.it} ns, "
+        f"SC = {schedule.stage_count}, comms/iter = {schedule.comms_per_iteration}"
+    ]
+    for cluster in range(schedule.machine.n_clusters):
+        assignment = schedule.cluster_assignment(cluster)
+        if not assignment.usable:
+            lines.append(f"cluster {cluster}: gated")
+            continue
+        config = schedule.machine.cluster(cluster)
+        header = (
+            ["INT"] * config.n_int + ["FP"] * config.n_fp + ["MEM"] * config.n_mem
+        )
+        grid = _cluster_grid(schedule, cluster)
+        width = max(
+            [len(cell) for row in grid for cell in row] + [len(h) for h in header]
+        )
+        lines.append(
+            f"cluster {cluster}: f = {assignment.frequency} GHz, II = {assignment.ii}"
+        )
+        lines.append(
+            "  cyc | " + " | ".join(h.ljust(width) for h in header)
+        )
+        for row_index, row in enumerate(grid):
+            lines.append(
+                f"  {row_index:3d} | " + " | ".join(cell.ljust(width) for cell in row)
+            )
+    if schedule.copies:
+        icn = schedule.icn_assignment
+        lines.append(
+            f"bus (f = {icn.frequency} GHz, II = {icn.ii}):"
+        )
+        for dep, copy in sorted(
+            schedule.copies.items(), key=lambda kv: kv[1].bus_cycle
+        ):
+            lines.append(
+                f"  cycle {copy.bus_cycle % icn.ii} (stage "
+                f"{copy.bus_cycle // icn.ii}): {dep.src.name} -> {dep.dst.name}"
+            )
+    return "\n".join(lines)

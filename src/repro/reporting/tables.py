@@ -1,0 +1,54 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Cells are stringified; columns are sized to their widest entry;
+    numeric-looking cells are right-aligned.
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        try:
+            float(text.rstrip("%x"))
+            return True
+        except ValueError:
+            return False
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in materialised:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Modulo scheduling for heterogeneous clustered VLIW machines (section 4).
+
+The pipeline follows Figure 5 of the paper::
+
+    compute MIT -> IT := MIT -> select (freq, II) per domain
+        -> partition DDG -> schedule -> (on failure: increase IT, retry)
+
+* :mod:`~repro.scheduler.mii` — recMIT / resMIT / MIT and the Figure 4
+  capacity table,
+* :mod:`~repro.scheduler.ii_selection` — per-domain (frequency, II)
+  selection under a frequency palette, and the IT candidate stream,
+* :mod:`~repro.scheduler.partition` — multilevel graph partitioning with
+  recurrence pre-placement and ED^2-driven refinement,
+* :mod:`~repro.scheduler.pseudo` — the pseudo-schedule estimator,
+* :mod:`~repro.scheduler.kernel` — the iterative modulo-scheduling engine
+  (placement, eviction, copy insertion, synchronisation penalties),
+* :mod:`~repro.scheduler.heterogeneous` — the Figure 5 driver,
+* :mod:`~repro.scheduler.homogeneous` — the homogeneous baseline wrapper.
+"""
+
+from repro.scheduler.options import SchedulerOptions
+from repro.scheduler.schedule import DomainAssignment, PlacedCopy, PlacedOp, Schedule
+from repro.scheduler.mii import capacity_table, minimum_initiation_time, rec_mit, res_mit
+from repro.scheduler.ii_selection import iter_it_candidates, select_assignments
+from repro.scheduler.partition import Partition
+from repro.scheduler.heterogeneous import HeterogeneousModuloScheduler
+from repro.scheduler.homogeneous import HomogeneousModuloScheduler
+
+__all__ = [
+    "SchedulerOptions",
+    "DomainAssignment",
+    "PlacedCopy",
+    "PlacedOp",
+    "Schedule",
+    "capacity_table",
+    "minimum_initiation_time",
+    "rec_mit",
+    "res_mit",
+    "iter_it_candidates",
+    "select_assignments",
+    "Partition",
+    "HeterogeneousModuloScheduler",
+    "HomogeneousModuloScheduler",
+]

@@ -1,0 +1,144 @@
+"""Shared state for one scheduling attempt (one loop at one IT).
+
+The partitioner, the pseudo-scheduler and the kernel all need the same
+bundle: the DDG and its cached analyses, the machine, the operating
+point, the per-domain (frequency, II) assignments and the IT.  Building
+it once per attempt keeps the recurrence enumeration and topological
+order from being recomputed in the refinement inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.analysis import (
+    Recurrence,
+    edge_delay,
+    find_recurrences,
+    operation_heights,
+)
+from repro.ir.ddg import DDG
+from repro.ir.operation import Operation
+from repro.machine.machine import MachineDescription
+from repro.machine.operating_point import OperatingPoint
+from repro.scheduler.options import SchedulerOptions
+from repro.scheduler.schedule import DomainAssignment
+from repro.machine.clocking import ICN_DOMAIN, cluster_domain
+from repro.power.scaling import dynamic_scale, static_scale
+
+
+@dataclass(frozen=True)
+class PartitionEnergyWeights:
+    """Relative energy weights guiding ED^2-driven refinement.
+
+    When the pipeline has calibrated unit energies it passes them here;
+    stand-alone scheduling uses defaults that preserve the paper's
+    baseline proportions (communication comparable to an instruction,
+    leakage a third of cluster energy).
+    """
+
+    e_ins_unit: float = 1.0
+    e_comm: float = 1.0
+    static_rate_per_cluster: float = 0.0
+    static_rate_icn: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.e_ins_unit < 0 or self.e_comm < 0:
+            raise ValueError("energy weights must be non-negative")
+
+
+class SchedulingContext:
+    """Everything one scheduling attempt needs, with cached analyses."""
+
+    def __init__(
+        self,
+        ddg: DDG,
+        machine: MachineDescription,
+        point: OperatingPoint,
+        assignments: Mapping[str, DomainAssignment],
+        it: Fraction,
+        options: SchedulerOptions,
+        trip_count: float = 100.0,
+        weights: Optional[PartitionEnergyWeights] = None,
+    ):
+        self.ddg = ddg
+        self.machine = machine
+        self.point = point
+        self.assignments = dict(assignments)
+        self.it = Fraction(it)
+        self.options = options
+        self.trip_count = trip_count
+        self.weights = weights if weights is not None else PartitionEnergyWeights()
+
+        self.isa = machine.isa
+        order = ddg.topological_order(intra_iteration_only=True)
+        if order is None:
+            raise ValueError(f"DDG {ddg.name!r} has a zero-distance cycle")
+        self.topo_order: List[Operation] = order
+        self.heights: Dict[Operation, int] = operation_heights(ddg, self.isa)
+        self.recurrences: List[Recurrence] = find_recurrences(ddg, self.isa)
+        self.recurrence_ops = {
+            op for recurrence in self.recurrences for op in recurrence.operations
+        }
+
+        # Per-cluster running cycle times (None when gated).
+        self.cluster_cycle_times: List[Optional[Fraction]] = []
+        self.cluster_iis: List[int] = []
+        for index in range(machine.n_clusters):
+            assignment = self.assignments[cluster_domain(index)]
+            self.cluster_iis.append(assignment.ii)
+            self.cluster_cycle_times.append(
+                assignment.cycle_time if assignment.usable else None
+            )
+        icn = self.assignments[ICN_DOMAIN]
+        self.icn_ii: int = icn.ii
+        self.icn_cycle_time: Optional[Fraction] = (
+            icn.cycle_time if icn.usable else None
+        )
+
+        # Energy scaling factors for the refinement metric.
+        reference = point.clusters[0]
+        # Scale relative to the *fastest* cluster's setting so the metric
+        # rewards moving work to cheaper clusters.
+        fastest = min(point.clusters, key=lambda s: s.cycle_time)
+        self.cluster_deltas: Tuple[float, ...] = tuple(
+            dynamic_scale(s, fastest) for s in point.clusters
+        )
+        self.cluster_sigmas: Tuple[float, ...] = tuple(
+            static_scale(s, fastest) for s in point.clusters
+        )
+        self.icn_delta: float = dynamic_scale(point.icn, fastest)
+        self.icn_sigma: float = static_scale(point.icn, fastest)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        """Cluster count of the machine."""
+        return self.machine.n_clusters
+
+    def usable_clusters(self) -> List[int]:
+        """Indices of clusters with II >= 1 at this IT."""
+        return [i for i, ii in enumerate(self.cluster_iis) if ii >= 1]
+
+    def delay(self, dep) -> int:
+        """Edge delay in producer-clock cycles."""
+        return edge_delay(dep, self.isa)
+
+    def sync_penalty(self, from_ct: Fraction, to_ct: Fraction) -> Fraction:
+        """One receiving-domain cycle on a frequency-crossing (or zero)."""
+        if self.options.sync_penalties and from_ct != to_ct:
+            return Fraction(to_ct)
+        return Fraction(0)
+
+    def cluster_capacity_ok(self, demand_by_fu: Mapping, cluster: int) -> bool:
+        """True when per-FU demand fits ``II_c * units`` on ``cluster``."""
+        ii = self.cluster_iis[cluster]
+        if ii < 1:
+            return not any(demand_by_fu.values())
+        config = self.machine.cluster(cluster)
+        return all(
+            needed <= ii * config.fu_count(fu)
+            for fu, needed in demand_by_fu.items()
+        )

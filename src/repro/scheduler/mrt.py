@@ -1,0 +1,103 @@
+"""Modulo reservation tables.
+
+One table per cluster (rows = that cluster's II, columns = its FU
+instances) and one for the register buses (rows = the interconnect's II,
+capacity = bus count).  Slots remember their occupant so the kernel can
+evict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.machine.cluster import ClusterConfig
+from repro.machine.fu import FUType
+
+
+class ModuloReservationTable:
+    """A modulo reservation table with named resource kinds.
+
+    ``capacities`` maps each resource kind to the number of instances
+    available per row.  Reservations are keyed by ``(cycle % ii, kind)``
+    and store the occupying token (an operation or a copy).
+    """
+
+    def __init__(self, ii: int, capacities: Dict[Hashable, int]):
+        if ii < 1:
+            raise SchedulingError(f"reservation table needs II >= 1, got {ii}")
+        self._ii = ii
+        self._capacities = dict(capacities)
+        self._slots: Dict[Tuple[int, Hashable], List[object]] = {}
+
+    @property
+    def ii(self) -> int:
+        """Number of rows."""
+        return self._ii
+
+    def capacity(self, kind: Hashable) -> int:
+        """Instances of ``kind`` available per row."""
+        return self._capacities.get(kind, 0)
+
+    def occupancy(self, cycle: int, kind: Hashable) -> int:
+        """Tokens currently holding ``kind`` at this row."""
+        return len(self._slots.get((cycle % self._ii, kind), ()))
+
+    def is_free(self, cycle: int, kind: Hashable) -> bool:
+        """True when a reservation at this (cycle, kind) would succeed."""
+        return self.occupancy(cycle, kind) < self.capacity(kind)
+
+    def occupants(self, cycle: int, kind: Hashable) -> Tuple[object, ...]:
+        """Tokens occupying the row (for eviction decisions)."""
+        return tuple(self._slots.get((cycle % self._ii, kind), ()))
+
+    def reserve(self, cycle: int, kind: Hashable, token: object) -> None:
+        """Take one instance; raises when the row is full."""
+        if not self.is_free(cycle, kind):
+            raise SchedulingError(
+                f"no free {kind} slot at modulo cycle {cycle % self._ii}"
+            )
+        self._slots.setdefault((cycle % self._ii, kind), []).append(token)
+
+    def release(self, cycle: int, kind: Hashable, token: object) -> None:
+        """Return the instance held by ``token``; raises when absent."""
+        key = (cycle % self._ii, kind)
+        occupants = self._slots.get(key, [])
+        for index, occupant in enumerate(occupants):
+            if occupant is token:
+                del occupants[index]
+                return
+        raise SchedulingError(f"token {token!r} holds no {kind} slot at {key}")
+
+    def force_reserve(self, cycle: int, kind: Hashable, token: object) -> Tuple[object, ...]:
+        """Evict every occupant of the row, reserve it for ``token``.
+
+        Returns the evicted tokens (callers must un-place them).
+        """
+        if self.capacity(kind) < 1:
+            raise SchedulingError(f"resource kind {kind} has no instances")
+        key = (cycle % self._ii, kind)
+        evicted = tuple(self._slots.get(key, ()))
+        self._slots[key] = [token]
+        return evicted
+
+
+def cluster_mrt(cluster: ClusterConfig, ii: int) -> ModuloReservationTable:
+    """Reservation table of one cluster (kinds = FU types)."""
+    return ModuloReservationTable(
+        ii,
+        {
+            FUType.INT: cluster.n_int,
+            FUType.FP: cluster.n_fp,
+            FUType.MEM: cluster.n_mem,
+        },
+    )
+
+
+#: Resource-kind token for bus slots.
+BUS = "bus"
+
+
+def bus_mrt(n_buses: int, ii: int) -> ModuloReservationTable:
+    """Reservation table of the register buses."""
+    return ModuloReservationTable(ii, {BUS: n_buses})

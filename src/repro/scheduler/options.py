@@ -1,0 +1,42 @@
+"""Scheduler tuning knobs (including the ablation switches)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.clocking import FrequencyPalette
+
+
+@dataclass(frozen=True)
+class SchedulerOptions:
+    """Everything configurable about the modulo scheduler.
+
+    The defaults reproduce the paper's algorithm; the boolean switches
+    exist for the ablation benches (DESIGN.md section 6).
+    """
+
+    #: Supported frequencies per domain (Figure 7's knob).
+    palette: FrequencyPalette = field(default_factory=FrequencyPalette.any_frequency)
+    #: Model the one-cycle synchronisation-queue penalty on crossings
+    #: between domains of different frequency (section 2.1).
+    sync_penalties: bool = True
+    #: Enforce per-cluster MaxLive <= registers.
+    check_register_pressure: bool = True
+    #: Placement budget: the kernel may perform ``budget_ratio * |ops|``
+    #: placements (evictions re-queue ops) before giving up on this IT.
+    budget_ratio: int = 10
+    #: How many IT candidates to try before declaring the loop
+    #: unschedulable.
+    max_it_candidates: int = 600
+    #: Pre-place critical recurrences in the slowest feasible cluster
+    #: (section 4.1.1).  Disabling is an ablation.
+    preplace_recurrences: bool = True
+    #: Run the ED^2-driven refinement (section 4.1.2).  Disabling leaves
+    #: only the balance heuristic.
+    ed2_refinement: bool = True
+    #: Maximum refinement passes per level.
+    refinement_passes: int = 2
+    #: Scan window (in multiples of II) the pseudo-scheduler searches for
+    #: a free slot before declaring overflow.
+    pseudo_window: int = 4

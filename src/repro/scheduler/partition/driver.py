@@ -1,0 +1,34 @@
+"""Partitioning driver: pre-place, coarsen, seed, refine."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.operation import Operation
+from repro.scheduler.context import SchedulingContext
+from repro.scheduler.partition.coarsen import (
+    coarsen,
+    initial_partition,
+    preplace_recurrences,
+)
+from repro.scheduler.partition.partition import Partition
+from repro.scheduler.partition.refine import refine
+
+
+def build_partition(ctx: SchedulingContext) -> Partition:
+    """Produce a cluster assignment for the context's loop and IT.
+
+    Raises :class:`repro.errors.PartitionError` when recurrence
+    pre-placement is impossible at this IT; the scheduling driver reacts
+    by increasing the IT.
+    """
+    if ctx.n_clusters == 1:
+        return Partition(
+            ctx.ddg, 1, {op: 0 for op in ctx.ddg.operations}
+        )
+    pins: Dict[Operation, int] = {}
+    if ctx.options.preplace_recurrences:
+        pins = preplace_recurrences(ctx)
+    coarsening = coarsen(ctx, pins)
+    partition = initial_partition(ctx, coarsening)
+    return refine(ctx, partition, coarsening)

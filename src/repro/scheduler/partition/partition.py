@@ -1,0 +1,104 @@
+"""The partition data structure: operation -> cluster."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import PartitionError
+from repro.ir.ddg import DDG
+from repro.ir.dependence import Dependence
+from repro.ir.operation import Operation
+from repro.machine.fu import FUType, fu_for
+
+
+class Partition:
+    """An assignment of every DDG operation to a cluster index."""
+
+    def __init__(self, ddg: DDG, n_clusters: int, assignment: Mapping[Operation, int]):
+        if n_clusters < 1:
+            raise PartitionError("partitions need at least one cluster")
+        for op in ddg.operations:
+            if op not in assignment:
+                raise PartitionError(f"operation {op.name} has no cluster")
+            cluster = assignment[op]
+            if not 0 <= cluster < n_clusters:
+                raise PartitionError(
+                    f"operation {op.name} assigned to invalid cluster {cluster}"
+                )
+        self.ddg = ddg
+        self.n_clusters = n_clusters
+        self._assignment: Dict[Operation, int] = dict(assignment)
+
+    # ------------------------------------------------------------------
+    def cluster_of(self, op: Operation) -> int:
+        """Cluster hosting ``op``."""
+        return self._assignment[op]
+
+    def ops_in(self, cluster: int) -> Tuple[Operation, ...]:
+        """Operations hosted by ``cluster`` (DDG order)."""
+        return tuple(
+            op for op in self.ddg.operations if self._assignment[op] == cluster
+        )
+
+    def move(self, op: Operation, cluster: int) -> None:
+        """Reassign one operation in place."""
+        if not 0 <= cluster < self.n_clusters:
+            raise PartitionError(f"invalid cluster {cluster}")
+        self._assignment[op] = cluster
+
+    def moved(self, ops: Iterable[Operation], cluster: int) -> "Partition":
+        """A copy with the given ops reassigned."""
+        assignment = dict(self._assignment)
+        for op in ops:
+            assignment[op] = cluster
+        return Partition(self.ddg, self.n_clusters, assignment)
+
+    def copy(self) -> "Partition":
+        """An independent copy."""
+        return Partition(self.ddg, self.n_clusters, self._assignment)
+
+    def as_dict(self) -> Dict[Operation, int]:
+        """The underlying mapping (copied)."""
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------------
+    def fu_demand(self, cluster: int) -> Dict[FUType, int]:
+        """Per-FU-type demand of one cluster."""
+        demand: Dict[FUType, int] = {fu: 0 for fu in FUType}
+        for op in self.ddg.operations:
+            if self._assignment[op] != cluster:
+                continue
+            fu = fu_for(op.opclass)
+            if fu is not None:
+                demand[fu] += 1
+        return demand
+
+    def cross_value_edges(self) -> List[Dependence]:
+        """Value edges whose endpoints live in different clusters.
+
+        Each needs one copy operation and one bus transfer per iteration.
+        """
+        return [
+            dep
+            for dep in self.ddg.dependences
+            if dep.carries_value
+            and self._assignment[dep.src] != self._assignment[dep.dst]
+        ]
+
+    @property
+    def n_comms(self) -> int:
+        """Communications the partition implies per iteration."""
+        return len(self.cross_value_edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return (
+            self.ddg is other.ddg
+            and self.n_clusters == other.n_clusters
+            and self._assignment == other._assignment
+        )
+
+    def __repr__(self) -> str:
+        sizes = [len(self.ops_in(c)) for c in range(self.n_clusters)]
+        return f"Partition({self.ddg.name!r}, sizes={sizes}, comms={self.n_comms})"

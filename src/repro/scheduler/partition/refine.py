@@ -1,0 +1,117 @@
+"""Partition refinement (section 4.1.2).
+
+Two heuristics, applied at every level of the macro hierarchy from
+coarsest to finest:
+
+1. **Balance** — while some cluster's per-FU demand exceeds
+   ``II_c * units``, greedily move the macro whose relocation reduces the
+   total overload the most.
+2. **ED^2 moves** — propose moving each macro to every other usable
+   cluster, score candidates with the pseudo-schedule + section 3.1
+   energy model (:func:`repro.scheduler.pseudo.partition_cost`), and keep
+   the best strictly-improving move; repeat until a pass makes no move.
+
+Moves at a coarse level relocate whole macros; at the finest level
+individual operations move, which is where the paper allows recurrences
+to be split if profitable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.fu import FUType
+from repro.scheduler.context import SchedulingContext
+from repro.scheduler.partition.coarsen import CoarseningResult, Macro
+from repro.scheduler.partition.partition import Partition
+from repro.scheduler.pseudo import partition_cost
+
+
+def _total_overload(ctx: SchedulingContext, partition: Partition) -> int:
+    total = 0
+    for cluster in range(ctx.n_clusters):
+        ii = ctx.cluster_iis[cluster]
+        config = ctx.machine.cluster(cluster)
+        for fu, needed in partition.fu_demand(cluster).items():
+            total += max(0, needed - ii * config.fu_count(fu))
+    return total
+
+
+def _macro_cluster(partition: Partition, macro: Macro) -> int:
+    """Cluster currently hosting the macro (its first op's cluster)."""
+    return partition.cluster_of(macro.ops[0])
+
+
+def balance(
+    ctx: SchedulingContext,
+    partition: Partition,
+    macros: Sequence[Macro],
+) -> Partition:
+    """Greedy overload reduction by whole-macro moves."""
+    usable = ctx.usable_clusters()
+    current = partition
+    overload = _total_overload(ctx, current)
+    while overload > 0:
+        best: Tuple[int, Macro, int] | None = None  # (overload, macro, dst)
+        for macro in macros:
+            source = _macro_cluster(current, macro)
+            for target in usable:
+                if target == source:
+                    continue
+                candidate = current.moved(macro.ops, target)
+                candidate_overload = _total_overload(ctx, candidate)
+                if candidate_overload < overload and (
+                    best is None or candidate_overload < best[0]
+                ):
+                    best = (candidate_overload, macro, target)
+        if best is None:
+            break
+        overload = best[0]
+        current = current.moved(best[1].ops, best[2])
+    return current
+
+
+def ed2_refine(
+    ctx: SchedulingContext,
+    partition: Partition,
+    macros: Sequence[Macro],
+) -> Partition:
+    """Best-improvement ED^2 moves until a pass changes nothing."""
+    usable = ctx.usable_clusters()
+    current = partition
+    current_cost = partition_cost(ctx, current)
+    for _ in range(ctx.options.refinement_passes):
+        moved = False
+        for macro in macros:
+            source = _macro_cluster(current, macro)
+            best_candidate: Partition | None = None
+            best_cost = current_cost
+            for target in usable:
+                if target == source:
+                    continue
+                candidate = current.moved(macro.ops, target)
+                cost = partition_cost(ctx, candidate)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_candidate = candidate
+            if best_candidate is not None:
+                current = best_candidate
+                current_cost = best_cost
+                moved = True
+        if not moved:
+            break
+    return current
+
+
+def refine(
+    ctx: SchedulingContext,
+    partition: Partition,
+    coarsening: CoarseningResult,
+) -> Partition:
+    """Walk the hierarchy coarsest -> finest applying both heuristics."""
+    current = partition
+    for level in reversed(coarsening.levels):
+        current = balance(ctx, current, level)
+        if ctx.options.ed2_refinement:
+            current = ed2_refine(ctx, current, level)
+    return current

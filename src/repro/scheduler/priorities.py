@@ -1,0 +1,39 @@
+"""Scheduling order for the kernel.
+
+Operations on critical recurrences go first (most critical recurrence
+first), then greater height (longest delay-weighted path to a sink),
+then original DDG order for determinism — the classic iterative modulo
+scheduling priority adapted to recurrence criticality.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.ir.operation import Operation
+from repro.scheduler.context import SchedulingContext
+
+
+def priority_key(ctx: SchedulingContext) -> Dict[Operation, Tuple]:
+    """Sort key per operation: smaller sorts earlier (= schedule first)."""
+    ratio: Dict[Operation, Fraction] = {}
+    for recurrence in ctx.recurrences:
+        for op in recurrence.operations:
+            if op not in ratio or recurrence.ratio > ratio[op]:
+                ratio[op] = recurrence.ratio
+    position = {op: index for index, op in enumerate(ctx.ddg.operations)}
+    keys: Dict[Operation, Tuple] = {}
+    for op in ctx.ddg.operations:
+        keys[op] = (
+            -ratio.get(op, Fraction(0)),
+            -ctx.heights[op],
+            position[op],
+        )
+    return keys
+
+
+def scheduling_order(ctx: SchedulingContext) -> List[Operation]:
+    """All operations, most critical first."""
+    keys = priority_key(ctx)
+    return sorted(ctx.ddg.operations, key=lambda op: keys[op])

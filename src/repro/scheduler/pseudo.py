@@ -1,0 +1,230 @@
+"""Pseudo-schedules (the PACT'02 estimator the refinement relies on).
+
+A pseudo-schedule is a fast, approximate schedule of a partitioned loop:
+a single list-scheduling pass (no backtracking) over the intra-iteration
+dependence graph that respects per-cluster modulo resource occupancy and
+bus occupancy, and accounts for communication and synchronisation
+latencies.  It is *not* a legal schedule — loop-carried conflicts are
+summarised by a recurrence-violation term instead of being resolved — but
+it tracks the final schedule's iteration length, communication count and
+feasibility well enough to *compare partitions*, which is all the
+refinement needs.
+
+Floats are used here deliberately: the pseudo-scheduler runs in the
+refinement inner loop, and its output feeds a heuristic comparison, not a
+legality check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.operation import Operation
+from repro.machine.fu import fu_for
+from repro.scheduler.context import SchedulingContext
+from repro.scheduler.partition.partition import Partition
+
+
+@dataclass(frozen=True)
+class PseudoSchedule:
+    """Summary statistics of one pseudo-scheduling pass."""
+
+    #: Estimated iteration length, in ns.
+    it_length: float
+    #: Ops that found no free slot within the scan window (each is a
+    #: strong signal the partition cannot be scheduled at this IT).
+    overflow: int
+    #: Inter-cluster communications per iteration.
+    comms: int
+    #: Total time (ns) by which recurrence circuits exceed their
+    #: ``distance * IT`` budget under this partition.
+    recurrence_violation: float
+    #: Per-cluster Table 1 energy units per iteration.
+    cluster_units: Tuple[float, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """Heuristically schedulable at this IT."""
+        return self.overflow == 0 and self.recurrence_violation <= 0.0
+
+
+def pseudo_schedule(ctx: SchedulingContext, partition: Partition) -> PseudoSchedule:
+    """One list-scheduling pass over the partitioned loop."""
+    machine = ctx.machine
+    isa = ctx.isa
+    it = float(ctx.it)
+    window = ctx.options.pseudo_window
+
+    cluster_ct = [float(t) if t is not None else None for t in ctx.cluster_cycle_times]
+    icn_ct = float(ctx.icn_cycle_time) if ctx.icn_cycle_time is not None else None
+    bus_latency = machine.interconnect.latency
+
+    # Modulo occupancy counters.
+    fu_rows: List[Optional[Dict]] = []
+    for index in range(machine.n_clusters):
+        ii = ctx.cluster_iis[index]
+        fu_rows.append(
+            {fu: [0] * ii for fu in ctx.machine.cluster(index).fu_counts()}
+            if ii >= 1
+            else None
+        )
+    bus_rows = [0] * ctx.icn_ii if ctx.icn_ii >= 1 else None
+
+    issue: Dict[Operation, float] = {}
+    finish: Dict[Operation, float] = {}
+    overflow = 0
+    comms = 0
+
+    def sync(from_ct: float, to_ct: float) -> float:
+        if ctx.options.sync_penalties and from_ct != to_ct:
+            return to_ct
+        return 0.0
+
+    for op in ctx.topo_order:
+        cluster = partition.cluster_of(op)
+        ct = cluster_ct[cluster]
+        if ct is None:
+            # Op assigned to a gated cluster: unschedulable here.
+            overflow += 1
+            issue[op] = 0.0
+            finish[op] = 0.0
+            continue
+        ready = 0.0
+        for dep in ctx.ddg.in_edges(op):
+            if dep.is_loop_carried or dep.src not in finish:
+                continue
+            src_cluster = partition.cluster_of(dep.src)
+            src_ct = cluster_ct[src_cluster]
+            if src_ct is None:
+                continue
+            value_at = issue[dep.src] + ctx.delay(dep) * src_ct
+            if dep.carries_value and src_cluster != cluster:
+                comms += 1
+                if icn_ct is None:
+                    overflow += 1
+                    ready = max(ready, value_at)
+                    continue
+                bus_ready = value_at + sync(src_ct, icn_ct)
+                bus_cycle = math.ceil(bus_ready / icn_ct - 1e-9)
+                placed_bus = False
+                if bus_rows is not None:
+                    limit = bus_cycle + ctx.icn_ii * window
+                    while bus_cycle <= limit:
+                        row = bus_cycle % ctx.icn_ii
+                        if bus_rows[row] < machine.interconnect.n_buses:
+                            bus_rows[row] += 1
+                            placed_bus = True
+                            break
+                        bus_cycle += 1
+                if not placed_bus:
+                    overflow += 1
+                value_at = (bus_cycle + bus_latency) * icn_ct + sync(icn_ct, ct)
+            ready = max(ready, value_at)
+
+        ii = ctx.cluster_iis[cluster]
+        cycle = math.ceil(ready / ct - 1e-9)
+        fu = fu_for(op.opclass)
+        if fu is not None:
+            rows = fu_rows[cluster][fu]
+            capacity = machine.cluster(cluster).fu_count(fu)
+            limit = cycle + ii * window
+            placed = False
+            while cycle <= limit:
+                if rows[cycle % ii] < capacity:
+                    rows[cycle % ii] += 1
+                    placed = True
+                    break
+                cycle += 1
+            if not placed:
+                overflow += 1
+        issue[op] = cycle * ct
+        finish[op] = (cycle + isa.latency(op.opclass)) * ct
+
+    it_length = max(finish.values(), default=0.0)
+
+    # Loop-carried feasibility: each recurrence circuit must close within
+    # distance * IT once per-cluster latencies and copies are counted.
+    violation = 0.0
+    for recurrence in ctx.recurrences:
+        total = 0.0
+        size = len(recurrence.operations)
+        for position, src in enumerate(recurrence.operations):
+            dst = recurrence.operations[(position + 1) % size]
+            src_cluster = partition.cluster_of(src)
+            dst_cluster = partition.cluster_of(dst)
+            src_ct = cluster_ct[src_cluster]
+            if src_ct is None:
+                src_ct = float(
+                    max(t for t in cluster_ct if t is not None)
+                )
+            best_delay: Optional[int] = None
+            carries = False
+            for dep in ctx.ddg.out_edges(src):
+                if dep.dst is dst:
+                    delay = ctx.delay(dep)
+                    if best_delay is None or delay > best_delay:
+                        best_delay = delay
+                        carries = dep.carries_value
+            total += (best_delay or 0) * src_ct
+            if carries and src_cluster != dst_cluster and icn_ct is not None:
+                total += (
+                    sync(src_ct, icn_ct)
+                    + bus_latency * icn_ct
+                    + sync(icn_ct, cluster_ct[dst_cluster] or icn_ct)
+                )
+        budget = recurrence.total_distance * it
+        if total > budget + 1e-9:
+            violation += total - budget
+
+    units = [0.0] * machine.n_clusters
+    for op in ctx.ddg.operations:
+        units[partition.cluster_of(op)] += isa.energy(op.opclass)
+
+    return PseudoSchedule(
+        it_length=it_length,
+        overflow=overflow,
+        comms=comms,
+        recurrence_violation=violation,
+        cluster_units=tuple(units),
+    )
+
+
+def partition_cost(
+    ctx: SchedulingContext, partition: Partition
+) -> Tuple[float, float]:
+    """Lexicographic cost of a partition: (infeasibility, estimated ED^2).
+
+    The first component must be zero for a schedulable partition: it sums
+    capacity overload, pseudo-schedule overflow and recurrence violations.
+    The second applies the section 3.1 energy model (with the context's
+    weights and delta/sigma factors) to the pseudo-schedule and multiplies
+    by the estimated squared execution time.
+    """
+    infeasibility = 0.0
+    for cluster in range(ctx.n_clusters):
+        demand = partition.fu_demand(cluster)
+        ii = ctx.cluster_iis[cluster]
+        config = ctx.machine.cluster(cluster)
+        for fu, needed in demand.items():
+            capacity = ii * config.fu_count(fu)
+            if needed > capacity:
+                infeasibility += needed - capacity
+
+    ps = pseudo_schedule(ctx, partition)
+    infeasibility += ps.overflow
+    infeasibility += ps.recurrence_violation / max(float(ctx.it), 1e-12)
+
+    weights = ctx.weights
+    time_estimate = (ctx.trip_count - 1) * float(ctx.it) + ps.it_length
+    dynamic = weights.e_ins_unit * sum(
+        delta * units for delta, units in zip(ctx.cluster_deltas, ps.cluster_units)
+    )
+    dynamic += ctx.icn_delta * weights.e_comm * ps.comms
+    static = time_estimate * (
+        weights.static_rate_per_cluster * sum(ctx.cluster_sigmas)
+        + weights.static_rate_icn * ctx.icn_sigma
+    )
+    energy = dynamic + static
+    return (infeasibility, energy * time_estimate * time_estimate)

@@ -1,0 +1,106 @@
+"""Turning simulated executions into measured energy/ED^2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.machine.operating_point import OperatingPoint
+from repro.power.energy import EnergyEstimate, EnergyModel, EventCounts
+from repro.power.metrics import ed2
+from repro.scheduler.schedule import Schedule
+from repro.sim.executor import LoopExecutor, SimulationResult
+
+
+@dataclass(frozen=True)
+class MeasuredExecution:
+    """Measured energy, time and ED^2 of one (or many) executions."""
+
+    energy: EnergyEstimate
+    exec_time_ns: float
+
+    @property
+    def ed2(self) -> float:
+        """Energy-delay-squared of the measured execution."""
+        return ed2(self.energy.total, self.exec_time_ns)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product."""
+        return self.energy.total * self.exec_time_ns
+
+
+class PowerMeter:
+    """Applies the calibrated energy model to simulator measurements."""
+
+    def __init__(self, model: EnergyModel):
+        self._model = model
+
+    @property
+    def model(self) -> EnergyModel:
+        """The calibrated energy model in use."""
+        return self._model
+
+    # ------------------------------------------------------------------
+    def measure_loop(
+        self,
+        schedule: Schedule,
+        point: OperatingPoint,
+        iterations: float,
+        invocations: float = 1.0,
+        simulate: bool = True,
+    ) -> MeasuredExecution:
+        """Execute one scheduled loop and meter it.
+
+        ``invocations`` scales the result by the number of times the loop
+        is entered (each entry runs ``iterations`` iterations).  With
+        ``simulate=False`` the (already validated) schedule's analytic
+        counts are used without running the event engine — the benches use
+        this for speed after the test suite has established that the two
+        paths agree.
+        """
+        if simulate:
+            result = LoopExecutor(schedule).run(iterations)
+            counts = result.counts
+            time_per_entry = result.exec_time_ns
+        else:
+            counts = EventCounts(
+                cluster_energy_units=tuple(
+                    u * iterations for u in schedule.cluster_energy_units()
+                ),
+                n_comms=schedule.comms_per_iteration * iterations,
+                n_mem_accesses=schedule.mem_accesses_per_iteration * iterations,
+            )
+            time_per_entry = schedule.execution_time(iterations)
+
+        scaled = EventCounts(
+            cluster_energy_units=tuple(
+                u * invocations for u in counts.cluster_energy_units
+            ),
+            n_comms=counts.n_comms * invocations,
+            n_mem_accesses=counts.n_mem_accesses * invocations,
+        )
+        total_time = time_per_entry * invocations
+        energy = self._model.estimate(point, scaled, total_time)
+        return MeasuredExecution(energy=energy, exec_time_ns=total_time)
+
+    def measure_program(
+        self, measurements: Sequence[MeasuredExecution]
+    ) -> MeasuredExecution:
+        """Aggregate per-loop measurements into a whole-program figure.
+
+        Loops execute sequentially, so times and energies both add.
+        """
+        if not measurements:
+            raise SimulationError("cannot aggregate zero measurements")
+        total_time = sum(m.exec_time_ns for m in measurements)
+        energy = EnergyEstimate(
+            cluster_dynamic=sum(m.energy.cluster_dynamic for m in measurements),
+            icn_dynamic=sum(m.energy.icn_dynamic for m in measurements),
+            cache_dynamic=sum(m.energy.cache_dynamic for m in measurements),
+            cluster_static=sum(m.energy.cluster_static for m in measurements),
+            icn_static=sum(m.energy.icn_static for m in measurements),
+            cache_static=sum(m.energy.cache_static for m in measurements),
+        )
+        return MeasuredExecution(energy=energy, exec_time_ns=total_time)

@@ -1,0 +1,139 @@
+"""Exact rational time and frequency arithmetic.
+
+The heterogeneous machine mixes clock domains whose cycle times are related
+by small rational factors (the paper uses factors such as 0.95, 1.25 and
+1.33 = 4/3).  All legality reasoning — ``II_X = IT * f_X`` integrality,
+synchronisation of domain clocks, simulator event ordering — is done with
+:class:`fractions.Fraction` so there is no floating-point epsilon anywhere
+in the core.
+
+Conventions used throughout the package:
+
+* time is measured in **nanoseconds**,
+* frequency is measured in **GHz** (= 1/ns), so ``f = 1 / cycle_time``
+  needs no unit conversion.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+#: Anything accepted where an exact rational is required.
+Rational = Union[int, str, Fraction]
+
+#: Type alias used in signatures for readability; values are in nanoseconds.
+Time = Fraction
+
+#: Type alias used in signatures for readability; values are in GHz.
+Frequency = Fraction
+
+
+def as_fraction(value: Union[Rational, float]) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Integers, strings (``"4/3"``, ``"0.95"``) and Fractions convert
+    exactly.  Floats are converted through their shortest ``repr`` so that
+    decimal literals such as ``0.9`` become ``9/10`` rather than the
+    nearest binary float; pass a string or Fraction for non-decimal values
+    like one third.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a rational quantity")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite value {value!r} is not rational")
+        return Fraction(repr(value))
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+def frequency_of(cycle_time: Rational) -> Frequency:
+    """Return the frequency (GHz) of a clock with the given period (ns)."""
+    period = as_fraction(cycle_time)
+    if period <= 0:
+        raise ValueError(f"cycle time must be positive, got {period}")
+    return Fraction(1) / period
+
+
+def cycle_time_of(frequency: Rational) -> Time:
+    """Return the period (ns) of a clock with the given frequency (GHz)."""
+    freq = as_fraction(frequency)
+    if freq <= 0:
+        raise ValueError(f"frequency must be positive, got {freq}")
+    return Fraction(1) / freq
+
+
+def fraction_gcd(a: Fraction, b: Fraction) -> Fraction:
+    """Greatest common divisor of two positive rationals.
+
+    ``gcd(a/b, c/d) = gcd(a*d, c*b) / (b*d)``; the result is the largest
+    rational that divides both arguments an integral number of times.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("fraction_gcd requires non-negative arguments")
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    num = math.gcd(a.numerator * b.denominator, b.numerator * a.denominator)
+    den = a.denominator * b.denominator
+    return Fraction(num, den)
+
+
+def fraction_lcm(a: Fraction, b: Fraction) -> Fraction:
+    """Least common multiple of two positive rationals."""
+    if a <= 0 or b <= 0:
+        raise ValueError("fraction_lcm requires positive arguments")
+    return a * b / fraction_gcd(a, b)
+
+
+def common_quantum(values: Iterable[Fraction]) -> Fraction:
+    """Return the coarsest time quantum dividing every value exactly.
+
+    Used to derive the global simulation grid for a set of clock-domain
+    periods: every domain edge falls on a multiple of the quantum.
+    """
+    quantum = Fraction(0)
+    for value in values:
+        quantum = fraction_gcd(quantum, as_fraction(value))
+    if quantum == 0:
+        raise ValueError("common_quantum needs at least one non-zero value")
+    return quantum
+
+
+def is_integral(value: Fraction) -> bool:
+    """True when ``value`` is an exact integer."""
+    return value.denominator == 1
+
+
+def ceil_div(value: Fraction, unit: Fraction) -> int:
+    """Smallest integer ``k`` with ``k * unit >= value`` (units positive)."""
+    if unit <= 0:
+        raise ValueError("unit must be positive")
+    ratio = as_fraction(value) / unit
+    return math.ceil(ratio)
+
+
+def floor_div(value: Fraction, unit: Fraction) -> int:
+    """Largest integer ``k`` with ``k * unit <= value`` (units positive)."""
+    if unit <= 0:
+        raise ValueError("unit must be positive")
+    ratio = as_fraction(value) / unit
+    return math.floor(ratio)
+
+
+def format_time(value: Fraction, digits: int = 4) -> str:
+    """Human-readable rendering of a time in nanoseconds."""
+    return f"{float(value):.{digits}g} ns"
+
+
+def format_frequency(value: Fraction, digits: int = 4) -> str:
+    """Human-readable rendering of a frequency in GHz."""
+    return f"{float(value):.{digits}g} GHz"

@@ -1,0 +1,22 @@
+"""Voltage/frequency selection (paper sections 3.3 and 5.1).
+
+* :class:`~repro.vfs.candidates.DesignSpaceSpec` — the explored grids
+  (fast-cluster cycle times, slow/fast ratios, per-component voltage
+  ranges — the section 5 values by default),
+* :func:`~repro.vfs.homogeneous.optimum_homogeneous` — the paper's
+  baseline: the homogeneous configuration minimising estimated ED^2,
+* :class:`~repro.vfs.selector.ConfigurationSelector` — the heterogeneous
+  selection of section 3.3, driven by the section 3 models.
+"""
+
+from repro.vfs.candidates import DesignSpaceSpec, volt_grid
+from repro.vfs.homogeneous import optimum_homogeneous
+from repro.vfs.selector import ConfigurationSelector, SelectionResult
+
+__all__ = [
+    "DesignSpaceSpec",
+    "volt_grid",
+    "optimum_homogeneous",
+    "ConfigurationSelector",
+    "SelectionResult",
+]

@@ -1,0 +1,79 @@
+"""The optimum homogeneous baseline (section 5.1).
+
+Before crediting heterogeneity, the paper finds the *homogeneous*
+configuration (one frequency, one supply voltage for the whole chip)
+minimising estimated ED^2.  For homogeneous designs the model is exact up
+to the profile: every homogeneous design executes the same schedule, so
+cycle counts come straight from the profile and only the cycle time and
+the delta/sigma scalings vary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.machine import MachineDescription
+from repro.machine.operating_point import OperatingPoint
+from repro.power.calibration import CalibratedUnits
+from repro.power.energy import EnergyModel
+from repro.power.metrics import ed2
+from repro.power.profile import ProgramProfile
+from repro.power.technology import TechnologyModel
+from repro.vfs.candidates import DesignSpaceSpec
+from repro.vfs.selector import SelectionResult
+
+
+def optimum_homogeneous(
+    profile: ProgramProfile,
+    machine: MachineDescription,
+    technology: TechnologyModel,
+    units: CalibratedUnits,
+    spec: Optional[DesignSpaceSpec] = None,
+) -> SelectionResult:
+    """The homogeneous operating point with the lowest estimated ED^2.
+
+    Explores all cycle-time factors reachable by the heterogeneous design
+    space and the voltages legal for *every* component simultaneously
+    (``spec.homogeneous_vdd_grid``).
+    """
+    spec = spec if spec is not None else DesignSpaceSpec.paper()
+    model = EnergyModel(units, technology)
+    reference_ct = units.reference.cycle_time
+    total_cycles = profile.total_cycles
+
+    best: Optional[SelectionResult] = None
+    for factor in spec.homogeneous_factors():
+        cycle_time = factor * reference_ct
+        exec_time = total_cycles * float(cycle_time)
+        for vdd in spec.homogeneous_vdd_grid:
+            setting = technology.domain_setting(cycle_time, vdd)
+            if setting is None:
+                continue
+            point = OperatingPoint.homogeneous(
+                machine.n_clusters, cycle_time, setting.vdd, setting.vth
+            )
+            estimate = model.estimate_with_distribution(
+                point,
+                total_energy_units=profile.total_energy_units,
+                n_comms=profile.total_comms,
+                n_mem_accesses=profile.total_mem_accesses,
+                exec_time_ns=exec_time,
+            )
+            candidate = SelectionResult(
+                point=point,
+                estimated_time_ns=exec_time,
+                estimated_energy=estimate.total,
+                estimated_ed2=ed2(estimate.total, exec_time),
+                n_fast=machine.n_clusters,
+                fast_factor=factor,
+                slow_ratio=Fraction(1),
+            )
+            if best is None or candidate.estimated_ed2 < best.estimated_ed2:
+                best = candidate
+    if best is None:
+        raise ConfigurationError(
+            "no feasible homogeneous configuration in the design space"
+        )
+    return best

@@ -1,0 +1,34 @@
+"""Synthetic SPECfp2000 loop corpora.
+
+The paper evaluates on >4000 software-pipelined loops extracted by ORC
+from ten SPECfp2000 Fortran benchmarks — inputs we cannot redistribute.
+This package synthesises, deterministically per benchmark, loop
+populations whose *execution-time mix of constraint classes matches the
+paper's Table 2* and whose recurrence shapes and trip counts follow the
+per-benchmark narrative of section 5.2 (see DESIGN.md, substitutions).
+
+* :mod:`~repro.workloads.spec_profiles` — the ten benchmark profiles,
+* :mod:`~repro.workloads.generator` — class-targeted loop synthesis,
+* :mod:`~repro.workloads.corpus` — corpus assembly and the full suite.
+"""
+
+from repro.workloads.spec_profiles import (
+    SPEC2000_PROFILES,
+    BenchmarkSpec,
+    RecurrenceWidth,
+    spec_profile,
+)
+from repro.workloads.generator import LoopGenerator
+from repro.workloads.corpus import Corpus, build_corpus, default_scale, spec2000_suite
+
+__all__ = [
+    "SPEC2000_PROFILES",
+    "BenchmarkSpec",
+    "RecurrenceWidth",
+    "spec_profile",
+    "LoopGenerator",
+    "Corpus",
+    "build_corpus",
+    "default_scale",
+    "spec2000_suite",
+]

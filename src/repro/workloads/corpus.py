@@ -1,0 +1,159 @@
+"""Corpus assembly: loops, trip counts and Table 2-calibrated weights."""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.ir.loop import Loop
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.workloads.generator import LoopGenerator
+from repro.workloads.spec_profiles import (
+    SPEC2000_PROFILES,
+    BenchmarkSpec,
+)
+
+#: Environment variable scaling corpus sizes (1.0 = the full ~400 loops
+#: per benchmark the paper uses; benches default to a laptop-friendly
+#: fraction).
+SCALE_ENV = "REPRO_CORPUS_SCALE"
+DEFAULT_SCALE = 0.15
+
+
+def default_scale() -> float:
+    """The corpus scale from the environment (or the default)."""
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError as error:
+        raise WorkloadError(f"bad {SCALE_ENV}={raw!r}") from error
+    if value <= 0:
+        raise WorkloadError(f"{SCALE_ENV} must be positive")
+    return value
+
+
+@dataclass
+class Corpus:
+    """The loops of one synthetic benchmark."""
+
+    benchmark: str
+    loops: List[Loop]
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)
+
+
+def _class_counts(spec: BenchmarkSpec, n_loops: int) -> Dict[str, int]:
+    """Split ``n_loops`` across classes by largest remainder.
+
+    Classes with a non-negligible share (>= 0.1%) are guaranteed at least
+    one loop so their time share can be weighted up to the target.
+    """
+    shares = {
+        "resource": spec.resource_share,
+        "balanced": spec.balanced_share,
+        "recurrence": spec.recurrence_share,
+    }
+    raw = {cls: share * n_loops for cls, share in shares.items()}
+    counts = {cls: int(math.floor(value)) for cls, value in raw.items()}
+    remainder = n_loops - sum(counts.values())
+    for cls in sorted(raw, key=lambda c: raw[c] - counts[c], reverse=True):
+        if remainder <= 0:
+            break
+        counts[cls] += 1
+        remainder -= 1
+    for cls, share in shares.items():
+        if share >= 0.001 and counts[cls] == 0:
+            donor = max(counts, key=lambda c: counts[c])
+            counts[donor] -= 1
+            counts[cls] = 1
+    return counts
+
+
+def build_corpus(
+    spec: BenchmarkSpec,
+    scale: Optional[float] = None,
+    machine: Optional[MachineDescription] = None,
+) -> Corpus:
+    """Generate one benchmark's corpus, deterministically from its seed.
+
+    Loop weights are calibrated so that the classes' shares of *estimated
+    execution time* (trip count times MII cycles, the dominant term of a
+    software-pipelined loop) match the Table 2 targets.
+    """
+    scale = scale if scale is not None else default_scale()
+    machine = machine if machine is not None else paper_machine()
+    generator = LoopGenerator(machine)
+    rng = random.Random(spec.seed)
+
+    n_loops = max(4, round(spec.n_loops * scale))
+    counts = _class_counts(spec, n_loops)
+
+    loops: List[Loop] = []
+    est_time_by_class: Dict[str, float] = {cls: 0.0 for cls in counts}
+    loop_class: Dict[str, str] = {}
+    index = 0
+    for cls in ("resource", "balanced", "recurrence"):
+        for _ in range(counts[cls]):
+            name = f"{spec.name}.loop{index:03d}"
+            index += 1
+            ddg = generator.generate(name, cls, rng, width=spec.recurrence_width)
+            trip = rng.uniform(*spec.trip_counts)
+            loop = Loop(ddg=ddg, trip_count=trip, weight=1.0)
+            loops.append(loop)
+            loop_class[name] = cls
+            est_time_by_class[cls] += trip * float(generator.mii_cycles(ddg))
+
+    # Weight classes so estimated time shares hit the Table 2 targets.
+    shares = {
+        "resource": spec.resource_share,
+        "balanced": spec.balanced_share,
+        "recurrence": spec.recurrence_share,
+    }
+    active = {cls for cls, count in counts.items() if count > 0}
+    share_total = sum(shares[cls] for cls in active)
+    multipliers: Dict[str, float] = {}
+    for cls in active:
+        target = shares[cls] / share_total
+        current = est_time_by_class[cls]
+        if current <= 0:
+            raise WorkloadError(f"class {cls} generated zero estimated time")
+        multipliers[cls] = target / current
+
+    weighted: List[Loop] = []
+    for loop in loops:
+        multiplier = multipliers[loop_class[loop.name]]
+        # Mild per-loop variation keeps the corpus from being uniform
+        # while preserving the class totals in expectation.
+        weighted.append(
+            Loop(
+                ddg=loop.ddg,
+                trip_count=loop.trip_count,
+                weight=multiplier * 1e6,
+            )
+        )
+    return Corpus(benchmark=spec.name, loops=weighted)
+
+
+def spec2000_suite(
+    scale: Optional[float] = None,
+    machine: Optional[MachineDescription] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Corpus]:
+    """Corpora for all (or a named subset of) the ten benchmarks."""
+    names = list(SPEC2000_PROFILES) if benchmarks is None else list(benchmarks)
+    corpora = []
+    for name in names:
+        if name not in SPEC2000_PROFILES:
+            raise WorkloadError(f"unknown benchmark {name!r}")
+        corpora.append(build_corpus(SPEC2000_PROFILES[name], scale, machine))
+    return corpora

@@ -1,0 +1,241 @@
+"""Class-targeted synthesis of loop DDGs.
+
+Every generated loop is *verified*: after construction the generator
+computes the real recMII (circuit enumeration) and resMII (machine-wide
+FU counts) and retries with fresh randomness until the loop lands in the
+requested Table 2 constraint class.  This makes the corpus's class mix a
+property, not a hope.
+
+Loop shapes:
+
+* **resource-bound** (``recMII < resMII``): several independent
+  load/compute/store streams plus an induction-variable self-recurrence
+  of ratio 1 — wide parallelism, the machine's FU counts bind.
+* **balanced** (``resMII <= recMII < 1.3 * resMII``): the same streams
+  plus one recurrence whose delay is pinned just above resMII.
+* **recurrence-bound** (``recMII >= 1.3 * resMII``): a critical
+  recurrence dominates.  *Narrow* recurrences (facerec/lucas/sixtrack)
+  put few long-latency FP operations on the cycle; *wide* ones
+  (fma3d/apsi) put many operations on it, so speeding the loop up forces
+  a large fraction of the instructions onto the fast cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.ir.analysis import rec_mii, res_mii
+from repro.ir.builder import DDGBuilder
+from repro.ir.ddg import DDG
+from repro.ir.opcodes import OpClass
+from repro.machine.fu import fu_for
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.workloads.spec_profiles import RecurrenceWidth
+
+#: Latency-bearing classes usable inside a recurrence, with Table 1
+#: latencies — used to hit a target recurrence delay exactly.
+_RECURRENCE_PIECES: Tuple[Tuple[OpClass, int], ...] = (
+    (OpClass.FMUL, 6),
+    (OpClass.FADD, 3),
+    (OpClass.IMUL, 2),
+    (OpClass.IADD, 1),
+)
+
+
+class LoopGenerator:
+    """Synthesises verified loops for one target machine."""
+
+    #: Attempts before giving up on hitting the requested class.
+    MAX_ATTEMPTS = 40
+
+    def __init__(self, machine: Optional[MachineDescription] = None):
+        self._machine = machine if machine is not None else paper_machine()
+        self._fu_totals = self._machine.fu_totals()
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def classify(self, ddg: DDG) -> str:
+        """Table 2 class of a DDG on this machine."""
+        rec = rec_mii(ddg, self._machine.isa)
+        res = res_mii(ddg, fu_for, self._fu_totals)
+        if rec < res:
+            return "resource"
+        if rec >= Fraction(13, 10) * res:
+            return "recurrence"
+        return "balanced"
+
+    def mii_cycles(self, ddg: DDG) -> Fraction:
+        """max(recMII, resMII) of a DDG on this machine."""
+        return max(
+            rec_mii(ddg, self._machine.isa),
+            Fraction(res_mii(ddg, fu_for, self._fu_totals)),
+        )
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _stream(self, b: DDGBuilder, rng: random.Random, depth: int):
+        """One load -> compute -> (store) chain; returns (first compute,
+        last compute) so callers can weave the stream into the loop."""
+        load = b.op(None, OpClass.LOAD)
+        previous = load
+        first_compute = None
+        for _ in range(depth):
+            opclass = rng.choice((OpClass.FADD, OpClass.FMUL, OpClass.FADD))
+            node = b.op(None, opclass)
+            b.flow(previous, node)
+            if first_compute is None:
+                first_compute = node
+            previous = node
+        if rng.random() < 0.7:
+            store = b.op(None, OpClass.STORE)
+            b.flow(previous, store)
+        return (first_compute if first_compute is not None else load, previous)
+
+    def _induction(self, b: DDGBuilder, rng: random.Random) -> None:
+        """An induction variable: an IADD self-recurrence of ratio 1."""
+        iv = b.op(None, OpClass.IADD)
+        b.flow(iv, iv, distance=1)
+
+    def _recurrence_chain(
+        self, b: DDGBuilder, rng: random.Random, target_delay: int, distance: int
+    ) -> List:
+        """A cycle of operations whose delays sum to ``target_delay``.
+
+        Greedy decomposition over the Table 1 latencies, shuffled for
+        variety; the closing edge carries ``distance``.
+        """
+        remaining = target_delay
+        classes: List[OpClass] = []
+        pieces = list(_RECURRENCE_PIECES)
+        while remaining > 0:
+            rng.shuffle(pieces)
+            for opclass, latency in sorted(pieces, key=lambda p: -p[1]):
+                if latency <= remaining:
+                    if rng.random() < 0.5:
+                        continue
+                    classes.append(opclass)
+                    remaining -= latency
+                    break
+            else:
+                classes.append(OpClass.IADD)
+                remaining -= 1
+        ops = [b.op(None, oc) for oc in classes]
+        b.recurrence(ops, distance=distance)
+        return ops
+
+    def _wide_recurrence(
+        self, b: DDGBuilder, rng: random.Random, n_ops: int, distance: int
+    ) -> Tuple[List, int]:
+        """A recurrence with many (mostly cheap FP) operations on it."""
+        classes = []
+        for _ in range(n_ops):
+            classes.append(
+                rng.choice((OpClass.FADD, OpClass.FADD, OpClass.IADD, OpClass.FMUL))
+            )
+        ops = [b.op(None, oc) for oc in classes]
+        b.recurrence(ops, distance=distance)
+        isa = self._machine.isa
+        return ops, sum(isa.latency(oc) for oc in classes)
+
+    # ------------------------------------------------------------------
+    # loop classes
+    # ------------------------------------------------------------------
+    def _attempt_resource(self, name: str, rng: random.Random) -> DDG:
+        b = DDGBuilder(name)
+        n_streams = rng.randint(3, 7)
+        for _ in range(n_streams):
+            self._stream(b, rng, depth=rng.randint(1, 2))
+        self._induction(b, rng)
+        return b.build()
+
+    def _attempt_balanced(self, name: str, rng: random.Random) -> DDG:
+        b = DDGBuilder(name)
+        n_streams = rng.randint(3, 6)
+        stream_heads = []
+        for _ in range(n_streams):
+            stream_heads.append(self._stream(b, rng, depth=rng.randint(1, 2))[0])
+        ddg_so_far = b.build(validate=False)
+        res = res_mii(ddg_so_far, fu_for, self._fu_totals)
+        # Pin recMII into [resMII, 1.3 resMII): the recurrence's delay must
+        # land in that window (its extra ops may bump resMII by a little,
+        # which the verification retry absorbs).
+        target = max(res, 1)
+        distance = 1
+        recurrence_ops = self._recurrence_chain(b, rng, target, distance)
+        # Feed the recurrence from a stream so it is not an island.
+        feeder = b.op(None, OpClass.LOAD)
+        b.flow(feeder, recurrence_ops[0])
+        return b.build()
+
+    def _attempt_recurrence(
+        self, name: str, rng: random.Random, width: RecurrenceWidth
+    ) -> DDG:
+        b = DDGBuilder(name)
+        distance = 1
+        if width is RecurrenceWidth.NARROW:
+            # Few ops, long latencies: FMUL/FADD chains, occasionally FDIV.
+            if rng.random() < 0.25:
+                divide = b.op(None, OpClass.FDIV)
+                b.flow(divide, divide, distance=1)
+                critical = [divide]
+                delay = self._machine.isa.latency(OpClass.FDIV)
+            else:
+                delay = rng.choice((9, 9, 12, 12, 15, 18))
+                critical = self._recurrence_chain(b, rng, delay, distance)
+            # Plenty of non-critical side work: the paper's big winners
+            # have *small* critical instruction subsets.
+            n_side_streams = rng.randint(2, 5)
+        else:
+            # Wide: many instructions on the cycle itself and little side
+            # work — speeding the loop up drags most instructions onto
+            # the fast cluster (the fma3d/apsi energy story).
+            n_ops = rng.randint(9, 13)
+            critical, delay = self._wide_recurrence(b, rng, n_ops, distance)
+            n_side_streams = rng.randint(0, 1)
+
+        for _ in range(n_side_streams):
+            _first, last = self._stream(b, rng, depth=1)
+            # Reduction shape: about half the side streams compute values
+            # that feed the recurrent accumulation (sum += f(a[i])); the
+            # feeding edge has slack, so the stream can live on a slow
+            # cluster at the price of one bus transfer per iteration.
+            if rng.random() < 0.5:
+                b.flow(last, rng.choice(critical))
+        # A load feeding and a store draining the recurrence.
+        feeder = b.op(None, OpClass.LOAD)
+        b.flow(feeder, critical[0])
+        drain = b.op(None, OpClass.STORE)
+        b.flow(critical[-1], drain)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        name: str,
+        target_class: str,
+        rng: random.Random,
+        width: RecurrenceWidth = RecurrenceWidth.NARROW,
+    ) -> DDG:
+        """A verified loop of the requested constraint class."""
+        builders = {
+            "resource": self._attempt_resource,
+            "balanced": self._attempt_balanced,
+        }
+        for _ in range(self.MAX_ATTEMPTS):
+            if target_class == "recurrence":
+                ddg = self._attempt_recurrence(name, rng, width)
+            elif target_class in builders:
+                ddg = builders[target_class](name, rng)
+            else:
+                raise WorkloadError(f"unknown loop class {target_class!r}")
+            if self.classify(ddg) == target_class:
+                return ddg
+        raise WorkloadError(
+            f"could not generate a {target_class!r} loop after "
+            f"{self.MAX_ATTEMPTS} attempts (machine too small?)"
+        )

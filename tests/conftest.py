@@ -1,0 +1,108 @@
+"""Shared fixtures: machines, operating points, canonical loops."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import DDGBuilder, Loop, OpClass
+from repro.machine import DomainSetting, OperatingPoint, paper_machine
+from repro.power import TechnologyModel
+
+
+@pytest.fixture
+def machine():
+    """The paper's 4-cluster, 1-bus machine."""
+    return paper_machine(n_buses=1)
+
+
+@pytest.fixture
+def machine_2bus():
+    """The paper's 4-cluster machine with two buses."""
+    return paper_machine(n_buses=2)
+
+
+@pytest.fixture
+def technology():
+    """The default technology model (1 GHz @ 1 V / 0.25 V reference)."""
+    return TechnologyModel()
+
+
+@pytest.fixture
+def reference_point(machine, technology):
+    """Reference homogeneous operating point."""
+    setting = technology.reference_setting
+    return OperatingPoint.homogeneous(
+        machine.n_clusters, setting.cycle_time, setting.vdd, setting.vth
+    )
+
+
+@pytest.fixture
+def het_point():
+    """One fast cluster (0.9 ns) + three slow (1.35 ns) clusters."""
+    fast = DomainSetting(Fraction(9, 10), 1.1, 0.28)
+    slow = DomainSetting(Fraction(27, 20), 0.8, 0.30)
+    return OperatingPoint(
+        clusters=(fast, slow, slow, slow),
+        icn=DomainSetting(Fraction(9, 10), 1.0, 0.30),
+        cache=DomainSetting(Fraction(9, 10), 1.2, 0.35),
+    )
+
+
+def build_recurrence_loop(trip_count: float = 100.0, weight: float = 1.0) -> Loop:
+    """An FP-recurrence-bound loop: recMII 9, light side work."""
+    b = DDGBuilder("rec_loop")
+    l1 = b.op("l1", OpClass.LOAD)
+    f1 = b.op("f1", OpClass.FADD)
+    f2 = b.op("f2", OpClass.FADD)
+    f3 = b.op("f3", OpClass.FADD)
+    s1 = b.op("s1", OpClass.STORE)
+    m1 = b.op("m1", OpClass.FMUL)
+    l2 = b.op("l2", OpClass.LOAD)
+    a1 = b.op("a1", OpClass.IADD)
+    b.flow(l1, f1).flow(f1, f2).flow(f2, f3).flow(f3, f1, distance=1)
+    b.flow(f3, s1)
+    b.flow(l2, m1).flow(m1, s1).flow(a1, l2)
+    return Loop(b.build(), trip_count=trip_count, weight=weight)
+
+
+def build_resource_loop(trip_count: float = 200.0, weight: float = 1.0) -> Loop:
+    """A resource-bound loop: twelve memory ops, trivial recurrence."""
+    b = DDGBuilder("res_loop")
+    for index in range(6):
+        load = b.op(f"ld{index}", OpClass.LOAD)
+        add = b.op(f"fa{index}", OpClass.FADD)
+        store = b.op(f"st{index}", OpClass.STORE)
+        b.flow(load, add).flow(add, store)
+    iv = b.op("iv", OpClass.IADD)
+    b.flow(iv, iv, distance=1)
+    return Loop(b.build(), trip_count=trip_count, weight=weight)
+
+
+def build_tiny_loop(trip_count: float = 50.0) -> Loop:
+    """A 3-op chain with a self-recurrence — the smallest useful loop."""
+    b = DDGBuilder("tiny")
+    load = b.op("ld", OpClass.LOAD)
+    acc = b.op("acc", OpClass.FADD)
+    store = b.op("st", OpClass.STORE)
+    b.flow(load, acc).flow(acc, store).flow(acc, acc, distance=1)
+    return Loop(b.build(), trip_count=trip_count)
+
+
+@pytest.fixture
+def recurrence_loop():
+    """Fixture wrapper around :func:`build_recurrence_loop`."""
+    return build_recurrence_loop()
+
+
+@pytest.fixture
+def resource_loop():
+    """Fixture wrapper around :func:`build_resource_loop`."""
+    return build_resource_loop()
+
+
+@pytest.fixture
+def tiny_loop():
+    """Fixture wrapper around :func:`build_tiny_loop`."""
+    return build_tiny_loop()

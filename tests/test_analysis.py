@@ -1,0 +1,183 @@
+"""Tests for recMII / resMII / slack / height analyses."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.ir.analysis import (
+    alap_times,
+    asap_times,
+    critical_path_length,
+    find_recurrences,
+    operation_heights,
+    rec_mii,
+    rec_mii_lawler,
+    res_mii,
+    slack,
+)
+from repro.ir.builder import DDGBuilder
+from repro.ir.dependence import DepKind
+from repro.ir.opcodes import OpClass
+from repro.machine.fu import FUType, fu_for
+from repro.machine.isa import InstructionTable
+
+ISA = InstructionTable.paper_defaults()
+
+
+def fadd_self_loop():
+    b = DDGBuilder("self")
+    a = b.op("a", OpClass.FADD)
+    b.flow(a, a, distance=1)
+    return b.build()
+
+
+def three_fadd_recurrence(distance=1):
+    b = DDGBuilder("rec3")
+    ops = [b.op(f"f{i}", OpClass.FADD) for i in range(3)]
+    b.recurrence(ops, distance=distance)
+    return b.build()
+
+
+class TestRecMII:
+    def test_no_recurrence_is_zero(self):
+        b = DDGBuilder()
+        x, y = b.op("x", OpClass.LOAD), b.op("y", OpClass.FADD)
+        b.flow(x, y)
+        assert rec_mii(b.build(), ISA) == 0
+
+    def test_self_loop(self):
+        # FADD latency 3, distance 1 -> recMII 3.
+        assert rec_mii(fadd_self_loop(), ISA) == 3
+
+    def test_chain_recurrence(self):
+        # Three FADDs (3 cycles each), distance 1 -> recMII 9.
+        assert rec_mii(three_fadd_recurrence(), ISA) == 9
+
+    def test_distance_two_halves_ratio(self):
+        assert rec_mii(three_fadd_recurrence(distance=2), ISA) == Fraction(9, 2)
+
+    def test_takes_maximum_over_circuits(self):
+        b = DDGBuilder()
+        fast = b.op("fast", OpClass.IADD)
+        slow = b.op("slow", OpClass.FMUL)
+        b.flow(fast, fast, distance=1)  # ratio 1
+        b.flow(slow, slow, distance=1)  # ratio 6
+        assert rec_mii(b.build(), ISA) == 6
+
+    def test_anti_edge_cycle_has_small_ratio(self):
+        b = DDGBuilder()
+        u, v = b.op("u", OpClass.FMUL), b.op("v", OpClass.FMUL)
+        b.flow(u, v)
+        b.dep(v, u, distance=1, kind=DepKind.ANTI)
+        # forward edge delay 6, back edge delay 0 -> ratio 6.
+        assert rec_mii(b.build(), ISA) == 6
+
+    def test_lawler_agrees_with_enumeration(self):
+        for ddg in (fadd_self_loop(), three_fadd_recurrence(), three_fadd_recurrence(2)):
+            assert rec_mii_lawler(ddg, ISA) == rec_mii(ddg, ISA)
+
+    def test_lawler_zero_when_acyclic(self):
+        b = DDGBuilder()
+        x, y = b.op("x", OpClass.LOAD), b.op("y", OpClass.FADD)
+        b.flow(x, y)
+        assert rec_mii_lawler(b.build(), ISA) == 0
+
+
+class TestRecurrences:
+    def test_sorted_most_critical_first(self):
+        b = DDGBuilder()
+        fast = b.op("fast", OpClass.IADD)
+        slow = b.op("slow", OpClass.FMUL)
+        b.flow(fast, fast, distance=1)
+        b.flow(slow, slow, distance=1)
+        recs = find_recurrences(b.build(), ISA)
+        assert recs[0].operations[0].name == "slow"
+        assert recs[0].ratio == 6
+        assert recs[1].ratio == 1
+
+    def test_zero_distance_cycle_detected(self):
+        b = DDGBuilder()
+        u, v = b.op("u", OpClass.IADD), b.op("v", OpClass.IADD)
+        b.flow(u, v).flow(v, u)
+        with pytest.raises(GraphValidationError):
+            find_recurrences(b.build(validate=False), ISA)
+
+    def test_parallel_edges_use_worst_delay(self):
+        b = DDGBuilder()
+        a = b.op("a", OpClass.IADD)
+        b.flow(a, a, distance=1)
+        b.dep(a, a, distance=1, latency=5)
+        recs = find_recurrences(b.build(), ISA)
+        assert recs[0].ratio == 5
+
+
+class TestResMII:
+    def test_memory_bound(self):
+        b = DDGBuilder()
+        for i in range(9):
+            b.op(f"l{i}", OpClass.LOAD)
+        # 9 memory ops on 4 ports -> ceil(9/4) = 3.
+        assert res_mii(b.build(), fu_for, {FUType.MEM: 4, FUType.INT: 4, FUType.FP: 4}) == 3
+
+    def test_takes_max_over_kinds(self):
+        b = DDGBuilder()
+        for i in range(2):
+            b.op(f"l{i}", OpClass.LOAD)
+        for i in range(8):
+            b.op(f"f{i}", OpClass.FADD)
+        counts = {FUType.MEM: 4, FUType.INT: 4, FUType.FP: 2}
+        assert res_mii(b.build(), fu_for, counts) == 4
+
+    def test_missing_resource_raises(self):
+        b = DDGBuilder()
+        b.op("f", OpClass.FADD)
+        with pytest.raises(GraphValidationError):
+            res_mii(b.build(), fu_for, {FUType.FP: 0})
+
+
+class TestTimesAndSlack:
+    def make_diamond(self):
+        b = DDGBuilder()
+        load = b.op("ld", OpClass.LOAD)  # latency 2
+        left = b.op("fm", OpClass.FMUL)  # latency 6
+        right = b.op("ia", OpClass.IADD)  # latency 1
+        join = b.op("st", OpClass.STORE)
+        b.flow(load, left).flow(load, right)
+        b.flow(left, join).flow(right, join)
+        return b.build()
+
+    def test_asap(self):
+        ddg = self.make_diamond()
+        asap = asap_times(ddg, ISA)
+        assert asap[ddg.operation("ld")] == 0
+        assert asap[ddg.operation("fm")] == 2
+        assert asap[ddg.operation("st")] == 8
+
+    def test_alap_and_slack(self):
+        ddg = self.make_diamond()
+        lax = slack(ddg, ISA)
+        assert lax[ddg.operation("fm")] == 0  # critical path
+        assert lax[ddg.operation("ia")] == 5  # 8 - (2 + 1)
+        assert lax[ddg.operation("ld")] == 0
+
+    def test_alap_keeps_makespan(self):
+        ddg = self.make_diamond()
+        asap = asap_times(ddg, ISA)
+        alap = alap_times(ddg, ISA)
+        assert all(alap[op] >= asap[op] for op in ddg.operations)
+
+    def test_heights(self):
+        ddg = self.make_diamond()
+        heights = operation_heights(ddg, ISA)
+        assert heights[ddg.operation("ld")] == 8
+        assert heights[ddg.operation("st")] == 0
+
+    def test_critical_path_includes_final_latency(self):
+        ddg = self.make_diamond()
+        # store issues at 8, latency 2 -> path length 10.
+        assert critical_path_length(ddg, ISA) == 10
+
+    def test_loop_carried_edges_ignored(self):
+        ddg = fadd_self_loop()
+        assert asap_times(ddg, ISA)[ddg.operation("a")] == 0

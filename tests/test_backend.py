@@ -1,0 +1,56 @@
+"""Tests for the self-contained PEP 517 build backend."""
+
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+BUILD_DIR = Path(__file__).parent.parent / "_build"
+sys.path.insert(0, str(BUILD_DIR))
+
+import minimal_backend  # noqa: E402
+
+
+class TestEditableWheel:
+    def test_builds_valid_zip(self, tmp_path):
+        name = minimal_backend.build_editable(str(tmp_path))
+        wheel = tmp_path / name
+        assert wheel.exists()
+        with zipfile.ZipFile(wheel) as archive:
+            assert archive.testzip() is None
+            names = archive.namelist()
+            assert any(entry.endswith(".pth") for entry in names)
+            assert f"{minimal_backend.DIST_INFO}/METADATA" in names
+            assert f"{minimal_backend.DIST_INFO}/RECORD" in names
+
+    def test_pth_points_to_src(self, tmp_path):
+        name = minimal_backend.build_editable(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as archive:
+            pth = next(e for e in archive.namelist() if e.endswith(".pth"))
+            content = archive.read(pth).decode().strip()
+        assert content.endswith("src")
+        assert (Path(content) / "repro" / "__init__.py").exists()
+
+
+class TestRegularWheel:
+    def test_contains_package_modules(self, tmp_path):
+        name = minimal_backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as archive:
+            names = archive.namelist()
+        assert "repro/__init__.py" in names
+        assert "repro/scheduler/kernel.py" in names
+
+    def test_record_hashes_present(self, tmp_path):
+        name = minimal_backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as archive:
+            record = archive.read(f"{minimal_backend.DIST_INFO}/RECORD").decode()
+        lines = [l for l in record.splitlines() if l and not l.endswith(",,")]
+        assert all("sha256=" in line for line in lines)
+
+
+class TestHooks:
+    def test_no_build_requirements(self):
+        assert minimal_backend.get_requires_for_build_wheel() == []
+        assert minimal_backend.get_requires_for_build_editable() == []
+        assert minimal_backend.get_requires_for_build_sdist() == []

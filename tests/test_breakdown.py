@@ -1,0 +1,46 @@
+"""Tests for the baseline energy-share assumptions."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.power.breakdown import EnergyBreakdown
+
+
+class TestDefaults:
+    def test_paper_baseline(self):
+        shares = EnergyBreakdown.paper_baseline()
+        assert shares.cache_share == pytest.approx(1 / 3)
+        assert shares.icn_share == pytest.approx(0.10)
+        assert shares.cluster_share == pytest.approx(1 - 1 / 3 - 0.10)
+        assert shares.cluster_leakage == pytest.approx(1 / 3)
+        assert shares.cache_leakage == pytest.approx(2 / 3)
+        assert shares.icn_leakage == pytest.approx(0.10)
+
+
+class TestSweeps:
+    def test_with_shares(self):
+        swept = EnergyBreakdown.paper_baseline().with_shares(0.2, 0.25)
+        assert swept.icn_share == 0.2
+        assert swept.cache_share == 0.25
+        assert swept.cluster_leakage == pytest.approx(1 / 3)  # preserved
+
+    def test_with_leakage(self):
+        swept = EnergyBreakdown.paper_baseline().with_leakage(0.4, 0.15, 0.7)
+        assert swept.cluster_leakage == 0.4
+        assert swept.icn_leakage == 0.15
+        assert swept.cache_leakage == 0.7
+        assert swept.icn_share == pytest.approx(0.10)  # preserved
+
+
+class TestValidation:
+    def test_share_out_of_range(self):
+        with pytest.raises(CalibrationError):
+            EnergyBreakdown(icn_share=1.5)
+
+    def test_no_cluster_share_left(self):
+        with pytest.raises(CalibrationError):
+            EnergyBreakdown(icn_share=0.5, cache_share=0.5)
+
+    def test_leakage_out_of_range(self):
+        with pytest.raises(CalibrationError):
+            EnergyBreakdown(cluster_leakage=-0.1)

@@ -1,0 +1,90 @@
+"""Tests for the fluent DDG builder."""
+
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.ir.builder import DDGBuilder
+from repro.ir.dependence import DepKind
+from repro.ir.opcodes import OpClass
+
+
+class TestOps:
+    def test_generated_names_unique(self):
+        b = DDGBuilder()
+        first = b.op()
+        second = b.op()
+        assert first.name != second.name
+
+    def test_explicit_name(self):
+        b = DDGBuilder()
+        assert b.op("abc", OpClass.FMUL).name == "abc"
+
+    def test_ops_bulk(self):
+        b = DDGBuilder()
+        created = b.ops(OpClass.LOAD, 3)
+        assert len(created) == 3
+        assert all(op.opclass is OpClass.LOAD for op in created)
+
+
+class TestEdges:
+    def test_flow_by_object_and_name(self):
+        b = DDGBuilder()
+        a = b.op("a")
+        b.op("c")
+        b.flow(a, "c")
+        ddg = b.build()
+        assert ddg.to_edge_list() == [("a", "c", 0)]
+
+    def test_dep_kinds_and_latency(self):
+        b = DDGBuilder()
+        a, c = b.op("a"), b.op("c")
+        b.dep(a, c, distance=2, kind=DepKind.ANTI, latency=5)
+        dep = b.build().dependences[0]
+        assert dep.kind is DepKind.ANTI
+        assert dep.distance == 2
+        assert dep.latency_override == 5
+
+    def test_chain(self):
+        b = DDGBuilder()
+        ops = [b.op(str(i)) for i in range(4)]
+        b.chain(ops)
+        edges = b.build().to_edge_list()
+        assert edges == [("0", "1", 0), ("1", "2", 0), ("2", "3", 0)]
+
+    def test_recurrence_closes_cycle(self):
+        b = DDGBuilder()
+        ops = [b.op(str(i)) for i in range(3)]
+        b.recurrence(ops, distance=2)
+        edges = b.build().to_edge_list()
+        assert ("2", "0", 2) in edges
+
+    def test_single_op_recurrence_is_self_loop(self):
+        b = DDGBuilder()
+        a = b.op("a")
+        b.recurrence([a])
+        assert b.build().to_edge_list() == [("a", "a", 1)]
+
+    def test_fanin_fanout(self):
+        b = DDGBuilder()
+        srcs = [b.op(f"s{i}") for i in range(2)]
+        mid = b.op("m")
+        dests = [b.op(f"d{i}") for i in range(2)]
+        b.fanin(srcs, mid).fanout(mid, dests)
+        edges = b.build().to_edge_list()
+        assert ("s0", "m", 0) in edges and ("s1", "m", 0) in edges
+        assert ("m", "d0", 0) in edges and ("m", "d1", 0) in edges
+
+
+class TestBuild:
+    def test_build_validates(self):
+        b = DDGBuilder()
+        a, c = b.op("a"), b.op("c")
+        b.flow(a, c).flow(c, a)  # zero-distance cycle
+        with pytest.raises(GraphValidationError):
+            b.build()
+
+    def test_build_without_validation(self):
+        b = DDGBuilder()
+        a, c = b.op("a"), b.op("c")
+        b.flow(a, c).flow(c, a)
+        assert b.build(validate=False) is not None

@@ -1,0 +1,92 @@
+"""Tests for the design-space grids."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vfs.candidates import DesignSpaceSpec, volt_grid
+
+
+class TestVoltGrid:
+    def test_inclusive_endpoints(self):
+        grid = volt_grid(0.7, 1.2)
+        assert grid[0] == 0.7
+        assert grid[-1] == 1.2
+        assert len(grid) == 11
+
+    def test_no_fp_drift(self):
+        assert all(round(v, 3) == v for v in volt_grid(0.8, 1.1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            volt_grid(1.2, 0.7)
+
+    def test_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            volt_grid(0.7, 1.2, step=0)
+
+
+class TestPaperSpec:
+    def test_paper_grids(self):
+        spec = DesignSpaceSpec.paper()
+        assert spec.fast_factors == (
+            Fraction(9, 10),
+            Fraction(19, 20),
+            Fraction(1),
+            Fraction(21, 20),
+            Fraction(11, 10),
+        )
+        assert spec.slow_over_fast == (
+            Fraction(1),
+            Fraction(5, 4),
+            Fraction(4, 3),
+            Fraction(3, 2),
+        )
+        assert spec.n_fast_options == (1,)
+
+    def test_voltage_ranges(self):
+        spec = DesignSpaceSpec.paper()
+        assert spec.cluster_vdd_grid[0] == 0.7 and spec.cluster_vdd_grid[-1] == 1.2
+        assert spec.icn_vdd_grid[0] == 0.8 and spec.icn_vdd_grid[-1] == 1.1
+        assert spec.cache_vdd_grid[0] == 1.0 and spec.cache_vdd_grid[-1] == 1.4
+
+    def test_homogeneous_grid_is_intersection(self):
+        spec = DesignSpaceSpec.paper()
+        assert spec.homogeneous_vdd_grid[0] == 1.0
+        assert spec.homogeneous_vdd_grid[-1] == 1.1
+
+
+class TestStructures:
+    def test_ratio_one_deduplicated(self):
+        spec = DesignSpaceSpec(n_fast_options=(1, 2))
+        structures = list(spec.structures())
+        ratio_one = [s for s in structures if s[2] == 1]
+        # One per fast factor, regardless of the two n_fast options.
+        assert len(ratio_one) == len(spec.fast_factors)
+
+    def test_count(self):
+        spec = DesignSpaceSpec.paper()
+        # 5 fast factors x (3 het ratios + 1 shared ratio-1) = 20.
+        assert len(list(spec.structures())) == 20
+
+    def test_homogeneous_factors_products(self):
+        spec = DesignSpaceSpec.paper()
+        factors = spec.homogeneous_factors()
+        assert Fraction(9, 10) in factors  # 0.9 * 1
+        assert Fraction(33, 20) in factors  # 1.1 * 1.5
+        assert factors == tuple(sorted(factors))
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpaceSpec(fast_factors=())
+
+    def test_sub_one_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpaceSpec(slow_over_fast=(Fraction(1, 2),))
+
+    def test_zero_fast_clusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpaceSpec(n_fast_options=(0,))

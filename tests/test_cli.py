@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "200.sixtrack" in output
+        assert output.count("recurrence-bound") == 10
+
+
+class TestEvaluate:
+    def test_evaluate_one(self, capsys):
+        assert main(["evaluate", "sixtrack", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "ED^2 vs optimum homogeneous" in output
+        assert "slow/fast ratio" in output
+
+    def test_two_buses(self, capsys):
+        assert main(["evaluate", "swim", "--buses", "2", "--scale", "0.02"]) == 0
+        assert "2 bus(es)" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["evaluate", "quake", "--scale", "0.02"])
+
+
+class TestTable2:
+    def test_prints_measured_shares(self, capsys):
+        assert main(["table2", "--scale", "0.01"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2 (measured)" in output
+        assert "171.swim" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_bus_count(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "swim", "--buses", "3"])

@@ -1,0 +1,115 @@
+"""Tests for clock domains and frequency palettes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.clocking import (
+    CACHE_DOMAIN,
+    ICN_DOMAIN,
+    FrequencyPalette,
+    cluster_domain,
+    domain_ids,
+)
+
+
+class TestDomainIds:
+    def test_cluster_domain_names(self):
+        assert cluster_domain(0) == "cluster0"
+        assert cluster_domain(3) == "cluster3"
+
+    def test_domain_ids_cover_everything(self):
+        ids = domain_ids(2)
+        assert ids == ("cluster0", "cluster1", ICN_DOMAIN, CACHE_DOMAIN)
+
+
+class TestPaletteConstruction:
+    def test_any(self):
+        palette = FrequencyPalette.any_frequency()
+        assert palette.is_any
+        assert len(palette) == 0
+
+    def test_uniform(self):
+        palette = FrequencyPalette.uniform(4, Fraction(10, 9))
+        assert palette.frequencies == (
+            Fraction(5, 18),
+            Fraction(5, 9),
+            Fraction(5, 6),
+            Fraction(10, 9),
+        )
+
+    def test_divider_network(self):
+        palette = FrequencyPalette.from_divider_network(
+            1, multipliers=(1, 2), dividers=(1, 2, 4)
+        )
+        assert palette.frequencies == (
+            Fraction(1, 4),
+            Fraction(1, 2),
+            Fraction(1),
+            Fraction(2),
+        )
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette((Fraction(2), Fraction(1)))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette((Fraction(1), Fraction(1)))
+
+    def test_empty_finite_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette(())
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette((Fraction(0), Fraction(1)))
+
+
+class TestSelectPair:
+    def test_any_palette_floors_ii(self):
+        palette = FrequencyPalette.any_frequency()
+        # IT 10/3 ns, fmax 1 GHz: II = 3, f = 9/10 GHz.
+        pair = palette.select_pair(Fraction(10, 3), Fraction(1))
+        assert pair == (Fraction(9, 10), 3)
+
+    def test_any_palette_ii_zero_fails(self):
+        palette = FrequencyPalette.any_frequency()
+        assert palette.select_pair(Fraction(1, 2), Fraction(1)) is None
+
+    def test_finite_prefers_fastest_legal(self):
+        palette = FrequencyPalette.uniform(4, Fraction(10, 9))
+        # IT = 4.5 ns: 10/9 GHz gives II 5 (integral) and is fastest.
+        assert palette.select_pair(Fraction(9, 2), Fraction(10, 9)) == (
+            Fraction(10, 9),
+            5,
+        )
+
+    def test_finite_respects_fmax(self):
+        palette = FrequencyPalette.uniform(4, Fraction(10, 9))
+        # fmax below the top frequency: falls to 5/6 GHz if integral.
+        pair = palette.select_pair(Fraction(6, 5), Fraction(1))
+        assert pair == (Fraction(5, 6), 1)
+
+    def test_finite_synchronisation_failure(self):
+        palette = FrequencyPalette((Fraction(1),))
+        # IT 3.5 ns with a 1 GHz-only palette: II would be 3.5 -> None.
+        assert palette.select_pair(Fraction(7, 2), Fraction(1)) is None
+
+    def test_invalid_inputs(self):
+        palette = FrequencyPalette.any_frequency()
+        with pytest.raises(ValueError):
+            palette.select_pair(Fraction(0), Fraction(1))
+        with pytest.raises(ValueError):
+            palette.select_pair(Fraction(1), Fraction(0))
+
+    def test_admissible(self):
+        palette = FrequencyPalette.uniform(4, Fraction(1))
+        assert palette.admissible(Fraction(1, 2)) == (
+            Fraction(1, 4),
+            Fraction(1, 2),
+        )
+
+    def test_admissible_requires_finite(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette.any_frequency().admissible(Fraction(1))

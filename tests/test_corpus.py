@@ -1,0 +1,133 @@
+"""Tests for corpus assembly and the SPEC profile set."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import paper_machine
+from repro.workloads.corpus import (
+    _class_counts,
+    build_corpus,
+    default_scale,
+    spec2000_suite,
+)
+from repro.workloads.generator import LoopGenerator
+from repro.workloads.spec_profiles import (
+    SPEC2000_PROFILES,
+    BenchmarkSpec,
+    RecurrenceWidth,
+    spec_profile,
+)
+
+
+class TestSpecProfiles:
+    def test_ten_benchmarks(self):
+        assert len(SPEC2000_PROFILES) == 10
+
+    def test_shares_sum_to_one(self):
+        for spec in SPEC2000_PROFILES.values():
+            total = spec.resource_share + spec.balanced_share + spec.recurrence_share
+            assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_lookup_by_suffix(self):
+        assert spec_profile("swim").name == "171.swim"
+        assert spec_profile("171.swim").name == "171.swim"
+        with pytest.raises(KeyError):
+            spec_profile("quake")
+
+    def test_tuned_traits(self):
+        assert spec_profile("applu").trip_counts[1] < 50  # short loops
+        assert spec_profile("fma3d").recurrence_width is RecurrenceWidth.WIDE
+        assert spec_profile("sixtrack").recurrence_width is RecurrenceWidth.NARROW
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="x",
+                seed=1,
+                resource_share=0.9,
+                balanced_share=0.9,
+                recurrence_share=0.9,
+                recurrence_width=RecurrenceWidth.NARROW,
+                trip_counts=(10, 20),
+            )
+
+
+class TestClassCounts:
+    def test_counts_sum(self):
+        spec = spec_profile("wupwise")
+        counts = _class_counts(spec, 40)
+        assert sum(counts.values()) == 40
+
+    def test_small_share_gets_a_loop(self):
+        spec = spec_profile("lucas")  # balanced share 0.02%
+        counts = _class_counts(spec, 40)
+        assert counts["resource"] >= 1
+        # A 0.02% share is genuinely negligible: no loop required.
+        assert counts["recurrence"] >= counts["balanced"]
+
+    def test_pure_resource(self):
+        counts = _class_counts(spec_profile("swim"), 40)
+        assert counts == {"resource": 40, "balanced": 0, "recurrence": 0}
+
+
+class TestBuildCorpus:
+    def test_deterministic(self):
+        a = build_corpus(spec_profile("mgrid"), scale=0.05)
+        b = build_corpus(spec_profile("mgrid"), scale=0.05)
+        assert [l.ddg.to_edge_list() for l in a] == [
+            l.ddg.to_edge_list() for l in b
+        ]
+        assert [l.weight for l in a] == [l.weight for l in b]
+        assert [l.trip_count for l in a] == [l.trip_count for l in b]
+
+    def test_class_mix_matches_table2(self):
+        spec = spec_profile("facerec")
+        corpus = build_corpus(spec, scale=0.1)
+        generator = LoopGenerator(paper_machine())
+        est = {"resource": 0.0, "balanced": 0.0, "recurrence": 0.0}
+        for loop in corpus:
+            cls = generator.classify(loop.ddg)
+            est[cls] += loop.weight * loop.trip_count * float(
+                generator.mii_cycles(loop.ddg)
+            )
+        total = sum(est.values())
+        assert est["recurrence"] / total == pytest.approx(
+            spec.recurrence_share, abs=0.03
+        )
+        assert est["resource"] / total == pytest.approx(
+            spec.resource_share, abs=0.03
+        )
+
+    def test_trip_counts_in_range(self):
+        spec = spec_profile("applu")
+        corpus = build_corpus(spec, scale=0.05)
+        for loop in corpus:
+            assert spec.trip_counts[0] <= loop.trip_count <= spec.trip_counts[1]
+
+    def test_minimum_size(self):
+        corpus = build_corpus(spec_profile("swim"), scale=0.001)
+        assert len(corpus) >= 4
+
+
+class TestSuite:
+    def test_subset_selection(self):
+        corpora = spec2000_suite(scale=0.02, benchmarks=["171.swim", "172.mgrid"])
+        assert [c.benchmark for c in corpora] == ["171.swim", "172.mgrid"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            spec2000_suite(benchmarks=["999.nope"])
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.setenv("REPRO_CORPUS_SCALE", "junk")
+        with pytest.raises(WorkloadError):
+            default_scale()
+        monkeypatch.setenv("REPRO_CORPUS_SCALE", "-1")
+        with pytest.raises(WorkloadError):
+            default_scale()
+        monkeypatch.delenv("REPRO_CORPUS_SCALE")
+        assert default_scale() == 0.15

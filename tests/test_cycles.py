@@ -1,0 +1,93 @@
+"""Tests for SCCs and elementary circuits, cross-checked with networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.ir.cycles import elementary_circuits, strongly_connected_components
+
+
+def canonical(circuits):
+    """Order-independent canonical form of a circuit set."""
+    result = set()
+    for circuit in circuits:
+        pivot = min(range(len(circuit)), key=lambda i: str(circuit[i]))
+        rotated = tuple(circuit[pivot:]) + tuple(circuit[:pivot])
+        result.add(rotated)
+    return result
+
+
+class TestSCC:
+    def test_dag_is_all_singletons(self):
+        adjacency = {1: [2], 2: [3], 3: []}
+        components = strongly_connected_components(adjacency)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_single_cycle(self):
+        adjacency = {1: [2], 2: [3], 3: [1]}
+        components = strongly_connected_components(adjacency)
+        assert sorted(len(c) for c in components) == [3]
+
+    def test_two_components(self):
+        adjacency = {1: [2], 2: [1], 3: [4], 4: [3], 5: []}
+        components = strongly_connected_components(adjacency)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            n = rng.randint(2, 12)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(n)
+                if u != v and rng.random() < 0.25
+            ]
+            adjacency = {u: [v for (a, v) in edges if a == u] for u in range(n)}
+            mine = {frozenset(c) for c in strongly_connected_components(adjacency)}
+            graph = nx.DiGraph(edges)
+            graph.add_nodes_from(range(n))
+            theirs = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+            assert mine == theirs
+
+
+class TestCircuits:
+    def test_self_loop(self):
+        assert canonical(elementary_circuits({1: [1]})) == {(1,)}
+
+    def test_triangle(self):
+        adjacency = {1: [2], 2: [3], 3: [1]}
+        assert canonical(elementary_circuits(adjacency)) == {(1, 2, 3)}
+
+    def test_two_triangles_sharing_a_node(self):
+        adjacency = {1: [2], 2: [3, 1], 3: [1]}
+        circuits = canonical(elementary_circuits(adjacency))
+        assert circuits == {(1, 2, 3), (1, 2)}
+
+    def test_dag_has_no_circuits(self):
+        assert elementary_circuits({1: [2], 2: [3], 3: []}) == []
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            n = rng.randint(2, 9)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(n)
+                if rng.random() < 0.22
+            ]
+            adjacency = {u: [v for (a, v) in edges if a == u] for u in range(n)}
+            graph = nx.DiGraph(edges)
+            graph.add_nodes_from(range(n))
+            mine = canonical(elementary_circuits(adjacency))
+            theirs = canonical(list(nx.simple_cycles(graph)))
+            assert mine == theirs
+
+    def test_limit_enforced(self):
+        # A complete digraph on 8 nodes has thousands of circuits.
+        n = 8
+        adjacency = {u: [v for v in range(n) if v != u] for u in range(n)}
+        with pytest.raises(RuntimeError):
+            elementary_circuits(adjacency, limit=10)

@@ -1,0 +1,143 @@
+"""Tests for the DDG container and its invariants."""
+
+import pytest
+
+from repro.errors import GraphValidationError, IRError
+from repro.ir.ddg import DDG, merge_parallel_edges
+from repro.ir.dependence import Dependence, DepKind
+from repro.ir.operation import Operation
+from repro.ir.opcodes import OpClass
+
+
+def two_node_graph():
+    ddg = DDG("g")
+    a = ddg.add_operation(Operation("a", OpClass.LOAD))
+    b = ddg.add_operation(Operation("b", OpClass.FADD))
+    ddg.add_dependence(Dependence(a, b))
+    return ddg, a, b
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        ddg = DDG()
+        ddg.add_operation(Operation("x", OpClass.IADD))
+        with pytest.raises(IRError):
+            ddg.add_operation(Operation("x", OpClass.FADD))
+
+    def test_foreign_endpoint_rejected(self):
+        ddg = DDG()
+        a = ddg.add_operation(Operation("a", OpClass.IADD))
+        stranger = Operation("b", OpClass.IADD)
+        with pytest.raises(IRError):
+            ddg.add_dependence(Dependence(a, stranger))
+
+    def test_same_name_different_object_rejected(self):
+        ddg = DDG()
+        a = ddg.add_operation(Operation("a", OpClass.IADD))
+        impostor = Operation("a", OpClass.IADD)
+        with pytest.raises(IRError):
+            ddg.add_dependence(Dependence(impostor, a))
+
+    def test_parallel_edges_allowed(self):
+        ddg, a, b = two_node_graph()
+        ddg.add_dependence(Dependence(a, b, distance=1, kind=DepKind.OUTPUT))
+        assert len(ddg.dependences) == 2
+
+
+class TestQueries:
+    def test_len_and_iter(self):
+        ddg, a, b = two_node_graph()
+        assert len(ddg) == 2
+        assert list(ddg) == [a, b]
+
+    def test_contains_checks_identity(self):
+        ddg, a, _b = two_node_graph()
+        assert a in ddg
+        assert Operation("a", OpClass.LOAD) not in ddg
+
+    def test_lookup_by_name(self):
+        ddg, a, _b = two_node_graph()
+        assert ddg.operation("a") is a
+        with pytest.raises(KeyError):
+            ddg.operation("zz")
+
+    def test_edges(self):
+        ddg, a, b = two_node_graph()
+        assert len(ddg.out_edges(a)) == 1
+        assert len(ddg.in_edges(b)) == 1
+        assert ddg.successors(a) == (b,)
+        assert ddg.predecessors(b) == (a,)
+
+    def test_successors_deduplicated(self):
+        ddg, a, b = two_node_graph()
+        ddg.add_dependence(Dependence(a, b, distance=2))
+        assert ddg.successors(a) == (b,)
+
+    def test_class_counts(self):
+        ddg, _a, _b = two_node_graph()
+        counts = ddg.class_counts()
+        assert counts[OpClass.LOAD] == 1
+        assert counts[OpClass.FADD] == 1
+        assert ddg.count(OpClass.LOAD) == 1
+        assert ddg.count(OpClass.STORE) == 0
+
+
+class TestValidation:
+    def test_empty_graph_invalid(self):
+        with pytest.raises(GraphValidationError):
+            DDG().validate()
+
+    def test_zero_distance_cycle_invalid(self):
+        ddg = DDG()
+        a = ddg.add_operation(Operation("a", OpClass.IADD))
+        b = ddg.add_operation(Operation("b", OpClass.IADD))
+        ddg.add_dependence(Dependence(a, b))
+        ddg.add_dependence(Dependence(b, a))
+        with pytest.raises(GraphValidationError):
+            ddg.validate()
+
+    def test_loop_carried_cycle_valid(self):
+        ddg = DDG()
+        a = ddg.add_operation(Operation("a", OpClass.IADD))
+        ddg.add_dependence(Dependence(a, a, distance=1))
+        ddg.validate()
+
+    def test_topological_order_all_edges(self):
+        ddg, _a, _b = two_node_graph()
+        assert ddg.topological_order(intra_iteration_only=False) is not None
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        ddg, a, _b = two_node_graph()
+        clone = ddg.copy()
+        assert len(clone) == len(ddg)
+        assert clone.operation("a") is not a
+        assert clone.operation("a").opclass is OpClass.LOAD
+        assert clone.to_edge_list() == ddg.to_edge_list()
+
+    def test_copy_rename(self):
+        ddg, _a, _b = two_node_graph()
+        assert ddg.copy(name="other").name == "other"
+
+
+class TestMergeParallelEdges:
+    def test_keeps_distinct_keys(self):
+        ddg, a, b = two_node_graph()
+        ddg.add_dependence(Dependence(a, b, distance=1))
+        merged = merge_parallel_edges(ddg)
+        assert len(merged.dependences) == 2
+
+    def test_drops_dominated_duplicate(self):
+        ddg, a, b = two_node_graph()
+        ddg.add_dependence(Dependence(a, b))  # exact duplicate key
+        merged = merge_parallel_edges(ddg)
+        assert len(merged.dependences) == 1
+
+    def test_prefers_larger_latency_override(self):
+        ddg, a, b = two_node_graph()
+        ddg.add_dependence(Dependence(a, b, latency_override=7))
+        merged = merge_parallel_edges(ddg)
+        kept = [d for d in merged.dependences]
+        assert len(kept) == 1
+        assert kept[0].latency_override == 7

@@ -1,0 +1,156 @@
+"""Tests for the section 3.1.3 energy estimate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.ir.opcodes import OpClass
+from repro.machine.operating_point import DomainSetting, OperatingPoint
+from repro.power.breakdown import EnergyBreakdown
+from repro.power.calibration import calibrate
+from repro.power.energy import (
+    EnergyModel,
+    EventCounts,
+    default_cluster_distribution,
+)
+from repro.power.profile import LoopProfile, ProgramProfile
+from repro.power.technology import TechnologyModel
+
+REF = DomainSetting(Fraction(1), 1.0, 0.25)
+
+
+@pytest.fixture
+def calibrated():
+    loop = LoopProfile(
+        name="l",
+        rec_mii=Fraction(3),
+        res_mii=2,
+        ii_homogeneous=3,
+        cycles_per_iteration=10,
+        class_counts={OpClass.FADD: 4},
+        energy_units_per_iteration=10.0,
+        comms_per_iteration=5,
+        mem_accesses_per_iteration=3,
+        lifetime_cycles_per_iteration=12,
+        trip_count=100.0,
+        weight=1.0,
+    )
+    profile = ProgramProfile(name="p", loops=[loop])
+    units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+    return profile, units, EnergyModel(units, TechnologyModel())
+
+
+def reference_point():
+    return OperatingPoint.homogeneous(4, Fraction(1), 1.0, 0.25)
+
+
+class TestReferenceIdentity:
+    def test_reference_execution_totals_one(self, calibrated):
+        profile, units, model = calibrated
+        counts = EventCounts(
+            cluster_energy_units=tuple(
+                profile.total_energy_units / 4 for _ in range(4)
+            ),
+            n_comms=profile.total_comms,
+            n_mem_accesses=profile.total_mem_accesses,
+        )
+        estimate = model.estimate(
+            reference_point(), counts, profile.total_time(REF.cycle_time)
+        )
+        assert estimate.total == pytest.approx(1.0)
+
+    def test_breakdown_components(self, calibrated):
+        profile, units, model = calibrated
+        counts = EventCounts(
+            cluster_energy_units=tuple(
+                profile.total_energy_units / 4 for _ in range(4)
+            ),
+            n_comms=profile.total_comms,
+            n_mem_accesses=profile.total_mem_accesses,
+        )
+        estimate = model.estimate(
+            reference_point(), counts, profile.total_time(REF.cycle_time)
+        )
+        breakdown = EnergyBreakdown.paper_baseline()
+        assert estimate.cache_dynamic + estimate.cache_static == pytest.approx(
+            breakdown.cache_share
+        )
+        assert estimate.icn_dynamic + estimate.icn_static == pytest.approx(
+            breakdown.icn_share
+        )
+
+
+class TestScaling:
+    def test_lower_vdd_lowers_dynamic(self, calibrated):
+        profile, _units, model = calibrated
+        counts = EventCounts((2.5, 2.5, 2.5, 2.5), 1.0, 1.0)
+        low = OperatingPoint.homogeneous(4, Fraction(1), 0.8, 0.2)
+        high = OperatingPoint.homogeneous(4, Fraction(1), 1.0, 0.25)
+        assert (
+            model.estimate(low, counts, 100.0).cluster_dynamic
+            < model.estimate(high, counts, 100.0).cluster_dynamic
+        )
+
+    def test_static_scales_with_time(self, calibrated):
+        _profile, _units, model = calibrated
+        counts = EventCounts((0.0, 0.0, 0.0, 0.0), 0.0, 0.0)
+        point = reference_point()
+        short = model.estimate(point, counts, 100.0)
+        long = model.estimate(point, counts, 200.0)
+        assert long.static == pytest.approx(2 * short.static)
+        assert long.dynamic == 0.0
+
+    def test_cluster_count_mismatch_rejected(self, calibrated):
+        _profile, _units, model = calibrated
+        counts = EventCounts((1.0, 1.0), 0.0, 0.0)
+        with pytest.raises(CalibrationError):
+            model.estimate(reference_point(), counts, 1.0)
+
+
+class TestDistribution:
+    def test_homogeneous_is_uniform(self):
+        point = reference_point()
+        assert default_cluster_distribution(point) == (0.25, 0.25, 0.25, 0.25)
+
+    def test_half_fast_half_slow(self, het_point):
+        distribution = default_cluster_distribution(het_point)
+        assert distribution[0] == pytest.approx(0.5)
+        assert sum(distribution[1:]) == pytest.approx(0.5)
+
+    def test_estimate_with_distribution_matches_manual(self, calibrated):
+        _profile, _units, model = calibrated
+        point = reference_point()
+        auto = model.estimate_with_distribution(point, 10.0, 2.0, 3.0, 50.0)
+        manual = model.estimate(
+            point, EventCounts((2.5, 2.5, 2.5, 2.5), 2.0, 3.0), 50.0
+        )
+        assert auto.total == pytest.approx(manual.total)
+
+    def test_bad_probability_vector(self, calibrated):
+        _profile, _units, model = calibrated
+        with pytest.raises(CalibrationError):
+            model.estimate_with_distribution(
+                reference_point(), 1.0, 0.0, 0.0, 1.0, (0.4, 0.4, 0.4, 0.4)
+            )
+
+
+class TestEventCounts:
+    def test_total(self):
+        counts = EventCounts((1.0, 2.0), 3.0, 4.0)
+        assert counts.total_energy_units == 3.0
+
+    def test_merge(self):
+        a = EventCounts((1.0, 2.0), 3.0, 4.0)
+        b = EventCounts((0.5, 0.5), 1.0, 1.0)
+        merged = a.merged_with(b)
+        assert merged.cluster_energy_units == (1.5, 2.5)
+        assert merged.n_comms == 4.0
+
+    def test_merge_mismatch(self):
+        with pytest.raises(ValueError):
+            EventCounts((1.0,), 0, 0).merged_with(EventCounts((1.0, 2.0), 0, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EventCounts((-1.0,), 0, 0)

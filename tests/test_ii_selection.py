@@ -1,0 +1,125 @@
+"""Tests for per-domain (frequency, II) selection and IT candidates."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.clocking import CACHE_DOMAIN, ICN_DOMAIN, FrequencyPalette
+from repro.machine.operating_point import DomainSetting, OperatingPoint
+from repro.scheduler.ii_selection import iter_it_candidates, select_assignments
+
+
+def het_point():
+    fast = DomainSetting(Fraction(9, 10), 1.1, 0.28)
+    slow = DomainSetting(Fraction(27, 20), 0.8, 0.30)
+    return OperatingPoint(
+        clusters=(fast, slow, slow, slow),
+        icn=DomainSetting(Fraction(9, 10), 1.0, 0.30),
+        cache=DomainSetting(Fraction(9, 10), 1.2, 0.35),
+    )
+
+
+class TestSelectAssignments:
+    def test_any_palette(self):
+        point = het_point()
+        assignments = select_assignments(
+            Fraction(81, 10), point, FrequencyPalette.any_frequency()
+        )
+        assert assignments is not None
+        assert assignments["cluster0"].ii == 9
+        # Slow cluster: floor(8.1 / 1.35) = 6.
+        assert assignments["cluster1"].ii == 6
+        assert assignments[ICN_DOMAIN].ii == 9
+        assert assignments[CACHE_DOMAIN].ii == 9
+
+    def test_ii_equals_frequency_times_it(self):
+        point = het_point()
+        it = Fraction(81, 10)
+        assignments = select_assignments(it, point, FrequencyPalette.any_frequency())
+        for assignment in assignments.values():
+            if assignment.usable:
+                assert assignment.frequency * it == assignment.ii
+
+    def test_frequency_never_exceeds_fmax(self):
+        point = het_point()
+        assignments = select_assignments(
+            Fraction(7), point, FrequencyPalette.any_frequency()
+        )
+        for domain, assignment in assignments.items():
+            if assignment.usable:
+                assert assignment.frequency <= point.setting(domain).fmax
+
+    def test_tiny_it_gates_slow_clusters(self):
+        point = het_point()
+        assignments = select_assignments(
+            Fraction(1), point, FrequencyPalette.any_frequency()
+        )
+        assert assignments is not None
+        assert assignments["cluster0"].usable
+        assert not assignments["cluster1"].usable
+
+    def test_all_gated_fails(self):
+        point = het_point()
+        assert (
+            select_assignments(
+                Fraction(1, 2), point, FrequencyPalette.any_frequency()
+            )
+            is None
+        )
+
+    def test_finite_palette_synchronisation_failure(self):
+        point = het_point()
+        # Only a 1 GHz clock available: IT = 8.1 ns has no integral II.
+        palette = FrequencyPalette((Fraction(1),))
+        assert select_assignments(Fraction(81, 10), point, palette) is None
+
+    def test_finite_palette_success(self):
+        point = het_point()
+        palette = FrequencyPalette((Fraction(5, 9), Fraction(10, 9)))
+        assignments = select_assignments(Fraction(9), point, palette)
+        assert assignments is not None
+        assert assignments["cluster0"].frequency == Fraction(10, 9)
+        assert assignments["cluster0"].ii == 10
+        # Slow clusters (fmax 20/27 < 10/9) use the half-rate clock.
+        assert assignments["cluster1"].frequency == Fraction(5, 9)
+        assert assignments["cluster1"].ii == 5
+
+
+class TestITCandidates:
+    def test_any_palette_starts_at_mit(self):
+        point = het_point()
+        stream = iter_it_candidates(
+            point, FrequencyPalette.any_frequency(), Fraction(81, 10)
+        )
+        assert next(stream) == Fraction(81, 10)
+
+    def test_any_palette_strictly_increasing(self):
+        point = het_point()
+        stream = iter_it_candidates(
+            point, FrequencyPalette.any_frequency(), Fraction(3)
+        )
+        values = list(itertools.islice(stream, 12))
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_any_palette_covers_domain_multiples(self):
+        point = het_point()
+        stream = iter_it_candidates(
+            point, FrequencyPalette.any_frequency(), Fraction(1)
+        )
+        values = set(itertools.islice(stream, 30))
+        # Multiples of 0.9 and 1.35 beyond the start must appear.
+        assert Fraction(9, 5) in values
+        assert Fraction(27, 10) in values
+
+    def test_finite_palette_candidates_synchronise(self):
+        point = het_point()
+        palette = FrequencyPalette((Fraction(5, 9), Fraction(10, 9)))
+        stream = iter_it_candidates(point, palette, Fraction(5))
+        values = list(itertools.islice(stream, 10))
+        assert all(value >= Fraction(5) for value in values)
+        # Every candidate is a multiple of some supported period.
+        for value in values:
+            assert any(
+                (value * f).denominator == 1 for f in palette.frequencies
+            )

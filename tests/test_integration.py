@@ -1,0 +1,81 @@
+"""Integration shape tests: the paper's headline claims, in miniature.
+
+These run a reduced corpus (the class mixes are scale-invariant by
+construction) and assert the *shape* of the published results — who wins
+and in what order — with generous margins, not absolute values.
+"""
+
+import pytest
+
+from repro.pipeline import evaluate_corpus
+from repro.reporting import PAPER_TABLE2_SHARES
+from repro.scheduler import HomogeneousModuloScheduler
+from repro.pipeline.profiling import profile_corpus
+from repro.machine import paper_machine
+from repro.power import TechnologyModel
+from repro.workloads import build_corpus, spec_profile
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    benchmarks = ("200.sixtrack", "187.facerec", "171.swim", "168.wupwise")
+    return {
+        name: evaluate_corpus(build_corpus(spec_profile(name), scale=SCALE))
+        for name in benchmarks
+    }
+
+
+class TestFigure6Shape:
+    def test_heterogeneity_never_hurts_much(self, evaluations):
+        for name, ev in evaluations.items():
+            assert ev.ed2_ratio < 1.02, name
+
+    def test_recurrence_bound_wins_most(self, evaluations):
+        assert (
+            evaluations["200.sixtrack"].ed2_ratio
+            < evaluations["171.swim"].ed2_ratio
+        )
+        assert (
+            evaluations["187.facerec"].ed2_ratio
+            < evaluations["168.wupwise"].ed2_ratio
+        )
+
+    def test_sixtrack_large_benefit(self, evaluations):
+        # Paper: >35%; shape requirement: a clearly large benefit.
+        assert evaluations["200.sixtrack"].ed2_ratio < 0.85
+
+    def test_resource_bound_benefit_from_energy(self, evaluations):
+        swim = evaluations["171.swim"]
+        # Paper: ~5% slower, noticeably less energy.
+        assert swim.energy_ratio < 1.0
+        assert swim.time_ratio < 1.15
+
+
+class TestTable2Measured:
+    @pytest.mark.parametrize(
+        "name", ["171.swim", "187.facerec", "200.sixtrack", "168.wupwise"]
+    )
+    def test_measured_shares_match_calibration_targets(self, name):
+        corpus = build_corpus(spec_profile(name), scale=SCALE)
+        machine = paper_machine()
+        profile, _ = profile_corpus(
+            corpus, HomogeneousModuloScheduler(machine, TechnologyModel())
+        )
+        measured = profile.time_share_by_constraint_class()
+        expected = PAPER_TABLE2_SHARES[name]
+        # II >= MII skews time slightly; allow 12 percentage points.
+        assert measured["resource"] == pytest.approx(expected[0], abs=0.12)
+        assert measured["recurrence"] == pytest.approx(expected[2], abs=0.12)
+
+
+class TestSelectionNarrative:
+    def test_resource_bound_all_same_frequency(self, evaluations):
+        # Paper section 5.2: for register/resource-constrained programs
+        # the selector chooses one frequency for all clusters.
+        assert evaluations["171.swim"].heterogeneous_selection.slow_ratio == 1
+
+    def test_recurrence_bound_large_speed_gap(self, evaluations):
+        # Paper: recurrence-constrained programs get a large fast/slow gap.
+        assert evaluations["200.sixtrack"].heterogeneous_selection.slow_ratio >= 1.25

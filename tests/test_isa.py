@@ -1,0 +1,76 @@
+"""Tests for the Table 1 instruction table."""
+
+import pytest
+
+from repro.ir.opcodes import OpClass
+from repro.machine.isa import ClassEntry, InstructionTable
+
+
+class TestPaperDefaults:
+    """The exact Table 1 numbers."""
+
+    TABLE = InstructionTable.paper_defaults()
+
+    @pytest.mark.parametrize(
+        "opclass,latency,energy",
+        [
+            (OpClass.LOAD, 2, 1.0),
+            (OpClass.STORE, 2, 1.0),
+            (OpClass.IADD, 1, 1.0),
+            (OpClass.FADD, 3, 1.2),
+            (OpClass.IMUL, 2, 1.1),
+            (OpClass.FMUL, 6, 1.5),
+            (OpClass.IDIV, 6, 1.4),
+            (OpClass.FDIV, 18, 2.0),
+            (OpClass.BRANCH, 1, 1.0),
+        ],
+    )
+    def test_table1_values(self, opclass, latency, energy):
+        assert self.TABLE.latency(opclass) == latency
+        assert self.TABLE.energy(opclass) == pytest.approx(energy)
+
+    def test_copy_has_no_cluster_energy(self):
+        # Copy energy is the interconnect's, modelled separately.
+        assert self.TABLE.energy(OpClass.COPY) == 0.0
+        assert self.TABLE.latency(OpClass.COPY) == 1
+
+    def test_rows_cover_every_class(self):
+        assert {oc for oc, _ in self.TABLE.rows()} == set(OpClass)
+
+
+class TestUniformEnergy:
+    def test_compute_energies_collapse_to_one(self):
+        table = InstructionTable.paper_defaults(uniform_energy=True)
+        assert table.energy(OpClass.FDIV) == 1.0
+        assert table.energy(OpClass.FADD) == 1.0
+        assert table.energy(OpClass.COPY) == 0.0  # stays zero
+
+    def test_latencies_unchanged(self):
+        table = InstructionTable.paper_defaults(uniform_energy=True)
+        assert table.latency(OpClass.FDIV) == 18
+
+
+class TestCustomisation:
+    def test_with_entry(self):
+        table = InstructionTable.paper_defaults().with_entry(
+            OpClass.LOAD, ClassEntry(5, 2.5)
+        )
+        assert table.latency(OpClass.LOAD) == 5
+        assert table.energy(OpClass.LOAD) == 2.5
+        # Original entries untouched elsewhere.
+        assert table.latency(OpClass.STORE) == 2
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTable({OpClass.LOAD: ClassEntry(2, 1.0)})
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError):
+            ClassEntry(-1, 1.0)
+        with pytest.raises(ValueError):
+            ClassEntry(1, -0.5)
+
+    def test_weighted_instruction_energy(self):
+        table = InstructionTable.paper_defaults()
+        counts = {OpClass.FADD: 2, OpClass.LOAD: 1}
+        assert table.weighted_instruction_energy(counts) == pytest.approx(3.4)

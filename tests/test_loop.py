@@ -1,0 +1,36 @@
+"""Tests for the Loop wrapper."""
+
+import pytest
+
+from repro.ir.builder import DDGBuilder
+from repro.ir.loop import Loop
+from repro.ir.opcodes import OpClass
+
+
+def simple_ddg(name="l"):
+    b = DDGBuilder(name)
+    a = b.op("a", OpClass.LOAD)
+    c = b.op("c", OpClass.FADD)
+    b.flow(a, c)
+    return b.build()
+
+
+class TestLoop:
+    def test_name_comes_from_ddg(self):
+        assert Loop(simple_ddg("xyz")).name == "xyz"
+
+    def test_total_iterations(self):
+        loop = Loop(simple_ddg(), trip_count=50, weight=4)
+        assert loop.total_iterations == 200
+
+    def test_trip_count_validated(self):
+        with pytest.raises(ValueError):
+            Loop(simple_ddg(), trip_count=0.5)
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            Loop(simple_ddg(), weight=0)
+
+    def test_repr(self):
+        text = repr(Loop(simple_ddg("abc"), trip_count=10))
+        assert "abc" in text and "ops=2" in text

@@ -1,0 +1,96 @@
+"""Tests for FU mapping, clusters and the whole-machine description."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ir.opcodes import OpClass
+from repro.machine.cluster import ClusterConfig
+from repro.machine.fu import FUType, fu_for
+from repro.machine.interconnect import InterconnectConfig
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.machine.memory import MemoryConfig
+
+
+class TestFUMapping:
+    def test_memory_ops(self):
+        assert fu_for(OpClass.LOAD) is FUType.MEM
+        assert fu_for(OpClass.STORE) is FUType.MEM
+
+    def test_fp_ops(self):
+        for oc in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV):
+            assert fu_for(oc) is FUType.FP
+
+    def test_int_ops(self):
+        for oc in (OpClass.IADD, OpClass.IMUL, OpClass.IDIV, OpClass.BRANCH):
+            assert fu_for(oc) is FUType.INT
+
+    def test_copy_needs_no_fu(self):
+        assert fu_for(OpClass.COPY) is None
+
+
+class TestClusterConfig:
+    def test_paper_cluster(self):
+        cluster = ClusterConfig()
+        assert cluster.fu_counts() == {FUType.INT: 1, FUType.FP: 1, FUType.MEM: 1}
+        assert cluster.n_regs == 16
+        assert cluster.issue_width == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_int=-1)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_int=0, n_fp=0, n_mem=0)
+
+
+class TestInterconnect:
+    def test_defaults(self):
+        icn = InterconnectConfig()
+        assert icn.n_buses == 1 and icn.latency == 1
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(latency=0)
+
+
+class TestMemory:
+    def test_always_hit_default(self):
+        assert MemoryConfig().always_hit
+
+    def test_miss_model_out_of_scope(self):
+        with pytest.raises(NotImplementedError):
+            MemoryConfig(always_hit=False)
+
+
+class TestMachineDescription:
+    def test_paper_machine_totals(self):
+        machine = paper_machine()
+        assert machine.n_clusters == 4
+        assert machine.total_registers == 64
+        assert machine.fu_totals() == {FUType.INT: 4, FUType.FP: 4, FUType.MEM: 4}
+
+    def test_paper_machine_bus_options(self):
+        assert paper_machine(n_buses=2).interconnect.n_buses == 2
+
+    def test_uniform_energy_flag(self):
+        machine = paper_machine(uniform_energy=True)
+        assert machine.isa.energy(OpClass.FDIV) == 1.0
+
+    def test_no_clusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineDescription(clusters=())
+
+    def test_multicluster_needs_bus(self):
+        with pytest.raises(ConfigurationError):
+            MachineDescription(
+                clusters=(ClusterConfig(), ClusterConfig()),
+                interconnect=InterconnectConfig(n_buses=0),
+            )
+
+    def test_single_cluster_needs_no_bus(self):
+        machine = MachineDescription(
+            clusters=(ClusterConfig(),),
+            interconnect=InterconnectConfig(n_buses=0),
+        )
+        assert machine.n_clusters == 1

@@ -1,0 +1,40 @@
+"""Tests for figure-of-merit helpers."""
+
+import pytest
+
+from repro.power.metrics import ed2, edp, energy_delay_product, relative
+
+
+class TestEd2:
+    def test_value(self):
+        assert ed2(2.0, 3.0) == 18.0
+
+    def test_quadratic_in_time(self):
+        assert ed2(1.0, 4.0) == 4 * ed2(1.0, 2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ed2(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ed2(1.0, -1.0)
+
+
+class TestEdp:
+    def test_value(self):
+        assert edp(2.0, 3.0) == 6.0
+
+    def test_alias(self):
+        assert energy_delay_product is edp
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 1.0)
+
+
+class TestRelative:
+    def test_ratio(self):
+        assert relative(3.0, 2.0) == 1.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative(1.0, 0.0)

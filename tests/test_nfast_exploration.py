@@ -1,0 +1,83 @@
+"""Exploring the number of fast clusters (the section 3.3 knob).
+
+The paper's evaluation fixes one fast cluster; the design space spec
+exposes the count as a knob.  These tests exercise selection with the
+knob open.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.machine import paper_machine
+from repro.machine.operating_point import DomainSetting
+from repro.power.breakdown import EnergyBreakdown
+from repro.power.calibration import calibrate
+from repro.power.technology import TechnologyModel
+from repro.vfs.candidates import DesignSpaceSpec
+from repro.vfs.selector import ConfigurationSelector
+
+from tests.test_selector import REF, recurrence_program
+
+
+@pytest.fixture
+def setup():
+    return paper_machine(), TechnologyModel()
+
+
+class TestNFastExploration:
+    def test_structures_include_multi_fast(self):
+        spec = DesignSpaceSpec(n_fast_options=(1, 2, 3))
+        structures = list(spec.structures())
+        n_fast_seen = {s[0] for s in structures if s[2] != 1}
+        assert n_fast_seen == {1, 2, 3}
+
+    def test_selection_with_open_knob_is_no_worse(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        fixed = ConfigurationSelector(
+            machine, technology, DesignSpaceSpec(n_fast_options=(1,))
+        ).select(profile, units)
+        open_knob = ConfigurationSelector(
+            machine, technology, DesignSpaceSpec(n_fast_options=(1, 2, 3))
+        ).select(profile, units)
+        # A superset design space can only improve the estimated optimum.
+        assert open_knob.estimated_ed2 <= fixed.estimated_ed2 * (1 + 1e-12)
+
+    def test_multi_fast_estimates_stay_close(self, setup):
+        # The section 3.2-style instruction distribution does not model
+        # slow-cluster *capacity*, so with more fast clusters the model
+        # can book the non-critical work onto fewer slow clusters for
+        # free — one reason the paper pins the evaluation to one fast
+        # cluster.  The knob must work, and the estimates across n_fast
+        # must stay within a narrow band (no dramatic fictitious win).
+        machine, technology = setup
+        profile = recurrence_program(critical=0.1, trip=500)
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        selector = ConfigurationSelector(
+            machine, technology, DesignSpaceSpec(n_fast_options=(1, 2, 3))
+        )
+        results = selector.enumerate(profile, units)
+        het = [r for r in results if r.slow_ratio != 1]
+        by_n_fast = {}
+        for result in het:
+            by_n_fast.setdefault(result.n_fast, result.estimated_ed2)
+        assert set(by_n_fast) == {1, 2, 3}
+        best, worst = min(by_n_fast.values()), max(by_n_fast.values())
+        assert worst / best < 1.10
+
+    def test_point_reflects_n_fast(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        selector = ConfigurationSelector(
+            machine, technology, DesignSpaceSpec(n_fast_options=(2,))
+        )
+        result = selector.select(profile, units)
+        if result.slow_ratio != 1:
+            fast_ct = result.point.fastest_cluster_cycle_time
+            n_fast_clusters = sum(
+                1 for s in result.point.clusters if s.cycle_time == fast_ct
+            )
+            assert n_fast_clusters == 2

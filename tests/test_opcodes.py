@@ -1,0 +1,75 @@
+"""Tests for the instruction-class taxonomy."""
+
+import pytest
+
+from repro.ir.opcodes import COMPUTE_CLASSES, Domain, OpCategory, OpClass
+
+
+class TestCategories:
+    def test_memory_classes(self):
+        assert OpClass.LOAD.category is OpCategory.MEMORY
+        assert OpClass.STORE.category is OpCategory.MEMORY
+
+    def test_arith_classes(self):
+        assert OpClass.IADD.category is OpCategory.ARITH
+        assert OpClass.FADD.category is OpCategory.ARITH
+
+    def test_multiply_classes(self):
+        assert OpClass.IMUL.category is OpCategory.MULTIPLY
+        assert OpClass.FMUL.category is OpCategory.MULTIPLY
+
+    def test_divide_classes(self):
+        assert OpClass.IDIV.category is OpCategory.DIVIDE
+        assert OpClass.FDIV.category is OpCategory.DIVIDE
+
+    def test_architectural_classes(self):
+        assert OpClass.COPY.category is OpCategory.COPY
+        assert OpClass.BRANCH.category is OpCategory.BRANCH
+
+
+class TestDomains:
+    def test_fp_domain(self):
+        assert OpClass.FADD.domain is Domain.FP
+        assert OpClass.FMUL.domain is Domain.FP
+        assert OpClass.FDIV.domain is Domain.FP
+
+    def test_int_domain(self):
+        for opclass in (OpClass.IADD, OpClass.IMUL, OpClass.IDIV, OpClass.BRANCH):
+            assert opclass.domain is Domain.INT
+
+    def test_memory_is_int_domain(self):
+        assert OpClass.LOAD.domain is Domain.INT
+
+    def test_copy_has_no_domain(self):
+        assert OpClass.COPY.domain is Domain.NONE
+
+
+class TestPredicates:
+    def test_is_memory(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.FADD.is_memory
+
+    def test_is_copy(self):
+        assert OpClass.COPY.is_copy
+        assert not OpClass.LOAD.is_copy
+
+    def test_is_float(self):
+        assert OpClass.FADD.is_float
+        assert not OpClass.IADD.is_float
+        assert not OpClass.COPY.is_float
+
+    def test_writes_register(self):
+        assert OpClass.LOAD.writes_register
+        assert OpClass.FADD.writes_register
+        assert not OpClass.STORE.writes_register
+        assert not OpClass.BRANCH.writes_register
+
+
+class TestComputeClasses:
+    def test_excludes_architectural(self):
+        assert OpClass.COPY not in COMPUTE_CLASSES
+        assert OpClass.BRANCH not in COMPUTE_CLASSES
+
+    def test_has_eight_classes(self):
+        assert len(COMPUTE_CLASSES) == 8

@@ -1,0 +1,99 @@
+"""Tests for domain settings, machine speeds and operating points."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.clocking import CACHE_DOMAIN, ICN_DOMAIN
+from repro.machine.operating_point import (
+    DomainSetting,
+    MachineSpeeds,
+    OperatingPoint,
+)
+
+
+class TestDomainSetting:
+    def test_valid(self):
+        setting = DomainSetting(Fraction(9, 10), 1.0, 0.25)
+        assert setting.fmax == Fraction(10, 9)
+
+    def test_cycle_time_coerced_to_fraction(self):
+        setting = DomainSetting("0.9", 1.0, 0.25)
+        assert setting.cycle_time == Fraction(9, 10)
+
+    def test_bad_cycle_time(self):
+        with pytest.raises(ConfigurationError):
+            DomainSetting(Fraction(0), 1.0, 0.25)
+
+    def test_vth_must_be_below_vdd(self):
+        with pytest.raises(ConfigurationError):
+            DomainSetting(Fraction(1), 1.0, 1.0)
+
+    def test_vdd_positive(self):
+        with pytest.raises(ConfigurationError):
+            DomainSetting(Fraction(1), 0.0, -0.1)
+
+
+class TestOperatingPoint:
+    def test_homogeneous(self):
+        point = OperatingPoint.homogeneous(4, Fraction(1), 1.0, 0.25)
+        assert point.is_homogeneous
+        assert point.n_clusters == 4
+        assert point.icn.cycle_time == Fraction(1)
+
+    def test_setting_lookup(self, het_point):
+        assert het_point.setting("cluster0").cycle_time == Fraction(9, 10)
+        assert het_point.setting(ICN_DOMAIN) is het_point.icn
+        assert het_point.setting(CACHE_DOMAIN) is het_point.cache
+        with pytest.raises(KeyError):
+            het_point.setting("cluster9")
+
+    def test_fastest_slowest(self, het_point):
+        assert het_point.fastest_cluster_cycle_time == Fraction(9, 10)
+        assert het_point.slowest_cluster_cycle_time == Fraction(27, 20)
+
+    def test_mean_cycle_time(self, het_point):
+        expected = (Fraction(9, 10) + 3 * Fraction(27, 20)) / 4
+        assert het_point.mean_cluster_cycle_time == expected
+
+    def test_not_homogeneous(self, het_point):
+        assert not het_point.is_homogeneous
+
+    def test_slowest_first_ordering(self, het_point):
+        order = het_point.sorted_cluster_indices_slowest_first()
+        assert order[-1] == 0  # the fast cluster comes last
+        assert set(order) == {0, 1, 2, 3}
+
+    def test_settings_by_domain(self, het_point):
+        settings = het_point.settings_by_domain()
+        assert len(settings) == 6
+        assert settings["cluster1"].cycle_time == Fraction(27, 20)
+
+    def test_speeds_projection(self, het_point):
+        speeds = het_point.speeds
+        assert speeds.cluster_cycle_times[0] == Fraction(9, 10)
+        assert speeds.icn_cycle_time == Fraction(9, 10)
+
+
+class TestMachineSpeeds:
+    def test_uniform(self):
+        speeds = MachineSpeeds.uniform(3, Fraction(3, 2))
+        assert speeds.n_clusters == 3
+        assert speeds.mean_cluster_cycle_time == Fraction(3, 2)
+
+    def test_domain_lookup(self):
+        speeds = MachineSpeeds(
+            (Fraction(1), Fraction(2)), Fraction(1), Fraction(3)
+        )
+        assert speeds.domain_cycle_time("cluster1") == Fraction(2)
+        assert speeds.domain_cycle_time(ICN_DOMAIN) == Fraction(1)
+        assert speeds.domain_cycle_time(CACHE_DOMAIN) == Fraction(3)
+        with pytest.raises(KeyError):
+            speeds.domain_cycle_time("nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpeeds((), Fraction(1), Fraction(1))
+        with pytest.raises(ConfigurationError):
+            MachineSpeeds((Fraction(0),), Fraction(1), Fraction(1))

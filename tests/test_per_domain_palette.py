@@ -1,0 +1,95 @@
+"""Tests for per-domain frequency ladders (the Figure 7 clock model)."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.clocking import FrequencyPalette
+from repro.machine.operating_point import DomainSetting, OperatingPoint
+from repro.scheduler.ii_selection import iter_it_candidates, select_assignments
+
+
+def het_point():
+    fast = DomainSetting(Fraction(19, 20), 1.1, 0.28)
+    slow = DomainSetting(Fraction(19, 10), 0.8, 0.32)
+    return OperatingPoint(
+        clusters=(fast, slow, slow, slow),
+        icn=DomainSetting(Fraction(19, 20), 1.0, 0.30),
+        cache=DomainSetting(Fraction(19, 20), 1.2, 0.35),
+    )
+
+
+class TestConstruction:
+    def test_flags(self):
+        palette = FrequencyPalette.per_domain_uniform(8)
+        assert palette.is_per_domain
+        assert not palette.is_any
+        assert len(palette) == 8
+
+    def test_mutually_exclusive_with_global_set(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette((Fraction(1),), per_domain_size=4)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            FrequencyPalette.per_domain_uniform(0)
+
+
+class TestSelectPair:
+    def test_full_speed_when_aligned(self):
+        palette = FrequencyPalette.per_domain_uniform(4)
+        # fmax * IT integral: runs at k = K (full speed).
+        pair = palette.select_pair(Fraction(9), Fraction(1))
+        assert pair == (Fraction(1), 9)
+
+    def test_falls_back_to_lower_rung(self):
+        palette = FrequencyPalette.per_domain_uniform(4)
+        # fmax * IT = 4.5: k=4 fails, k=2 gives f/2 * 4.5... = 2.25 no,
+        # k = 2: 0.5 * 4.5 = 2.25 ✗; k such that 4.5k/4 integral: none
+        # except k=0 — no pair.
+        assert palette.select_pair(Fraction(9, 2), Fraction(1)) is None
+
+    def test_half_rate_rung(self):
+        palette = FrequencyPalette.per_domain_uniform(2)
+        # fmax * IT = 5: k=2 -> 5 OK at full speed.
+        assert palette.select_pair(Fraction(5), Fraction(1)) == (Fraction(1), 5)
+        # fmax * IT = 5.5: k=2 fails (5.5), k=1 -> 2.75 fails -> None.
+        assert palette.select_pair(Fraction(11, 2), Fraction(1)) is None
+
+    def test_quarter_rung_used(self):
+        palette = FrequencyPalette.per_domain_uniform(4)
+        # fmax * IT = 8: k=4 -> 8 (full speed preferred over k=2 -> 4).
+        assert palette.select_pair(Fraction(8), Fraction(1)) == (Fraction(1), 8)
+
+
+class TestAssignments:
+    def test_misaligned_slow_domains_gated(self):
+        point = het_point()
+        palette = FrequencyPalette.per_domain_uniform(4)
+        # MIT-like IT = 8.55 ns: fast fmax*IT = 9 (k=4 works); slow
+        # fmax*IT = 4.5 — no rung works -> gated.
+        assignments = select_assignments(Fraction(171, 20), point, palette)
+        assert assignments is not None
+        assert assignments["cluster0"].ii == 9
+        assert not assignments["cluster1"].usable
+
+    def test_next_candidate_unlocks_slow_domains(self):
+        point = het_point()
+        palette = FrequencyPalette.per_domain_uniform(4)
+        stream = iter_it_candidates(point, palette, Fraction(171, 20))
+        for candidate in itertools.islice(stream, 50):
+            assignments = select_assignments(candidate, point, palette)
+            if assignments is not None and assignments["cluster1"].usable:
+                # 9.5 ns: slow fmax * 9.5 = 5 exactly.
+                assert candidate == Fraction(19, 2)
+                return
+        pytest.fail("no candidate unlocked the slow clusters")
+
+    def test_candidates_ascend(self):
+        point = het_point()
+        palette = FrequencyPalette.per_domain_uniform(8)
+        stream = iter_it_candidates(point, palette, Fraction(5))
+        values = list(itertools.islice(stream, 15))
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(v >= 5 for v in values)

@@ -1,0 +1,125 @@
+"""Tests for loop/program profiles."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.opcodes import OpClass
+from repro.power.profile import LoopProfile, ProgramProfile
+
+
+def make_profile(
+    name="l",
+    rec_mii=Fraction(9),
+    res_mii=3,
+    ii=9,
+    cycles=13,
+    trip=100.0,
+    weight=1.0,
+    comms=0,
+    boundary=0,
+    critical=0.5,
+):
+    return LoopProfile(
+        name=name,
+        rec_mii=rec_mii,
+        res_mii=res_mii,
+        ii_homogeneous=ii,
+        cycles_per_iteration=cycles,
+        class_counts={OpClass.LOAD: 2, OpClass.FADD: 3, OpClass.STORE: 1},
+        energy_units_per_iteration=2 * 1.0 + 3 * 1.2 + 1 * 1.0,
+        comms_per_iteration=comms,
+        mem_accesses_per_iteration=3,
+        lifetime_cycles_per_iteration=20,
+        trip_count=trip,
+        weight=weight,
+        critical_energy_fraction=critical,
+        critical_boundary_edges=boundary,
+    )
+
+
+class TestLoopProfile:
+    def test_ops_per_iteration(self):
+        assert make_profile().ops_per_iteration == 6
+
+    def test_total_iterations(self):
+        assert make_profile(trip=50, weight=4).total_iterations == 200
+
+    def test_homogeneous_cycles_total(self):
+        profile = make_profile(trip=10, weight=2, ii=9, cycles=13)
+        # ((10 - 1) * 9 + 13) * 2
+        assert profile.homogeneous_cycles_total == pytest.approx(188)
+
+    def test_recurrence_constrained_flag(self):
+        assert make_profile(rec_mii=Fraction(9), res_mii=3).is_recurrence_constrained
+        assert not make_profile(rec_mii=Fraction(2), res_mii=3).is_recurrence_constrained
+
+
+class TestConstraintClass:
+    def test_resource(self):
+        assert make_profile(rec_mii=Fraction(2), res_mii=3).constraint_class() == "resource"
+
+    def test_recurrence(self):
+        assert make_profile(rec_mii=Fraction(9), res_mii=3).constraint_class() == "recurrence"
+
+    def test_balanced(self):
+        assert make_profile(rec_mii=Fraction(3), res_mii=3).constraint_class() == "balanced"
+
+    def test_boundary_is_recurrence(self):
+        # recMII exactly 1.3 * resMII counts as recurrence-constrained.
+        profile = make_profile(rec_mii=Fraction(13, 10) * 3, res_mii=3)
+        assert profile.constraint_class() == "recurrence"
+
+
+class TestProgramProfile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramProfile(name="p", loops=[])
+
+    def test_totals(self):
+        loops = [make_profile("a", trip=10, weight=1), make_profile("b", trip=10, weight=1)]
+        program = ProgramProfile(name="p", loops=loops)
+        assert len(program) == 2
+        assert program.total_energy_units == pytest.approx(2 * 66)  # 6.6 * 10 * 2
+        assert program.total_mem_accesses == pytest.approx(60)
+
+    def test_total_time_scales_with_cycle_time(self):
+        program = ProgramProfile(name="p", loops=[make_profile()])
+        assert program.total_time(Fraction(2)) == pytest.approx(
+            2 * program.total_cycles
+        )
+
+    def test_time_shares_sum_to_one(self):
+        loops = [
+            make_profile("a", rec_mii=Fraction(2), res_mii=3),
+            make_profile("b", rec_mii=Fraction(9), res_mii=3),
+        ]
+        shares = ProgramProfile(name="p", loops=loops).time_share_by_constraint_class()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["resource"] == pytest.approx(0.5)
+        assert shares["recurrence"] == pytest.approx(0.5)
+
+    def test_critical_energy_fraction_weighted(self):
+        loops = [
+            make_profile("a", critical=0.2, trip=100),
+            make_profile("b", critical=0.8, trip=100),
+        ]
+        program = ProgramProfile(name="p", loops=loops)
+        assert program.critical_energy_fraction == pytest.approx(0.5)
+
+    def test_heterogeneous_comms_at_least_homogeneous(self):
+        loops = [make_profile("a", comms=2, boundary=3)]
+        program = ProgramProfile(name="p", loops=loops)
+        assert program.total_comms_heterogeneous >= program.total_comms
+
+    def test_heterogeneous_comms_ramp_weighting(self):
+        # Short loops convert more boundary edges into communications.
+        short = ProgramProfile(
+            name="s", loops=[make_profile("a", comms=0, boundary=4, trip=3)]
+        )
+        long = ProgramProfile(
+            name="l", loops=[make_profile("a", comms=0, boundary=4, trip=1000)]
+        )
+        short_per_iter = short.total_comms_heterogeneous / short.loops[0].total_iterations
+        long_per_iter = long.total_comms_heterogeneous / long.loops[0].total_iterations
+        assert short_per_iter > long_per_iter

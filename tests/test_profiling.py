@@ -1,0 +1,88 @@
+"""Tests for the profiling pass."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pipeline.profiling import profile_corpus, profile_loop
+from repro.scheduler import HomogeneousModuloScheduler
+from repro.workloads.corpus import Corpus
+from repro.ir.opcodes import OpClass
+from tests.conftest import build_recurrence_loop, build_resource_loop, build_tiny_loop
+
+
+@pytest.fixture
+def profiled(machine, technology):
+    corpus = Corpus(
+        "t",
+        [build_recurrence_loop(weight=2.0), build_resource_loop(), build_tiny_loop()],
+    )
+    scheduler = HomogeneousModuloScheduler(machine, technology)
+    profile, schedules = profile_corpus(corpus, scheduler)
+    return corpus, profile, schedules
+
+
+class TestLoopProfile:
+    def test_mii_fields(self, profiled, machine):
+        _corpus, profile, _schedules = profiled
+        rec = profile.loops[0]
+        assert rec.rec_mii == 9
+        assert rec.res_mii == 1
+        assert rec.ii_homogeneous == 9
+        res = profile.loops[1]
+        assert res.res_mii == 3
+        assert res.rec_mii == 1
+
+    def test_counts_match_ddg(self, profiled):
+        corpus, profile, _schedules = profiled
+        for loop, loop_profile in zip(corpus.loops, profile.loops):
+            assert loop_profile.ops_per_iteration == len(loop.ddg)
+            assert loop_profile.mem_accesses_per_iteration == sum(
+                1 for op in loop.ddg.operations if op.opclass.is_memory
+            )
+
+    def test_cycles_per_iteration_at_least_critical_path(self, profiled):
+        _corpus, profile, schedules = profiled
+        rec = profile.loops[0]
+        # load(2) + 3 x FADD(3) + store(2) = 13 cycles.
+        assert rec.cycles_per_iteration >= 13
+
+    def test_dynamic_attributes_carried(self, profiled):
+        corpus, profile, _schedules = profiled
+        assert profile.loops[0].weight == 2.0
+        assert profile.loops[0].trip_count == corpus.loops[0].trip_count
+
+    def test_critical_fraction(self, profiled):
+        _corpus, profile, _schedules = profiled
+        rec = profile.loops[0]
+        # 3 FADDs of 8 ops: energy fraction 3*1.2 / total.
+        total = rec.energy_units_per_iteration
+        assert rec.critical_energy_fraction == pytest.approx(3 * 1.2 / total)
+
+    def test_boundary_edges(self, profiled):
+        _corpus, profile, _schedules = profiled
+        rec = profile.loops[0]
+        # l1 -> f1 (in) and f3 -> s1 (out) touch the critical recurrence.
+        assert rec.critical_boundary_edges == 2
+
+    def test_no_recurrence_loop_zero_fraction(self, machine, technology):
+        corpus = Corpus("r", [build_resource_loop()])
+        profile, _ = profile_corpus(
+            corpus, HomogeneousModuloScheduler(machine, technology)
+        )
+        # The only recurrence is the trivial induction IADD.
+        assert profile.loops[0].critical_energy_fraction <= 0.1
+
+
+class TestProgramProfile:
+    def test_one_entry_per_loop(self, profiled):
+        corpus, profile, schedules = profiled
+        assert len(profile) == len(corpus.loops)
+        assert set(schedules) == {loop.name for loop in corpus.loops}
+
+    def test_class_shares(self, profiled):
+        _corpus, profile, _schedules = profiled
+        shares = profile.time_share_by_constraint_class()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["recurrence"] > 0
+        assert shares["resource"] > 0

@@ -1,0 +1,118 @@
+"""Tests for the pseudo-schedule estimator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.builder import DDGBuilder
+from repro.ir.loop import Loop
+from repro.ir.opcodes import OpClass
+from repro.machine.clocking import FrequencyPalette
+from repro.machine.machine import paper_machine
+from repro.scheduler.context import SchedulingContext
+from repro.scheduler.ii_selection import select_assignments
+from repro.scheduler.mii import minimum_initiation_time
+from repro.scheduler.options import SchedulerOptions
+from repro.scheduler.partition import Partition
+from repro.scheduler.pseudo import partition_cost, pseudo_schedule
+from tests.conftest import build_recurrence_loop
+
+
+def make_context(loop, point, it=None):
+    machine = paper_machine()
+    it = it if it is not None else minimum_initiation_time(
+        loop.ddg, machine, point.speeds
+    )
+    assignments = select_assignments(it, point, FrequencyPalette.any_frequency())
+    return SchedulingContext(
+        loop.ddg, machine, point, assignments, it, SchedulerOptions(), loop.trip_count
+    )
+
+
+def all_on(ddg, cluster, n_clusters=4):
+    return Partition(ddg, n_clusters, {op: cluster for op in ddg.operations})
+
+
+class TestPseudoSchedule:
+    def test_feasible_single_cluster(self, reference_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, reference_point)
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 0))
+        assert ps.feasible
+        assert ps.comms == 0
+        assert ps.it_length > 0
+
+    def test_it_length_close_to_critical_path(self, reference_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, reference_point)
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 0))
+        # Critical chain: load(2) + 3 FADDs (9) + store(2) = 13 cycles.
+        assert ps.it_length >= 13.0
+
+    def test_cross_cluster_counts_comms(self, reference_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, reference_point)
+        ddg = loop.ddg
+        mapping = {op: 0 for op in ddg.operations}
+        mapping[ddg.operation("s1")] = 1
+        ps = pseudo_schedule(ctx, Partition(ddg, 4, mapping))
+        # f3 -> s1 and m1 -> s1 both cross now.
+        assert ps.comms == 2
+
+    def test_recurrence_on_slow_cluster_violates(self, het_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, het_point, it=Fraction(81, 10))
+        # The 9-cycle recurrence on a slow (1.35 ns) cluster needs
+        # 12.15 ns > IT 8.1 ns.
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 1))
+        assert ps.recurrence_violation > 0
+        assert not ps.feasible
+
+    def test_recurrence_on_fast_cluster_ok(self, het_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, het_point, it=Fraction(81, 10))
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 0))
+        assert ps.recurrence_violation == 0
+
+    def test_overload_reports_overflow(self, reference_point):
+        b = DDGBuilder("wide")
+        for i in range(12):
+            b.op(f"l{i}", OpClass.LOAD)
+        iv = b.op("iv", OpClass.IADD)
+        b.flow(iv, iv, distance=1)
+        loop = Loop(b.build(), trip_count=10)
+        ctx = make_context(loop, reference_point, it=Fraction(3))
+        # 12 memory ops in one cluster with II 3 and a small window: the
+        # single port cannot absorb them.
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 0))
+        assert ps.overflow > 0
+
+    def test_cluster_units_follow_partition(self, reference_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, reference_point)
+        ps = pseudo_schedule(ctx, all_on(loop.ddg, 2))
+        assert ps.cluster_units[2] > 0
+        assert ps.cluster_units[0] == 0
+
+
+class TestPartitionCost:
+    def test_feasible_beats_infeasible(self, het_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, het_point, it=Fraction(81, 10))
+        good = partition_cost(ctx, all_on(loop.ddg, 0))
+        bad = partition_cost(ctx, all_on(loop.ddg, 1))
+        assert good < bad
+
+    def test_cost_orders_energy(self, het_point):
+        loop = build_recurrence_loop()
+        ctx = make_context(loop, het_point, it=Fraction(81, 10))
+        ddg = loop.ddg
+        on_fast = {op: 0 for op in ddg.operations}
+        moved = dict(on_fast)
+        # Move the independent side chain to a slow cluster: cheaper.
+        for name in ("l2", "m1", "a1"):
+            moved[ddg.operation(name)] = 1
+        cost_fast = partition_cost(ctx, Partition(ddg, 4, on_fast))
+        cost_mixed = partition_cost(ctx, Partition(ddg, 4, moved))
+        assert cost_mixed[0] == 0
+        assert cost_mixed[1] < cost_fast[1]

@@ -1,0 +1,68 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.reporting import (
+    PAPER_FIGURE6_ED2,
+    PAPER_TABLE2_SHARES,
+    bar_chart,
+    comparison_rows,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.25], ["bb", 33]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "name" in lines[2]
+        assert text.count("+-") >= 3
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["k", "v"], [["a", "7"], ["b", "100"]])
+        rows = [line for line in text.splitlines() if line.startswith("| a") or line.startswith("| b")]
+        assert rows[0].endswith("  7 |")
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["one"], [["a", "b"]])
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart({"x": 1.0, "y": 0.5}, width=10, maximum=1.0)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        assert bar_chart({"x": 1.0}, title="Hello").splitlines()[0] == "Hello"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_bad_maximum(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, maximum=0.0)
+
+
+class TestPaperData:
+    def test_figure6_has_all_benchmarks_and_mean(self):
+        assert len(PAPER_FIGURE6_ED2) == 11
+        assert "mean" in PAPER_FIGURE6_ED2
+        assert all(0 < v < 1 for v in PAPER_FIGURE6_ED2.values())
+
+    def test_table2_shares_sum_to_one(self):
+        for shares in PAPER_TABLE2_SHARES.values():
+            assert sum(shares) == pytest.approx(1.0, abs=0.02)
+
+    def test_comparison_rows(self):
+        rows = comparison_rows({"a": 0.8, "b": 0.9}, {"a": 0.7, "c": 0.5})
+        assert len(rows) == 1
+        assert rows[0][0] == "a"
+        assert rows[0][3] == "+0.100"

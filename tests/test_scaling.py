@@ -1,0 +1,45 @@
+"""Tests for the delta/sigma scaling factors (sections 3.1.1-3.1.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.operating_point import DomainSetting
+from repro.power.scaling import dynamic_scale, static_scale
+
+REF = DomainSetting(Fraction(1), 1.0, 0.25)
+
+
+class TestDynamicScale:
+    def test_identity_at_reference(self):
+        assert dynamic_scale(REF, REF) == 1.0
+
+    def test_quadratic_in_vdd(self):
+        low = DomainSetting(Fraction(1), 0.5, 0.2)
+        assert dynamic_scale(low, REF) == pytest.approx(0.25)
+
+    def test_frequency_does_not_matter(self):
+        slow = DomainSetting(Fraction(2), 1.0, 0.25)
+        assert dynamic_scale(slow, REF) == 1.0
+
+
+class TestStaticScale:
+    def test_identity_at_reference(self):
+        assert static_scale(REF, REF) == pytest.approx(1.0)
+
+    def test_one_decade_per_slope(self):
+        # Raising Vth by one subthreshold slope cuts leakage 10x.
+        high_vth = DomainSetting(Fraction(1), 1.0, 0.35)
+        assert static_scale(high_vth, REF, 0.1) == pytest.approx(0.1)
+
+    def test_linear_in_vdd(self):
+        lower_vdd = DomainSetting(Fraction(1), 0.5, 0.25)
+        assert static_scale(lower_vdd, REF, 0.1) == pytest.approx(0.5)
+
+    def test_lower_vth_leaks_exponentially_more(self):
+        leaky = DomainSetting(Fraction(1), 1.0, 0.15)
+        assert static_scale(leaky, REF, 0.1) == pytest.approx(10.0)
+
+    def test_bad_slope(self):
+        with pytest.raises(ValueError):
+            static_scale(REF, REF, 0.0)

@@ -1,0 +1,45 @@
+"""Tests for the kernel visualisation."""
+
+import pytest
+
+from repro.reporting.schedule_view import render_kernel
+from repro.scheduler import HeterogeneousModuloScheduler, HomogeneousModuloScheduler
+from tests.conftest import build_recurrence_loop, build_resource_loop
+
+
+class TestRenderKernel:
+    def test_all_ops_appear(self, machine):
+        loop = build_recurrence_loop()
+        schedule = HomogeneousModuloScheduler(machine).schedule(loop)
+        text = render_kernel(schedule)
+        for op in loop.ddg.operations:
+            assert op.name in text
+
+    def test_header_mentions_it_and_sc(self, machine):
+        loop = build_recurrence_loop()
+        schedule = HomogeneousModuloScheduler(machine).schedule(loop)
+        text = render_kernel(schedule)
+        assert f"IT = {schedule.it}" in text
+        assert f"SC = {schedule.stage_count}" in text
+
+    def test_copies_listed(self, machine, het_point):
+        loop = build_recurrence_loop()
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        text = render_kernel(schedule)
+        if schedule.copies:
+            assert "bus (" in text
+            assert "->" in text
+
+    def test_row_count_matches_ii(self, machine):
+        loop = build_resource_loop()
+        schedule = HomogeneousModuloScheduler(machine).schedule(loop)
+        text = render_kernel(schedule)
+        ii = schedule.cluster_assignment(0).ii
+        # Every cluster section lists exactly II cycle rows.
+        assert text.count("  0 |") == machine.n_clusters
+
+    def test_stage_annotations(self, machine):
+        loop = build_recurrence_loop()
+        schedule = HomogeneousModuloScheduler(machine).schedule(loop)
+        text = render_kernel(schedule)
+        assert "@s" in text

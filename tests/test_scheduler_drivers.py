@@ -1,0 +1,134 @@
+"""Tests for the heterogeneous and homogeneous scheduling drivers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InfeasibleITError, SchedulingError, TechnologyError
+from repro.ir.builder import DDGBuilder
+from repro.ir.loop import Loop
+from repro.ir.opcodes import OpClass
+from repro.machine.clocking import FrequencyPalette
+from repro.machine.machine import paper_machine
+from repro.machine.operating_point import DomainSetting, OperatingPoint
+from repro.scheduler import (
+    HeterogeneousModuloScheduler,
+    HomogeneousModuloScheduler,
+    SchedulerOptions,
+)
+from repro.scheduler.mii import minimum_initiation_time
+from tests.conftest import build_recurrence_loop, build_resource_loop, build_tiny_loop
+
+
+class TestHomogeneousDriver:
+    def test_reference_schedule(self, machine):
+        scheduler = HomogeneousModuloScheduler(machine)
+        schedule = scheduler.schedule(build_recurrence_loop())
+        # recMII 9 at 1 ns: IT = 9 ns, II = 9.
+        assert schedule.it == 9
+        assert schedule.cluster_assignment(0).ii == 9
+
+    def test_resource_loop_ii(self, machine):
+        schedule = HomogeneousModuloScheduler(machine).schedule(build_resource_loop())
+        assert schedule.cluster_assignment(0).ii == 3  # 12 mem / 4 ports
+
+    def test_cycle_schedule_scale_invariant(self, machine):
+        """Homogeneous schedules are identical in cycles at any speed."""
+        scheduler = HomogeneousModuloScheduler(machine)
+        loop = build_recurrence_loop()
+        ref = scheduler.schedule(loop)
+        slower = scheduler.schedule(loop, scheduler.point_at(Fraction(3, 2), 1.0))
+        assert slower.it == ref.it * Fraction(3, 2)
+        for op in loop.ddg.operations:
+            assert slower.placements[op].cycle == ref.placements[op].cycle
+            assert slower.placements[op].cluster == ref.placements[op].cluster
+
+    def test_point_at_validates(self, machine):
+        scheduler = HomogeneousModuloScheduler(machine)
+        with pytest.raises(TechnologyError):
+            scheduler.point_at(Fraction(1, 10), 0.7)  # 10 GHz at 0.7 V
+
+
+class TestHeterogeneousDriver:
+    def test_it_at_least_mit(self, machine, het_point):
+        loop = build_recurrence_loop()
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        mit = minimum_initiation_time(loop.ddg, machine, het_point.speeds)
+        assert schedule.it >= mit
+
+    def test_critical_recurrence_on_fast_cluster(self, machine, het_point):
+        loop = build_recurrence_loop()
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        for name in ("f1", "f2", "f3"):
+            placed = schedule.placements[loop.ddg.operation(name)]
+            assert placed.cluster == 0
+
+    def test_assignments_synchronised(self, machine, het_point):
+        loop = build_recurrence_loop()
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        for assignment in schedule.assignments.values():
+            if assignment.usable:
+                assert assignment.frequency * schedule.it == assignment.ii
+
+    def test_finite_palette_synchronisation(self, machine, het_point):
+        palette = FrequencyPalette.uniform(8, Fraction(10, 9))
+        options = SchedulerOptions(palette=palette)
+        loop = build_recurrence_loop()
+        schedule = HeterogeneousModuloScheduler(machine, options).schedule(
+            loop, het_point
+        )
+        for assignment in schedule.assignments.values():
+            if assignment.usable:
+                assert assignment.frequency in palette.frequencies
+
+    def test_coarse_palette_may_cost_it(self, machine, het_point):
+        loop = build_recurrence_loop()
+        free = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        coarse = HeterogeneousModuloScheduler(
+            machine,
+            SchedulerOptions(palette=FrequencyPalette.uniform(4, Fraction(10, 9))),
+        ).schedule(loop, het_point)
+        assert coarse.it >= free.it
+
+    def test_cluster_count_mismatch_rejected(self, machine):
+        point = OperatingPoint.homogeneous(2, Fraction(1), 1.0, 0.25)
+        with pytest.raises(SchedulingError):
+            HeterogeneousModuloScheduler(machine).schedule(
+                build_tiny_loop(), point
+            )
+
+    def test_infeasible_budget_raises(self, machine, het_point):
+        options = SchedulerOptions(max_it_candidates=0)
+        with pytest.raises(InfeasibleITError):
+            HeterogeneousModuloScheduler(machine, options).schedule(
+                build_tiny_loop(), het_point
+            )
+
+    def test_register_pressure_respected(self, machine, het_point):
+        loop = build_resource_loop()
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        for index, peak in enumerate(schedule.max_live()):
+            assert peak <= machine.cluster(index).n_regs
+
+    def test_fdiv_selfloop_schedules(self, machine, het_point):
+        b = DDGBuilder("div")
+        d = b.op("d", OpClass.FDIV)
+        b.flow(d, d, distance=1)
+        load = b.op("l", OpClass.LOAD)
+        b.flow(load, d)
+        loop = Loop(b.build(), trip_count=20)
+        schedule = HeterogeneousModuloScheduler(machine).schedule(loop, het_point)
+        # FDIV latency 18 -> II on its cluster >= 18.
+        placed = schedule.placements[loop.ddg.operation("d")]
+        assert schedule.cluster_assignment(placed.cluster).ii >= 18
+
+    def test_all_loop_shapes_schedule(self, machine, het_point, reference_point):
+        scheduler = HeterogeneousModuloScheduler(machine)
+        for loop in (
+            build_tiny_loop(),
+            build_recurrence_loop(),
+            build_resource_loop(),
+        ):
+            for point in (het_point, reference_point):
+                schedule = scheduler.schedule(loop, point)
+                schedule.validate()

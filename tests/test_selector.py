@@ -1,0 +1,248 @@
+"""Tests for heterogeneous configuration selection (section 3.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ir.opcodes import OpClass
+from repro.machine.machine import paper_machine
+from repro.machine.operating_point import DomainSetting
+from repro.power.breakdown import EnergyBreakdown
+from repro.power.calibration import calibrate
+from repro.power.profile import LoopProfile, ProgramProfile
+from repro.power.technology import TechnologyModel
+from repro.vfs.candidates import DesignSpaceSpec, volt_grid
+from repro.vfs.homogeneous import optimum_homogeneous
+from repro.vfs.selector import ConfigurationSelector, effective_fast_share
+
+REF = DomainSetting(Fraction(1), 1.0, 0.25)
+
+
+def recurrence_program(critical=0.2, trip=200.0):
+    """A program dominated by narrow recurrence-bound loops."""
+    loop = LoopProfile(
+        name="rec",
+        rec_mii=Fraction(9),
+        res_mii=2,
+        ii_homogeneous=9,
+        cycles_per_iteration=15,
+        class_counts={OpClass.FADD: 4, OpClass.LOAD: 2, OpClass.STORE: 1},
+        energy_units_per_iteration=7.8,
+        comms_per_iteration=1,
+        mem_accesses_per_iteration=3,
+        lifetime_cycles_per_iteration=25,
+        trip_count=trip,
+        weight=10.0,
+        critical_energy_fraction=critical,
+        critical_boundary_edges=2,
+    )
+    return ProgramProfile(name="rec_prog", loops=[loop])
+
+
+def resource_program():
+    """A program of wide, parallel, resource-bound loops."""
+    loop = LoopProfile(
+        name="res",
+        rec_mii=Fraction(1),
+        res_mii=3,
+        ii_homogeneous=3,
+        cycles_per_iteration=8,
+        class_counts={OpClass.LOAD: 6, OpClass.FADD: 6, OpClass.STORE: 6},
+        energy_units_per_iteration=19.2,
+        comms_per_iteration=1,
+        mem_accesses_per_iteration=12,
+        lifetime_cycles_per_iteration=40,
+        trip_count=300.0,
+        weight=10.0,
+        critical_energy_fraction=0.03,
+        critical_boundary_edges=0,
+    )
+    return ProgramProfile(name="res_prog", loops=[loop])
+
+
+@pytest.fixture
+def setup():
+    machine = paper_machine()
+    technology = TechnologyModel()
+    return machine, technology
+
+
+class TestEffectiveFastShare:
+    def test_long_loops_use_critical_fraction(self):
+        share = effective_fast_share(recurrence_program(critical=0.2, trip=10_000))
+        assert share == pytest.approx(0.2, abs=0.02)
+
+    def test_short_loops_pull_towards_one(self):
+        long_share = effective_fast_share(recurrence_program(trip=10_000))
+        short_share = effective_fast_share(recurrence_program(trip=3))
+        assert short_share > long_share
+
+    def test_clamped(self):
+        assert 0.05 <= effective_fast_share(resource_program()) <= 0.95
+
+
+class TestSelection:
+    def test_recurrence_program_gets_slow_clusters(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        result = ConfigurationSelector(machine, technology).select(profile, units)
+        assert result.slow_ratio > 1
+        assert result.point.slowest_cluster_cycle_time > (
+            result.point.fastest_cluster_cycle_time
+        )
+
+    def test_resource_program_keeps_uniform_speed(self, setup):
+        machine, technology = setup
+        profile = resource_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        result = ConfigurationSelector(machine, technology).select(profile, units)
+        # The paper: register/resource-constrained programs get all
+        # clusters at one frequency.
+        assert result.slow_ratio == 1
+
+    def test_voltages_within_ranges(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        result = ConfigurationSelector(machine, technology).select(profile, units)
+        for setting in result.point.clusters:
+            assert 0.7 <= setting.vdd <= 1.2
+        assert 0.8 <= result.point.icn.vdd <= 1.1
+        assert 1.0 <= result.point.cache.vdd <= 1.4
+
+    def test_icn_and_cache_track_fastest_cluster(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        result = ConfigurationSelector(machine, technology).select(profile, units)
+        fastest = result.point.fastest_cluster_cycle_time
+        assert result.point.icn.cycle_time == fastest
+        assert result.point.cache.cycle_time == fastest
+
+    def test_enumerate_sorted_by_estimate(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        results = ConfigurationSelector(machine, technology).enumerate(profile, units)
+        estimates = [r.estimated_ed2 for r in results]
+        assert estimates == sorted(estimates)
+        assert results[0].estimated_ed2 == (
+            ConfigurationSelector(machine, technology)
+            .select(profile, units)
+            .estimated_ed2
+        )
+
+    def test_half_distribution_mode(self, setup):
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        result = ConfigurationSelector(
+            machine, technology, distribution="half"
+        ).select(profile, units)
+        assert result.estimated_ed2 > 0
+
+    def test_unknown_distribution_rejected(self, setup):
+        machine, technology = setup
+        with pytest.raises(ConfigurationError):
+            ConfigurationSelector(machine, technology, distribution="magic")
+
+
+class TestVoltageDecomposition:
+    def test_per_component_optimum_matches_brute_force(self, setup):
+        """The decomposed voltage choice equals the full cross-product
+        optimum (energies are additive per component)."""
+        machine, technology = setup
+        profile = recurrence_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        small = DesignSpaceSpec(
+            fast_factors=(Fraction(1),),
+            slow_over_fast=(Fraction(3, 2),),
+            cluster_vdd_grid=volt_grid(0.8, 1.0, 0.1),
+            icn_vdd_grid=volt_grid(0.9, 1.1, 0.1),
+            cache_vdd_grid=volt_grid(1.0, 1.2, 0.1),
+        )
+        selector = ConfigurationSelector(machine, technology, small)
+        chosen = selector.select(profile, units)
+
+        # Brute force over the voltage cross-product.
+        from repro.machine.operating_point import OperatingPoint
+        from repro.power.energy import EnergyModel
+        from repro.power.metrics import ed2 as ed2_of
+        from repro.power.time_model import TimeModel
+
+        best = None
+        speeds_time = TimeModel(machine).program_time(
+            profile, chosen.point.speeds
+        )
+        fast_share = effective_fast_share(profile)
+        model = EnergyModel(units, technology)
+        for vf in small.cluster_vdd_grid:
+            fast = technology.domain_setting(Fraction(1), vf)
+            if fast is None:
+                continue
+            for vs in small.cluster_vdd_grid:
+                slow = technology.domain_setting(Fraction(3, 2), vs)
+                if slow is None:
+                    continue
+                for vi in small.icn_vdd_grid:
+                    icn = technology.domain_setting(Fraction(1), vi)
+                    if icn is None:
+                        continue
+                    for vc in small.cache_vdd_grid:
+                        cache = technology.domain_setting(Fraction(1), vc)
+                        if cache is None:
+                            continue
+                        point = OperatingPoint(
+                            clusters=(fast, slow, slow, slow), icn=icn, cache=cache
+                        )
+                        estimate = model.estimate_with_distribution(
+                            point,
+                            profile.total_energy_units,
+                            profile.total_comms_heterogeneous,
+                            profile.total_mem_accesses,
+                            speeds_time,
+                            (
+                                fast_share,
+                                (1 - fast_share) / 3,
+                                (1 - fast_share) / 3,
+                                (1 - fast_share) / 3,
+                            ),
+                        )
+                        value = ed2_of(estimate.total, speeds_time)
+                        if best is None or value < best:
+                            best = value
+        assert chosen.estimated_ed2 == pytest.approx(best, rel=1e-9)
+
+
+class TestOptimumHomogeneous:
+    def test_no_worse_than_reference(self, setup):
+        machine, technology = setup
+        profile = resource_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        best = optimum_homogeneous(profile, machine, technology, units)
+        # Evaluate the reference configuration through the same model.
+        from repro.machine.operating_point import OperatingPoint
+        from repro.power.energy import EnergyModel
+        from repro.power.metrics import ed2 as ed2_of
+
+        model = EnergyModel(units, technology)
+        reference = OperatingPoint.homogeneous(4, Fraction(1), 1.0, 0.25)
+        time_ref = profile.total_cycles * 1.0
+        estimate = model.estimate_with_distribution(
+            reference,
+            profile.total_energy_units,
+            profile.total_comms,
+            profile.total_mem_accesses,
+            time_ref,
+        )
+        assert best.estimated_ed2 <= ed2_of(estimate.total, time_ref) * (1 + 1e-9)
+
+    def test_point_is_homogeneous(self, setup):
+        machine, technology = setup
+        profile = resource_program()
+        units = calibrate(profile, REF, EnergyBreakdown.paper_baseline(), 4)
+        best = optimum_homogeneous(profile, machine, technology, units)
+        assert best.point.is_homogeneous
+        assert best.slow_ratio == 1

@@ -1,0 +1,81 @@
+"""Tests for loop unrolling."""
+
+import pytest
+
+from repro.ir.analysis import rec_mii
+from repro.ir.builder import DDGBuilder
+from repro.ir.loop import Loop
+from repro.ir.opcodes import OpClass
+from repro.ir.transforms import unroll, unroll_loop
+from repro.machine.isa import InstructionTable
+
+ISA = InstructionTable.paper_defaults()
+
+
+def accumulator():
+    b = DDGBuilder("acc")
+    load = b.op("ld", OpClass.LOAD)
+    add = b.op("fa", OpClass.FADD)
+    b.flow(load, add)
+    b.flow(add, add, distance=1)
+    return b.build()
+
+
+class TestUnroll:
+    def test_factor_one_is_copy(self):
+        ddg = accumulator()
+        clone = unroll(ddg, 1)
+        assert len(clone) == len(ddg)
+        assert clone.to_edge_list() == ddg.to_edge_list()
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            unroll(accumulator(), 0)
+
+    def test_op_replication(self):
+        unrolled = unroll(accumulator(), 3)
+        assert len(unrolled) == 6
+        names = {op.name for op in unrolled.operations}
+        assert "ld@0" in names and "fa@2" in names
+
+    def test_distance_remapping(self):
+        unrolled = unroll(accumulator(), 2)
+        edges = set(unrolled.to_edge_list())
+        # fa@0 -> fa@1 inside the unrolled body (distance 0),
+        # fa@1 -> fa@0 across (distance 1).
+        assert ("fa@0", "fa@1", 0) in edges
+        assert ("fa@1", "fa@0", 1) in edges
+
+    def test_distance_two_dependence(self):
+        b = DDGBuilder()
+        a = b.op("a", OpClass.FADD)
+        b.flow(a, a, distance=2)
+        unrolled = unroll(b.build(), 2)
+        edges = set(unrolled.to_edge_list())
+        # i -> i+2 becomes a@0 -> a@0 and a@1 -> a@1 with distance 1.
+        assert ("a@0", "a@0", 1) in edges
+        assert ("a@1", "a@1", 1) in edges
+
+    def test_recmii_scales_with_factor(self):
+        ddg = accumulator()
+        base = rec_mii(ddg, ISA)
+        for factor in (2, 3, 4):
+            assert rec_mii(unroll(ddg, factor), ISA) == factor * base
+
+    def test_unrolled_graph_validates(self):
+        unroll(accumulator(), 4).validate()
+
+
+class TestUnrollLoop:
+    def test_trip_count_divides(self):
+        loop = Loop(accumulator(), trip_count=120, weight=3)
+        unrolled = unroll_loop(loop, 4)
+        assert unrolled.trip_count == 30
+        assert unrolled.weight == 3
+
+    def test_total_body_work_preserved(self):
+        loop = Loop(accumulator(), trip_count=120)
+        unrolled = unroll_loop(loop, 4)
+        original_ops = len(loop.ddg) * loop.total_iterations
+        unrolled_ops = len(unrolled.ddg) * unrolled.total_iterations
+        assert original_ops == unrolled_ops
