@@ -1,0 +1,132 @@
+"""Self-contained PEP 517 build backend.
+
+The offline environment ships without ``wheel`` (and without network
+access to fetch it), so the standard setuptools backend cannot build the
+wheels a PEP 517 install needs.  This backend has zero dependencies
+beyond the standard library: it zips ``src/repro`` into a regular wheel,
+or emits a ``.pth``-based editable wheel pointing at ``src``.
+
+``pyproject.toml`` selects it via::
+
+    [build-system]
+    requires = []
+    build-backend = "minimal_backend"
+    backend-path = ["_build"]
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+from pathlib import Path
+
+NAME = "repro"
+VERSION = "0.1.0"
+TAG = "py3-none-any"
+DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+WHEEL_NAME = f"{NAME}-{VERSION}-{TAG}.whl"
+
+#: Repository root (this file lives in ``<root>/_build``).
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'Heterogeneous Clustered VLIW Microarchitectures' (CGO 2007)
+Requires-Python: >=3.9
+"""
+
+WHEEL_METADATA = f"""\
+Wheel-Version: 1.0
+Generator: minimal_backend ({VERSION})
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+
+def _record_entry(archive_name: str, data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"{archive_name},sha256={encoded},{len(data)}"
+
+
+def _write_wheel(path: Path, files: dict) -> None:
+    """Write ``files`` (archive name -> bytes) plus metadata and RECORD."""
+    files = dict(files)
+    files[f"{DIST_INFO}/METADATA"] = METADATA.encode()
+    files[f"{DIST_INFO}/WHEEL"] = WHEEL_METADATA.encode()
+    record_lines = [_record_entry(name, data) for name, data in files.items()]
+    record_lines.append(f"{DIST_INFO}/RECORD,,")
+    record = "\n".join(record_lines) + "\n"
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in files.items():
+            archive.writestr(name, data)
+        archive.writestr(f"{DIST_INFO}/RECORD", record)
+
+
+def _package_files() -> dict:
+    files = {}
+    for dirpath, dirnames, filenames in os.walk(SRC / NAME):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = Path(dirpath) / filename
+            archive_name = full.relative_to(SRC).as_posix()
+            files[archive_name] = full.read_bytes()
+    return files
+
+
+# ----------------------------------------------------------------------
+# PEP 517 hooks
+# ----------------------------------------------------------------------
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel containing the ``repro`` package."""
+    path = Path(wheel_directory) / WHEEL_NAME
+    _write_wheel(path, _package_files())
+    return WHEEL_NAME
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a ``.pth``-based editable wheel pointing at ``src``."""
+    path = Path(wheel_directory) / WHEEL_NAME
+    pth = str(SRC) + "\n"
+    _write_wheel(path, {f"__editable__.{NAME}.pth": pth.encode()})
+    return WHEEL_NAME
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a minimal source tarball (package sources + metadata)."""
+    import io
+    import tarfile
+
+    base = f"{NAME}-{VERSION}"
+    name = f"{base}.tar.gz"
+    members = {
+        f"{base}/src/{archive_name}": data
+        for archive_name, data in _package_files().items()
+    }
+    members[f"{base}/PKG-INFO"] = METADATA.encode()
+    members[f"{base}/pyproject.toml"] = (ROOT / "pyproject.toml").read_bytes()
+    with tarfile.open(Path(sdist_directory) / name, "w:gz") as archive:
+        for member_name, data in members.items():
+            info = tarfile.TarInfo(member_name)
+            info.size = len(data)
+            archive.addfile(info, io.BytesIO(data))
+    return name
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []

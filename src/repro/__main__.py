@@ -5,6 +5,9 @@ Commands:
 * ``evaluate <benchmark>`` — run the full pipeline for one SPECfp2000
   benchmark and print the Figure 6 row (``--buses``, ``--scale``),
 * ``suite`` — run every benchmark and print the Figure 6 chart,
+* ``campaign`` — expand a (benchmarks x option grids) sweep into jobs,
+  run them in parallel with on-disk caching, and print the aggregate
+  tables (``--jobs``, ``--buses``, ``--ablate``, ``--cache-dir``),
 * ``table2`` — print the measured constraint-class time shares,
 * ``list`` — list the available benchmarks.
 """
@@ -38,6 +41,60 @@ def _parser() -> argparse.ArgumentParser:
     suite = commands.add_parser("suite", help="run all ten benchmarks")
     suite.add_argument("--buses", type=int, default=1, choices=(1, 2))
     suite.add_argument("--scale", type=float, default=0.05)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a cached, parallel sweep over benchmarks x configurations",
+    )
+    campaign.add_argument(
+        "--benchmarks",
+        default="all",
+        help="comma-separated benchmark names, or 'all' (default)",
+    )
+    campaign.add_argument("--scale", type=float, default=0.05)
+    campaign.add_argument(
+        "--buses",
+        default="1",
+        help="comma-separated bus counts to sweep, e.g. '1,2' (default 1)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1: run inline)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro-cache)",
+    )
+    campaign.add_argument(
+        "--ablate",
+        action="append",
+        default=[],
+        choices=("preplace", "ed2-refinement", "sync-penalties", "per-class-energy"),
+        help="sweep this knob over {on, off} (repeatable)",
+    )
+    campaign.add_argument(
+        "--no-simulate",
+        action="store_true",
+        help="use analytic schedule counts instead of the event simulator",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without reading or writing the result store",
+    )
+    campaign.add_argument(
+        "--recompute",
+        action="store_true",
+        help="ignore cached results but still write fresh ones",
+    )
+    campaign.add_argument(
+        "--report-only",
+        action="store_true",
+        help="skip execution; aggregate whatever the cache already holds",
+    )
 
     table2 = commands.add_parser("table2", help="measured Table 2 shares")
     table2.add_argument("--scale", type=float, default=0.05)
@@ -93,6 +150,103 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        DEFAULT_CACHE_DIR,
+        CampaignSpec,
+        ResultStore,
+        load_results,
+        run_campaign,
+    )
+    from repro.reporting import (
+        campaign_best_table,
+        campaign_means_table,
+        campaign_pareto_table,
+        campaign_results_table,
+        campaign_summary,
+    )
+
+    store = None
+    if not args.no_cache:
+        store = ResultStore(
+            args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+        )
+
+    if args.report_only:
+        if store is None:
+            print("--report-only needs a cache to report on", file=sys.stderr)
+            return 2
+        cached = load_results(store)
+        if not cached:
+            print(f"no cached results under {store.root}", file=sys.stderr)
+            return 1
+        print(campaign_results_table(cached))
+        print(campaign_means_table(cached))
+        print(campaign_best_table(cached))
+        print(campaign_pareto_table(cached))
+        return 0
+
+    if args.benchmarks.strip().lower() == "all":
+        benchmarks = tuple(SPEC2000_PROFILES)
+    else:
+        benchmarks = tuple(
+            spec_profile(name.strip()).name
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        )
+    on_off = lambda knob: (True, False) if knob in args.ablate else (True,)
+    spec = CampaignSpec(
+        benchmarks=benchmarks,
+        scale=args.scale,
+        buses_grid=tuple(
+            int(b.strip()) for b in str(args.buses).split(",") if b.strip()
+        ),
+        per_class_energy_grid=on_off("per-class-energy"),
+        preplace_grid=on_off("preplace"),
+        ed2_refinement_grid=on_off("ed2-refinement"),
+        sync_penalties_grid=on_off("sync-penalties"),
+        simulate=not args.no_simulate,
+    )
+    jobs = spec.expand()
+    print(
+        f"campaign: {len(jobs)} job(s) = {len(benchmarks)} benchmark(s) "
+        f"x {spec.n_configurations} configuration(s), --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+
+    def _progress(result) -> None:
+        state = "cached" if result.cached else (
+            "ok" if result.ok else "FAILED"
+        )
+        timing = "" if result.cached else f" ({result.elapsed_s:.1f}s)"
+        print(
+            f"  [{result.key}] {result.job.describe()}: {state}{timing}",
+            file=sys.stderr,
+        )
+
+    outcome = run_campaign(
+        jobs,
+        store=store,
+        n_jobs=args.jobs,
+        progress=_progress,
+        recompute=args.recompute,
+    )
+    print(campaign_summary(outcome), file=sys.stderr)
+    for failure in outcome.failed:
+        print(
+            f"job {failure.key} ({failure.job.describe()}) failed:\n"
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+
+    if outcome.succeeded:
+        print(campaign_results_table(outcome.results))
+        print(campaign_means_table(outcome.results))
+        print(campaign_best_table(outcome.results))
+        print(campaign_pareto_table(outcome.results))
+    return 1 if outcome.failed else 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.machine import paper_machine
     from repro.pipeline.profiling import profile_corpus
@@ -140,6 +294,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "evaluate": _cmd_evaluate,
         "suite": _cmd_suite,
+        "campaign": _cmd_campaign,
         "table2": _cmd_table2,
         "list": _cmd_list,
     }

@@ -1,0 +1,163 @@
+"""Aggregation and querying of campaign results.
+
+Turns a pile of per-job results into the quantities the paper reports:
+per-benchmark ratio rows, per-configuration suite means (the "mean" bar
+of Figure 6), the best configuration per benchmark, and the Pareto
+frontier of the energy/time trade-off over the explored option grid.
+
+Everything here consumes :class:`~repro.campaign.executor.JobResult`
+objects — whether they were computed this run or loaded from the store
+is irrelevant — so ad-hoc queries over an existing cache directory work
+the same way as the report of a live campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.executor import JobResult
+from repro.campaign.job import ExperimentJob
+from repro.campaign.store import ResultStore
+from repro.pipeline.experiment import BenchmarkEvaluation
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """The paper's headline ratios for one finished job."""
+
+    benchmark: str
+    config: str
+    ed2_ratio: float
+    energy_ratio: float
+    time_ratio: float
+    elapsed_s: float
+    cached: bool
+
+    @classmethod
+    def from_result(cls, result: JobResult) -> "RatioRow":
+        evaluation = result.evaluation
+        assert evaluation is not None
+        return cls(
+            benchmark=result.job.benchmark,
+            config=result.job.config_label(),
+            ed2_ratio=evaluation.ed2_ratio,
+            energy_ratio=evaluation.energy_ratio,
+            time_ratio=evaluation.time_ratio,
+            elapsed_s=result.elapsed_s,
+            cached=result.cached,
+        )
+
+
+def ratio_rows(results: Sequence[JobResult]) -> List[RatioRow]:
+    """One row per successful job, in (benchmark, config) order."""
+    rows = [RatioRow.from_result(r) for r in results if r.ok]
+    return sorted(rows, key=lambda row: (row.benchmark, row.config))
+
+
+def config_means(results: Sequence[JobResult]) -> Dict[str, Dict[str, float]]:
+    """Suite means per configuration label.
+
+    The arithmetic mean over benchmarks of each ratio — the quantity the
+    paper's "mean" bars report — plus the benchmark count backing it.
+    """
+    groups: Dict[str, List[RatioRow]] = {}
+    for row in ratio_rows(results):
+        groups.setdefault(row.config, []).append(row)
+    means: Dict[str, Dict[str, float]] = {}
+    for config, rows in sorted(groups.items()):
+        count = len(rows)
+        means[config] = {
+            "n_benchmarks": count,
+            "mean_ed2_ratio": sum(r.ed2_ratio for r in rows) / count,
+            "mean_energy_ratio": sum(r.energy_ratio for r in rows) / count,
+            "mean_time_ratio": sum(r.time_ratio for r in rows) / count,
+        }
+    return means
+
+
+def best_configurations(
+    results: Sequence[JobResult], metric: str = "ed2_ratio"
+) -> Dict[str, RatioRow]:
+    """Per benchmark, the configuration minimising ``metric``."""
+    best: Dict[str, RatioRow] = {}
+    for row in ratio_rows(results):
+        value = getattr(row, metric)
+        incumbent = best.get(row.benchmark)
+        if incumbent is None or value < getattr(incumbent, metric):
+            best[row.benchmark] = row
+    return dict(sorted(best.items()))
+
+
+def pareto_frontier(
+    results: Sequence[JobResult],
+    objectives: Tuple[str, str] = ("energy_ratio", "time_ratio"),
+) -> List[Tuple[str, float, float]]:
+    """Non-dominated (config, objective values) over the config means.
+
+    Both objectives are minimised.  A configuration is on the frontier
+    when no other configuration is at least as good on both objectives
+    and strictly better on one.  Returned sorted by the first objective.
+    """
+    key_a = "mean_" + objectives[0]
+    key_b = "mean_" + objectives[1]
+    points = [
+        (config, stats[key_a], stats[key_b])
+        for config, stats in config_means(results).items()
+    ]
+    frontier = [
+        (config, a, b)
+        for config, a, b in points
+        if not any(
+            (oa <= a and ob <= b) and (oa < a or ob < b)
+            for _, oa, ob in points
+        )
+    ]
+    return sorted(frontier, key=lambda point: (point[1], point[2]))
+
+
+# ----------------------------------------------------------------------
+# querying an existing cache directory
+# ----------------------------------------------------------------------
+def load_results(store: ResultStore) -> List[JobResult]:
+    """Rebuild :class:`JobResult` objects for every cached entry.
+
+    Entries that cannot be deserialized (stale schema, hand-edited
+    files) are skipped rather than failing the whole query.
+    """
+    results: List[JobResult] = []
+    for payload in store.entries():
+        job_data = payload.get("job")
+        evaluation_data = payload.get("evaluation")
+        if job_data is None or evaluation_data is None:
+            continue
+        try:
+            job = ExperimentJob.from_dict(job_data)
+            evaluation = BenchmarkEvaluation.from_dict(evaluation_data)
+        except Exception:
+            continue
+        results.append(
+            JobResult(
+                job=job,
+                key=payload.get("key") or job.key(),
+                status=payload.get("status", "ok"),
+                elapsed_s=payload.get("elapsed_s", 0.0),
+                cached=True,
+                evaluation=evaluation,
+            )
+        )
+    return results
+
+
+def filter_results(
+    results: Sequence[JobResult],
+    benchmark: Optional[str] = None,
+    config: Optional[str] = None,
+) -> List[JobResult]:
+    """Successful results narrowed by benchmark and/or config label."""
+    selected = [r for r in results if r.ok]
+    if benchmark is not None:
+        selected = [r for r in selected if r.job.benchmark == benchmark]
+    if config is not None:
+        selected = [r for r in selected if r.job.config_label() == config]
+    return selected

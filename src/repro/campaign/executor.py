@@ -1,0 +1,221 @@
+"""Parallel, cached, resumable execution of campaign jobs.
+
+The executor shards jobs across a :class:`ProcessPoolExecutor` (the
+pipeline is pure CPU-bound Python, so processes — not threads — buy real
+parallelism), consults the :class:`~repro.campaign.store.ResultStore`
+before scheduling anything, times every job, and captures failures as
+data instead of letting one bad configuration kill a whole sweep.
+
+Workers receive the job in its canonical dict form and return a
+JSON-safe payload, so exactly what crosses the process boundary is what
+lands in the cache — no pickling of live pipeline objects.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.job import ExperimentJob
+from repro.campaign.store import ResultStore
+from repro.pipeline.experiment import BenchmarkEvaluation
+
+#: ``status`` values of a job payload.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one campaign job (computed, cached or failed)."""
+
+    job: ExperimentJob
+    key: str
+    status: str
+    elapsed_s: float
+    cached: bool
+    evaluation: Optional[BenchmarkEvaluation] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced an evaluation."""
+        return self.status == STATUS_OK and self.evaluation is not None
+
+
+@dataclass
+class CampaignResult:
+    """All job results of one campaign run, in job order."""
+
+    results: List[JobResult] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> List[JobResult]:
+        """Results that carry an evaluation."""
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        """Results whose job raised."""
+        return [r for r in self.results if r.status == STATUS_ERROR]
+
+    @property
+    def n_cached(self) -> int:
+        """How many jobs were answered from the store."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """Sum of per-job wall times (compute actually spent this run)."""
+        return sum(r.elapsed_s for r in self.results if not r.cached)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def execute_job_payload(job_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job from its dict form; never raises.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it by
+    reference; also the inline path for ``jobs=1``.
+    """
+    started = time.perf_counter()
+    try:
+        job = ExperimentJob.from_dict(job_data)
+        from repro.pipeline.experiment import evaluate_corpus
+        from repro.workloads.corpus import build_corpus
+        from repro.workloads.spec_profiles import SPEC2000_PROFILES
+
+        corpus = build_corpus(SPEC2000_PROFILES[job.benchmark], scale=job.scale)
+        evaluation = evaluate_corpus(corpus, job.options)
+        return {
+            "schema": 1,
+            "job": job_data,
+            "status": STATUS_OK,
+            "elapsed_s": time.perf_counter() - started,
+            "evaluation": evaluation.to_dict(),
+            "error": None,
+        }
+    except Exception:
+        return {
+            "schema": 1,
+            "job": job_data,
+            "status": STATUS_ERROR,
+            "elapsed_s": time.perf_counter() - started,
+            "evaluation": None,
+            "error": traceback.format_exc(),
+        }
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+def _result_from_payload(
+    job: ExperimentJob, key: str, payload: Dict[str, Any], cached: bool
+) -> JobResult:
+    evaluation = payload.get("evaluation")
+    return JobResult(
+        job=job,
+        key=key,
+        status=payload.get("status", STATUS_ERROR),
+        elapsed_s=payload.get("elapsed_s", 0.0),
+        cached=cached,
+        evaluation=(
+            BenchmarkEvaluation.from_dict(evaluation)
+            if evaluation is not None
+            else None
+        ),
+        error=payload.get("error"),
+    )
+
+
+def run_campaign(
+    jobs: Sequence[ExperimentJob],
+    store: Optional[ResultStore] = None,
+    n_jobs: int = 1,
+    progress: Optional[Callable[[JobResult], None]] = None,
+    recompute: bool = False,
+) -> CampaignResult:
+    """Execute ``jobs``, reusing cached results and sharding the rest.
+
+    ``n_jobs`` bounds worker processes (1 runs inline); ``progress`` is
+    invoked once per finished job, in completion order; ``recompute``
+    forces fresh runs even for cached keys.  Successful results are
+    persisted to ``store`` before the call returns; failures are
+    reported but never cached, so a fixed configuration re-runs.
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    keyed = [(job, job.key()) for job in jobs]
+    results: Dict[str, JobResult] = {}
+
+    pending = []
+    seen = set()
+    for job, key in keyed:
+        if key in seen:  # duplicate job in the sequence
+            continue
+        seen.add(key)
+        payload = None if (store is None or recompute) else store.get(key)
+        cached_result = None
+        if payload is not None and payload.get("status") == STATUS_OK:
+            try:
+                cached_result = _result_from_payload(job, key, payload, cached=True)
+            except Exception:
+                # Stale or schema-incompatible entry (e.g. written by an
+                # older code version): treat as a miss and recompute.
+                cached_result = None
+        if cached_result is not None:
+            results[key] = cached_result
+            if progress is not None:
+                progress(cached_result)
+        else:
+            pending.append((job, key))
+
+    def _finish(job: ExperimentJob, key: str, payload: Dict[str, Any]) -> None:
+        if store is not None and payload.get("status") == STATUS_OK:
+            store.save(key, dict(payload, key=key))
+        results[key] = _result_from_payload(job, key, payload, cached=False)
+        if progress is not None:
+            progress(results[key])
+
+    if n_jobs == 1 or len(pending) <= 1:
+        for job, key in pending:
+            _finish(job, key, execute_job_payload(job.to_dict()))
+    else:
+        workers = min(n_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_job_payload, job.to_dict()): (job, key)
+                for job, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, key = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as error:
+                        # The worker died without returning (OOM kill,
+                        # segfault, broken pool): record the job as failed
+                        # instead of aborting the sweep.
+                        payload = {
+                            "schema": 1,
+                            "job": job.to_dict(),
+                            "status": STATUS_ERROR,
+                            "elapsed_s": 0.0,
+                            "evaluation": None,
+                            "error": f"worker died: {error!r}",
+                        }
+                    _finish(job, key, payload)
+
+    return CampaignResult(results=[results[key] for _, key in keyed])

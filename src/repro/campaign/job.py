@@ -1,0 +1,108 @@
+"""The campaign job model: one (benchmark, options) experiment point.
+
+An :class:`ExperimentJob` is the unit of work a campaign schedules,
+caches and aggregates.  Jobs are content-addressed: :meth:`key` hashes
+the canonical JSON form of the job, so the same experiment always maps
+to the same cache entry — across processes, machines and campaign
+specs — while *any* change to an option (bus count, ablation flag,
+design-space grid, scale, ...) yields a fresh key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import WorkloadError
+from repro.pipeline.experiment import ExperimentOptions
+from repro.workloads.spec_profiles import SPEC2000_PROFILES
+
+#: Hex digits of the sha256 digest used as the job key (64 bits —
+#: comfortable for campaigns of at most a few thousand jobs).
+KEY_LENGTH = 16
+
+#: Bumped when the serialized job layout changes incompatibly, so stale
+#: cache entries never alias new ones.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One fully specified experiment: benchmark x corpus scale x options."""
+
+    benchmark: str
+    scale: float
+    options: ExperimentOptions = field(default_factory=ExperimentOptions)
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in SPEC2000_PROFILES:
+            raise WorkloadError(f"unknown benchmark {self.benchmark!r}")
+        if self.scale <= 0:
+            raise WorkloadError(f"corpus scale must be positive, got {self.scale}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe dict form of the job."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "options": self.options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentJob":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return cls(
+            benchmark=data["benchmark"],
+            scale=data["scale"],
+            options=ExperimentOptions.from_dict(data["options"]),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical serialized form (sorted keys, no whitespace)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def key(self) -> str:
+        """Content-addressed cache key of this job."""
+        digest = hashlib.sha256(self.canonical_json().encode()).hexdigest()
+        return digest[:KEY_LENGTH]
+
+    # ------------------------------------------------------------------
+    def config_label(self) -> str:
+        """Compact human-readable tag of the non-benchmark dimensions.
+
+        Used to group results by configuration when aggregating: two jobs
+        share a label exactly when they differ only in benchmark.
+        """
+        options = self.options
+        scheduler = options.scheduler
+        parts: List[str] = [f"buses={options.n_buses}"]
+        if not options.per_class_energy:
+            parts.append("uniform-energy")
+        if not scheduler.preplace_recurrences:
+            parts.append("no-preplace")
+        if not scheduler.ed2_refinement:
+            parts.append("no-ed2-refinement")
+        if not scheduler.sync_penalties:
+            parts.append("no-sync-penalties")
+        if not options.simulate:
+            parts.append("analytic")
+        if scheduler.palette.per_domain_size is not None:
+            parts.append(f"palette={scheduler.palette.per_domain_size}")
+        elif scheduler.palette.frequencies is not None:
+            parts.append(f"palette={len(scheduler.palette.frequencies)}f")
+        if options.breakdown != type(options.breakdown)():
+            parts.append(
+                f"icn={options.breakdown.icn_share:g}"
+                f",cache={options.breakdown.cache_share:g}"
+            )
+        return ",".join(parts)
+
+    def describe(self) -> str:
+        """One-line description used in progress output."""
+        return f"{self.benchmark} [{self.config_label()}] scale={self.scale:g}"

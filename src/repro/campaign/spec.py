@@ -1,0 +1,147 @@
+"""Campaign specifications: option grids expanded into concrete jobs.
+
+A :class:`CampaignSpec` names the benchmarks to run and, for each
+experiment dimension the paper sweeps (bus count, per-class energies,
+the scheduler ablation switches, simulation fidelity), the grid of
+values to explore.  :meth:`CampaignSpec.expand` takes the cross product
+and emits one :class:`~repro.campaign.job.ExperimentJob` per point, in a
+deterministic order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.campaign.job import ExperimentJob
+from repro.pipeline.experiment import ExperimentOptions
+from repro.workloads.spec_profiles import SPEC2000_PROFILES
+
+
+def _unique(values: Sequence) -> Tuple:
+    """The grid values, de-duplicated, in first-seen order."""
+    seen = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Benchmarks x option grids defining one campaign.
+
+    Every ``*_grid`` field multiplies the job count by its length; the
+    defaults reproduce a single paper-baseline configuration per
+    benchmark.
+    """
+
+    benchmarks: Tuple[str, ...]
+    scale: float = 0.05
+    buses_grid: Tuple[int, ...] = (1,)
+    per_class_energy_grid: Tuple[bool, ...] = (True,)
+    preplace_grid: Tuple[bool, ...] = (True,)
+    ed2_refinement_grid: Tuple[bool, ...] = (True,)
+    sync_penalties_grid: Tuple[bool, ...] = (True,)
+    simulate: bool = True
+    #: Base options the grids are applied on top of (advanced use:
+    #: sweeps of breakdown shares or design spaces build their own base).
+    base_options: ExperimentOptions = field(default_factory=ExperimentOptions)
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise WorkloadError("a campaign needs at least one benchmark")
+        for name in self.benchmarks:
+            if name not in SPEC2000_PROFILES:
+                raise WorkloadError(f"unknown benchmark {name!r}")
+        if self.scale <= 0:
+            raise WorkloadError("corpus scale must be positive")
+        for label, grid in (
+            ("buses_grid", self.buses_grid),
+            ("per_class_energy_grid", self.per_class_energy_grid),
+            ("preplace_grid", self.preplace_grid),
+            ("ed2_refinement_grid", self.ed2_refinement_grid),
+            ("sync_penalties_grid", self.sync_penalties_grid),
+        ):
+            if not grid:
+                raise WorkloadError(f"campaign grid {label} is empty")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_configurations(self) -> int:
+        """Number of option points per benchmark."""
+        return (
+            len(_unique(self.buses_grid))
+            * len(_unique(self.per_class_energy_grid))
+            * len(_unique(self.preplace_grid))
+            * len(_unique(self.ed2_refinement_grid))
+            * len(_unique(self.sync_penalties_grid))
+        )
+
+    def __len__(self) -> int:
+        return len(_unique(self.benchmarks)) * self.n_configurations
+
+    def expand(self) -> List[ExperimentJob]:
+        """All jobs of the campaign, in deterministic order."""
+        jobs: List[ExperimentJob] = []
+        for benchmark, buses, per_class, preplace, ed2_ref, sync in (
+            itertools.product(
+                _unique(self.benchmarks),
+                _unique(self.buses_grid),
+                _unique(self.per_class_energy_grid),
+                _unique(self.preplace_grid),
+                _unique(self.ed2_refinement_grid),
+                _unique(self.sync_penalties_grid),
+            )
+        ):
+            scheduler = replace(
+                self.base_options.scheduler,
+                preplace_recurrences=preplace,
+                ed2_refinement=ed2_ref,
+                sync_penalties=sync,
+            )
+            options = replace(
+                self.base_options,
+                n_buses=buses,
+                per_class_energy=per_class,
+                scheduler=scheduler,
+                simulate=self.simulate,
+            )
+            jobs.append(
+                ExperimentJob(
+                    benchmark=benchmark, scale=self.scale, options=options
+                )
+            )
+        return jobs
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (campaign manifests)."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "scale": self.scale,
+            "buses_grid": list(self.buses_grid),
+            "per_class_energy_grid": list(self.per_class_energy_grid),
+            "preplace_grid": list(self.preplace_grid),
+            "ed2_refinement_grid": list(self.ed2_refinement_grid),
+            "sync_penalties_grid": list(self.sync_penalties_grid),
+            "simulate": self.simulate,
+            "base_options": self.base_options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            benchmarks=tuple(data["benchmarks"]),
+            scale=data["scale"],
+            buses_grid=tuple(data["buses_grid"]),
+            per_class_energy_grid=tuple(data["per_class_energy_grid"]),
+            preplace_grid=tuple(data["preplace_grid"]),
+            ed2_refinement_grid=tuple(data["ed2_refinement_grid"]),
+            sync_penalties_grid=tuple(data["sync_penalties_grid"]),
+            simulate=data["simulate"],
+            base_options=ExperimentOptions.from_dict(data["base_options"]),
+        )

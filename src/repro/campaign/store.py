@@ -1,0 +1,107 @@
+"""Content-addressed on-disk store of campaign results.
+
+One JSON file per job, named by the job's content hash, under a cache
+directory.  A campaign consults the store before scheduling work
+(skip-if-cached resumability: killing a campaign loses at most the jobs
+in flight) and later campaigns or ad-hoc queries read the same files.
+
+Writes are atomic (temp file + rename) so a killed process never leaves
+a truncated entry that would poison resumption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ReproError
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class StoreError(ReproError):
+    """A result-store entry is missing or unreadable."""
+
+
+class ResultStore:
+    """JSON-per-job persistence keyed by job content hash."""
+
+    def __init__(self, root) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self._root
+
+    def path(self, key: str) -> Path:
+        """File backing the entry for ``key``."""
+        return self._root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("*.json"))
+
+    def save(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        target = self.path(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self._root, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def load(self, key: str) -> Dict[str, Any]:
+        """Read the entry for ``key``; raises :class:`StoreError`."""
+        target = self.path(key)
+        try:
+            with open(target) as handle:
+                return json.load(handle)
+        except FileNotFoundError as error:
+            raise StoreError(f"no cached result for job {key}") from error
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt cache entry {target}") from error
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry for ``key``, or ``None`` when absent or corrupt."""
+        try:
+            return self.load(key)
+        except StoreError:
+            return None
+
+    def delete(self, key: str) -> bool:
+        """Drop the entry for ``key``; True when something was removed."""
+        try:
+            os.unlink(self.path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """All cached job keys, sorted for determinism."""
+        for path in sorted(self._root.glob("*.json")):
+            yield path.stem
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """All readable cached payloads, in key order."""
+        for key in self.keys():
+            payload = self.get(key)
+            if payload is not None:
+                yield payload

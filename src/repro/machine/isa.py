@@ -84,6 +84,20 @@ class InstructionTable:
             }
         return cls(entries)
 
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{oc.value}: {entry!r}" for oc, entry in self.rows()
+        )
+        return f"InstructionTable({{{entries}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstructionTable):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.rows()))
+
     def latency(self, opclass: OpClass) -> int:
         """Latency in cycles of the executing component's clock."""
         return self._entries[opclass].latency

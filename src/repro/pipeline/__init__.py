@@ -10,8 +10,11 @@ from repro.pipeline.experiment import (
     BenchmarkEvaluation,
     ExperimentOptions,
     SuiteResult,
+    clear_profile_cache,
     evaluate_corpus,
     evaluate_suite,
+    profile_cache_info,
+    profile_corpus_cached,
 )
 
 __all__ = [
@@ -20,6 +23,9 @@ __all__ = [
     "BenchmarkEvaluation",
     "ExperimentOptions",
     "SuiteResult",
+    "clear_profile_cache",
     "evaluate_corpus",
     "evaluate_suite",
+    "profile_cache_info",
+    "profile_corpus_cached",
 ]

@@ -17,7 +17,7 @@ This is the code path behind every figure of the evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.machine import MachineDescription, paper_machine
 from repro.power.breakdown import EnergyBreakdown
@@ -51,6 +51,19 @@ class ExperimentOptions:
     simulate: bool = True
     #: Per-class instruction energies (False collapses Table 1 energies).
     per_class_energy: bool = True
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe dict form (see pipeline.serialization)."""
+        from repro.pipeline.serialization import options_to_dict
+
+        return options_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentOptions":
+        """Rebuild options from :meth:`to_dict` output."""
+        from repro.pipeline.serialization import options_from_dict
+
+        return options_from_dict(data)
 
 
 @dataclass
@@ -86,6 +99,19 @@ class BenchmarkEvaluation:
             self.heterogeneous_measured.exec_time_ns
             / self.baseline_measured.exec_time_ns
         )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe dict form (see pipeline.serialization)."""
+        from repro.pipeline.serialization import evaluation_to_dict
+
+        return evaluation_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchmarkEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        from repro.pipeline.serialization import evaluation_from_dict
+
+        return evaluation_from_dict(data)
 
 
 @dataclass
@@ -235,13 +261,87 @@ def evaluate_corpus(
     )
 
 
+#: Memoized profiling runs: (corpus, scheduler, weights) key -> result.
+#: Profiling dominates the pipeline's cost and the *same* first pass is
+#: re-run for every (baseline, ablation, sweep) variant of a benchmark —
+#: the reference machine, and therefore the reference schedules, do not
+#: change with the experiment options being swept.
+_PROFILE_CACHE: Dict[tuple, tuple] = {}
+
+#: Entries kept before the oldest is dropped (a full ten-benchmark sweep
+#: needs 20: two passes per benchmark).
+_PROFILE_CACHE_LIMIT = 64
+
+
+def _weights_key(weights: Optional[PartitionEnergyWeights]) -> Optional[tuple]:
+    if weights is None:
+        return None
+    return (
+        weights.e_ins_unit,
+        weights.e_comm,
+        weights.static_rate_per_cluster,
+        weights.static_rate_icn,
+    )
+
+
+def _profile_cache_key(
+    corpus: Corpus,
+    scheduler: HomogeneousModuloScheduler,
+    weights: Optional[PartitionEnergyWeights],
+) -> tuple:
+    # MachineDescription, TechnologyModel and SchedulerOptions are frozen
+    # dataclasses, so their reprs are canonical within a process.
+    return (
+        corpus.fingerprint(),
+        repr(scheduler.machine),
+        repr(scheduler.technology),
+        repr(scheduler.options),
+        _weights_key(weights),
+    )
+
+
+def clear_profile_cache() -> None:
+    """Drop every memoized profiling run (tests, long-lived processes)."""
+    _PROFILE_CACHE.clear()
+
+
+def profile_cache_info() -> Dict[str, int]:
+    """Size of the profiling memo (observability hook for benches)."""
+    return {"entries": len(_PROFILE_CACHE)}
+
+
 def profile_corpus_cached(
-    corpus: Corpus, scheduler: HomogeneousModuloScheduler, weights=None
-):
-    """Indirection point for tests/benches to cache profiling runs."""
+    corpus: Corpus,
+    scheduler: HomogeneousModuloScheduler,
+    weights: Optional[PartitionEnergyWeights] = None,
+) -> Tuple[ProgramProfile, Dict[str, object]]:
+    """Memoizing front-end to :func:`repro.pipeline.profiling.profile_corpus`.
+
+    Keyed on the corpus content fingerprint, the scheduler configuration
+    (machine, technology, options) and the partition weights, so repeated
+    first passes across baseline/ablation runs of the same corpus hit the
+    memo instead of re-scheduling every loop.  The cached profile and
+    schedules are shared objects; callers treat them as read-only.
+    """
     from repro.pipeline.profiling import profile_corpus
 
-    return profile_corpus(corpus, scheduler, weights=weights)
+    key = _profile_cache_key(corpus, scheduler, weights)
+    cached = _PROFILE_CACHE.get(key)
+    if cached is None:
+        cached = profile_corpus(corpus, scheduler, weights=weights)
+        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_LIMIT:
+            _PROFILE_CACHE.pop(next(iter(_PROFILE_CACHE)))
+        _PROFILE_CACHE[key] = cached
+    profile, schedules = cached
+    # Fresh containers per call: the memoized profile escapes into the
+    # public BenchmarkEvaluation.profile, so container-level mutation by
+    # a caller (sorting/popping loops, adding schedules) must not poison
+    # the process-wide memo.  The LoopProfile/Schedule elements are
+    # treated as immutable throughout the package.
+    return (
+        ProgramProfile(name=profile.name, loops=list(profile.loops)),
+        dict(schedules),
+    )
 
 
 def evaluate_suite(

@@ -3,6 +3,13 @@
 from repro.reporting.tables import render_table
 from repro.reporting.figures import bar_chart
 from repro.reporting.schedule_view import render_kernel
+from repro.reporting.campaign import (
+    campaign_best_table,
+    campaign_means_table,
+    campaign_pareto_table,
+    campaign_results_table,
+    campaign_summary,
+)
 from repro.reporting.paper import (
     PAPER_FIGURE6_ED2,
     PAPER_FIGURE7_DEGRADATION,
@@ -14,6 +21,11 @@ __all__ = [
     "render_table",
     "bar_chart",
     "render_kernel",
+    "campaign_best_table",
+    "campaign_means_table",
+    "campaign_pareto_table",
+    "campaign_results_table",
+    "campaign_summary",
     "PAPER_FIGURE6_ED2",
     "PAPER_FIGURE7_DEGRADATION",
     "PAPER_TABLE2_SHARES",

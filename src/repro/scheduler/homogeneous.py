@@ -37,6 +37,16 @@ class HomogeneousModuloScheduler:
         """The machine this scheduler targets."""
         return self._machine
 
+    @property
+    def technology(self) -> TechnologyModel:
+        """The technology model in use."""
+        return self._technology
+
+    @property
+    def options(self) -> SchedulerOptions:
+        """The tuning knobs in use."""
+        return self._inner.options
+
     def reference_point(self) -> OperatingPoint:
         """The reference homogeneous operating point (1 GHz, 1 V, 0.25 V)."""
         reference = self._technology.reference_setting

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import WorkloadError
@@ -44,12 +45,43 @@ class Corpus:
 
     benchmark: str
     loops: List[Loop]
+    #: Lazily computed content fingerprint (see :meth:`fingerprint`).
+    _fingerprint: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.loops)
 
     def __iter__(self):
         return iter(self.loops)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this corpus.
+
+        Hashes everything scheduling depends on: loop names, trip counts,
+        weights, each operation's class, and every dependence edge (with
+        distance, kind and latency override).  Stable across processes —
+        node/edge iteration order is insertion order by construction —
+        and computed once per instance.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.benchmark.encode())
+            for loop in self.loops:
+                digest.update(
+                    f"{loop.name}|{loop.trip_count!r}|{loop.weight!r}".encode()
+                )
+                for op in loop.ddg.operations:
+                    digest.update(f"{op.name}:{op.opclass.value};".encode())
+                for dep in loop.ddg.dependences:
+                    digest.update(
+                        f"{dep.src.name}>{dep.dst.name}"
+                        f"@{dep.distance}/{dep.kind.value}"
+                        f"/{dep.latency_override};".encode()
+                    )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
 
 def _class_counts(spec: BenchmarkSpec, n_loops: int) -> Dict[str, int]:

@@ -1,0 +1,439 @@
+"""Tests for the campaign subsystem: jobs, specs, store, executor,
+aggregation, and the CLI verb."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentJob,
+    ResultStore,
+    StoreError,
+    best_configurations,
+    config_means,
+    execute_job_payload,
+    filter_results,
+    load_results,
+    pareto_frontier,
+    run_campaign,
+)
+from repro.campaign.executor import JobResult
+from repro.errors import WorkloadError
+from repro.pipeline import ExperimentOptions
+from repro.scheduler.options import SchedulerOptions
+
+#: Cheap options for the end-to-end tests: analytic counts, tiny corpus.
+FAST = ExperimentOptions(simulate=False)
+
+
+def _job(**kwargs) -> ExperimentJob:
+    defaults = dict(benchmark="171.swim", scale=0.02, options=FAST)
+    defaults.update(kwargs)
+    return ExperimentJob(**defaults)
+
+
+class TestJobKeys:
+    def test_same_spec_same_key(self):
+        assert _job().key() == _job().key()
+
+    def test_key_is_stable_across_dict_round_trip(self):
+        job = _job()
+        assert ExperimentJob.from_dict(job.to_dict()).key() == job.key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(benchmark="172.mgrid"),
+            dict(scale=0.03),
+            dict(options=replace(FAST, n_buses=2)),
+            dict(options=replace(FAST, per_class_energy=False)),
+            dict(options=replace(FAST, simulate=True)),
+            dict(
+                options=replace(
+                    FAST,
+                    scheduler=SchedulerOptions(preplace_recurrences=False),
+                )
+            ),
+            dict(
+                options=replace(
+                    FAST, breakdown=FAST.breakdown.with_shares(0.2, 0.3)
+                )
+            ),
+        ],
+    )
+    def test_any_option_change_changes_key(self, change):
+        assert _job(**change).key() != _job().key()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = _job().canonical_json()
+        parsed = json.loads(text)
+        assert text == json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            _job(benchmark="183.equake")
+
+    def test_config_label_flags_ablations(self):
+        options = replace(
+            FAST,
+            n_buses=2,
+            scheduler=SchedulerOptions(ed2_refinement=False),
+        )
+        label = _job(options=options).config_label()
+        assert "buses=2" in label
+        assert "no-ed2-refinement" in label
+        assert "analytic" in label
+
+
+class TestCampaignSpec:
+    def test_expand_is_benchmarks_times_configs(self):
+        spec = CampaignSpec(
+            benchmarks=("171.swim", "172.mgrid"),
+            buses_grid=(1, 2),
+            preplace_grid=(True, False),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == len(spec) == 2 * 4
+        assert len({job.key() for job in jobs}) == len(jobs)
+
+    def test_duplicate_grid_values_collapse(self):
+        spec = CampaignSpec(benchmarks=("171.swim",), buses_grid=(1, 1, 2))
+        assert len(spec.expand()) == 2
+
+    def test_round_trips_through_dict(self):
+        spec = CampaignSpec(
+            benchmarks=("171.swim",),
+            scale=0.03,
+            buses_grid=(2,),
+            sync_penalties_grid=(True, False),
+            simulate=False,
+        )
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert [job.key() for job in rebuilt.expand()] == [
+            job.key() for job in spec.expand()
+        ]
+
+    def test_rejects_unknown_benchmark_and_empty_grid(self):
+        with pytest.raises(WorkloadError):
+            CampaignSpec(benchmarks=("quake",))
+        with pytest.raises(WorkloadError):
+            CampaignSpec(benchmarks=("171.swim",), buses_grid=())
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        payload = {"status": "ok", "value": [1, 2, 3]}
+        path = store.save("abc123", payload)
+        assert path.exists()
+        assert "abc123" in store
+        assert store.load("abc123") == payload
+
+    def test_missing_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert "nope" not in store
+        assert store.get("nope") is None
+        with pytest.raises(StoreError):
+            store.load("nope")
+
+    def test_corrupt_entry_is_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path("bad1").write_text("{truncated")
+        assert store.get("bad1") is None
+        with pytest.raises(StoreError):
+            store.load("bad1")
+
+    def test_keys_and_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("k2", {"a": 1})
+        store.save("k1", {"a": 2})
+        assert list(store.keys()) == ["k1", "k2"]
+        assert len(store) == 2
+        assert store.delete("k1")
+        assert not store.delete("k1")
+        assert list(store.keys()) == ["k2"]
+
+
+@pytest.fixture(scope="module")
+def campaign_store(tmp_path_factory):
+    """A store populated by one small two-benchmark, two-config campaign."""
+    store = ResultStore(tmp_path_factory.mktemp("campaign") / "cache")
+    spec = CampaignSpec(
+        benchmarks=("171.swim", "172.mgrid"),
+        scale=0.02,
+        buses_grid=(1, 2),
+        simulate=False,
+    )
+    outcome = run_campaign(spec.expand(), store=store, n_jobs=1)
+    return store, spec, outcome
+
+
+class TestRunCampaign:
+    def test_first_run_computes_everything(self, campaign_store):
+        store, spec, outcome = campaign_store
+        assert len(outcome) == 4
+        assert outcome.n_cached == 0
+        assert not outcome.failed
+        assert all(result.ok for result in outcome)
+        assert all(result.elapsed_s > 0 for result in outcome)
+        assert len(store) == 4
+
+    def test_second_run_hits_cache_and_agrees(self, campaign_store):
+        store, spec, outcome = campaign_store
+        rerun = run_campaign(spec.expand(), store=store, n_jobs=1)
+        assert rerun.n_cached == len(rerun) == 4
+        assert rerun.total_elapsed_s == 0.0
+        for first, second in zip(outcome, rerun):
+            assert second.cached
+            assert second.key == first.key
+            assert second.evaluation.ed2_ratio == first.evaluation.ed2_ratio
+
+    def test_recompute_ignores_cache(self, campaign_store):
+        store, spec, _ = campaign_store
+        jobs = spec.expand()[:1]
+        rerun = run_campaign(jobs, store=store, recompute=True)
+        assert rerun.n_cached == 0
+        assert rerun.results[0].ok
+
+    def test_failures_are_captured_not_cached(self, tmp_path, monkeypatch):
+        import repro.pipeline.experiment as experiment
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(experiment, "evaluate_corpus", boom)
+        store = ResultStore(tmp_path)
+        outcome = run_campaign([_job()], store=store, n_jobs=1)
+        assert len(outcome.failed) == 1
+        assert "injected failure" in outcome.failed[0].error
+        assert outcome.failed[0].evaluation is None
+        assert len(store) == 0
+
+    def test_worker_payload_is_json_safe(self):
+        payload = execute_job_payload(_job().to_dict())
+        assert payload["status"] == "ok"
+        json.dumps(payload)  # must not raise
+
+    def test_parallel_execution_matches_inline(self, campaign_store, tmp_path):
+        store, spec, outcome = campaign_store
+        parallel_store = ResultStore(tmp_path)
+        rerun = run_campaign(spec.expand()[:2], store=parallel_store, n_jobs=2)
+        assert not rerun.failed and rerun.n_cached == 0
+        by_key = {r.key: r for r in outcome}
+        for result in rerun:
+            assert (
+                result.evaluation.ed2_ratio
+                == by_key[result.key].evaluation.ed2_ratio
+            )
+
+    def test_rejects_bad_job_count(self):
+        with pytest.raises(ValueError):
+            run_campaign([], n_jobs=0)
+
+    def test_duplicate_jobs_run_once(self, tmp_path, monkeypatch):
+        import repro.campaign.executor as executor
+
+        calls = []
+        real = executor.execute_job_payload
+
+        def counting(job_data):
+            calls.append(job_data["benchmark"])
+            return real(job_data)
+
+        monkeypatch.setattr(executor, "execute_job_payload", counting)
+        job = _job()
+        outcome = run_campaign([job, job], store=ResultStore(tmp_path))
+        assert len(calls) == 1
+        assert len(outcome) == 2  # one result per input occurrence
+        assert outcome.results[0].key == outcome.results[1].key
+
+    def test_stale_cache_entry_recomputed_not_fatal(self, campaign_store, tmp_path):
+        store, spec, _ = campaign_store
+        jobs = spec.expand()[:1]
+        key = jobs[0].key()
+        stale = ResultStore(tmp_path)
+        # Pretend an older version cached an incompatible evaluation.
+        stale.save(key, {"status": "ok", "job": jobs[0].to_dict(),
+                         "evaluation": {"benchmark": "171.swim"}})
+        outcome = run_campaign(jobs, store=stale)
+        assert outcome.n_cached == 0
+        assert outcome.results[0].ok
+
+
+def _exit_worker(job_data):
+    """Simulates a worker killed by the OS (picklable module-level fn)."""
+    import os
+
+    os._exit(1)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_recorded_as_failure_not_crash(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.executor as executor
+
+        monkeypatch.setattr(executor, "execute_job_payload", _exit_worker)
+        jobs = [_job(), _job(benchmark="172.mgrid")]
+        store = ResultStore(tmp_path)
+        outcome = run_campaign(jobs, store=store, n_jobs=2)
+        assert len(outcome.failed) == 2
+        assert all("worker died" in r.error for r in outcome.failed)
+        assert len(store) == 0
+
+
+class TestProfileMemoIsolation:
+    def test_caller_mutation_does_not_poison_memo(self):
+        from repro.pipeline import evaluate_corpus
+        from repro.workloads import build_corpus, spec_profile
+
+        corpus = build_corpus(spec_profile("swim"), scale=0.02)
+        first = evaluate_corpus(corpus, FAST)
+        n_loops = len(first.profile.loops)
+        first.profile.loops.pop()  # caller post-processing gone wrong
+        second = evaluate_corpus(corpus, FAST)
+        assert len(second.profile.loops) == n_loops
+        assert second.ed2_ratio == first.ed2_ratio
+
+
+def _fake_result(benchmark, n_buses, ed2, energy, time_r) -> JobResult:
+    job = ExperimentJob(
+        benchmark=benchmark, scale=0.02, options=replace(FAST, n_buses=n_buses)
+    )
+    evaluation = SimpleNamespace(
+        ed2_ratio=ed2, energy_ratio=energy, time_ratio=time_r
+    )
+    return JobResult(
+        job=job,
+        key=job.key(),
+        status="ok",
+        elapsed_s=1.0,
+        cached=False,
+        evaluation=evaluation,
+    )
+
+
+class TestAggregation:
+    def test_config_means(self):
+        results = [
+            _fake_result("171.swim", 1, 0.9, 0.8, 1.1),
+            _fake_result("172.mgrid", 1, 0.7, 0.6, 0.9),
+        ]
+        means = config_means(results)
+        stats = means["buses=1,analytic"]
+        assert stats["n_benchmarks"] == 2
+        assert stats["mean_ed2_ratio"] == pytest.approx(0.8)
+        assert stats["mean_energy_ratio"] == pytest.approx(0.7)
+
+    def test_best_configurations(self):
+        results = [
+            _fake_result("171.swim", 1, 0.9, 0.8, 1.1),
+            _fake_result("171.swim", 2, 0.8, 0.9, 1.0),
+        ]
+        best = best_configurations(results)
+        assert best["171.swim"].config == "buses=2,analytic"
+
+    def test_pareto_frontier_drops_dominated(self):
+        results = [
+            # buses=1: (0.8 energy, 1.1 time); buses=2: (0.9, 1.0) —
+            # neither dominates the other, both on the frontier.
+            _fake_result("171.swim", 1, 0.9, 0.8, 1.1),
+            _fake_result("171.swim", 2, 0.8, 0.9, 1.0),
+        ]
+        frontier = pareto_frontier(results)
+        assert [config for config, _, _ in frontier] == [
+            "buses=1,analytic",
+            "buses=2,analytic",
+        ]
+        # A strictly worse config disappears.
+        results.append(_fake_result("171.swim", 4, 0.95, 0.95, 1.2))
+        frontier = pareto_frontier(results)
+        assert all("buses=4" not in config for config, _, _ in frontier)
+
+    def test_load_results_round_trips_store(self, campaign_store):
+        store, spec, outcome = campaign_store
+        loaded = load_results(store)
+        assert len(loaded) == 4
+        assert {r.key for r in loaded} == {r.key for r in outcome}
+        assert config_means(loaded) == config_means(list(outcome))
+
+    def test_load_results_skips_stale_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("deadbeef00000000", {"status": "ok",
+                                        "job": {"benchmark": "171.swim"},
+                                        "evaluation": {"benchmark": "171.swim"}})
+        assert load_results(store) == []
+
+    def test_filter_results(self, campaign_store):
+        _, _, outcome = campaign_store
+        swim = filter_results(list(outcome), benchmark="171.swim")
+        assert len(swim) == 2
+        assert all(r.job.benchmark == "171.swim" for r in swim)
+        one_bus = filter_results(
+            list(outcome), config="buses=1,analytic"
+        )
+        assert len(one_bus) == 2
+
+
+class TestCampaignCLI:
+    def test_campaign_verb_runs_and_caches(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "campaign",
+            "--benchmarks",
+            "swim",
+            "--scale",
+            "0.02",
+            "--no-simulate",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Campaign results" in first.out
+        assert "Pareto frontier" in first.out
+        assert "1 cache hit" not in first.err
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 cache hit(s)" in second.err
+        assert "Campaign results" in second.out
+
+    def test_report_only_reads_cache(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--benchmarks",
+                    "mgrid",
+                    "--scale",
+                    "0.02",
+                    "--no-simulate",
+                    "--cache-dir",
+                    cache,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["campaign", "--report-only", "--cache-dir", cache]) == 0
+        output = capsys.readouterr().out
+        assert "172.mgrid" in output
+
+    def test_report_only_empty_cache_fails(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(["campaign", "--report-only", "--cache-dir", str(tmp_path)])
+            == 1
+        )

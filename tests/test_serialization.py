@@ -1,0 +1,126 @@
+"""Round-trip tests for the pipeline's JSON (de)serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.clocking import FrequencyPalette
+from repro.pipeline import BenchmarkEvaluation, ExperimentOptions, evaluate_corpus
+from repro.pipeline.serialization import (
+    design_space_from_dict,
+    design_space_to_dict,
+    loop_profile_from_dict,
+    loop_profile_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+from repro.scheduler.options import SchedulerOptions
+from repro.vfs.candidates import DesignSpaceSpec
+from repro.workloads import build_corpus, spec_profile
+
+
+def _variant_options() -> ExperimentOptions:
+    """Options with every field away from its default."""
+    base = ExperimentOptions()
+    return ExperimentOptions(
+        n_buses=2,
+        breakdown=base.breakdown.with_shares(0.15, 0.25).with_leakage(
+            0.4, 0.2, 0.5
+        ),
+        technology=replace(base.technology, alpha=1.5, reference_vdd=1.1),
+        design_space=DesignSpaceSpec(
+            fast_factors=(Fraction(9, 10), Fraction(1)),
+            slow_over_fast=(Fraction(1), Fraction(3, 2)),
+        ),
+        scheduler=SchedulerOptions(
+            palette=FrequencyPalette.per_domain_uniform(4),
+            sync_penalties=False,
+            preplace_recurrences=False,
+            ed2_refinement=False,
+            budget_ratio=7,
+        ),
+        simulate=False,
+        per_class_energy=False,
+    )
+
+
+class TestOptionsRoundTrip:
+    def test_default_options(self):
+        options = ExperimentOptions()
+        rebuilt = ExperimentOptions.from_dict(options.to_dict())
+        assert rebuilt == options
+
+    def test_variant_options(self):
+        options = _variant_options()
+        rebuilt = ExperimentOptions.from_dict(options.to_dict())
+        assert rebuilt == options
+
+    def test_dict_is_json_safe(self):
+        options = _variant_options()
+        text = json.dumps(options.to_dict(), sort_keys=True)
+        assert ExperimentOptions.from_dict(json.loads(text)) == options
+
+    def test_global_palette_round_trips(self):
+        options = ExperimentOptions(
+            scheduler=SchedulerOptions(
+                palette=FrequencyPalette.uniform(3, Fraction(1))
+            )
+        )
+        rebuilt = ExperimentOptions.from_dict(options.to_dict())
+        assert rebuilt.scheduler.palette.frequencies == (
+            Fraction(1, 3),
+            Fraction(2, 3),
+            Fraction(1),
+        )
+
+    def test_fractions_serialize_exactly(self):
+        spec = DesignSpaceSpec(fast_factors=(Fraction(19, 20),))
+        rebuilt = design_space_from_dict(design_space_to_dict(spec))
+        assert rebuilt.fast_factors == (Fraction(19, 20),)
+        assert isinstance(rebuilt.fast_factors[0], Fraction)
+
+
+@pytest.fixture(scope="module")
+def evaluation() -> BenchmarkEvaluation:
+    corpus = build_corpus(spec_profile("swim"), scale=0.02)
+    return evaluate_corpus(corpus, ExperimentOptions(simulate=False))
+
+
+class TestEvaluationRoundTrip:
+    def test_round_trips_through_json(self, evaluation):
+        text = json.dumps(evaluation.to_dict(), sort_keys=True)
+        rebuilt = BenchmarkEvaluation.from_dict(json.loads(text))
+        assert rebuilt.benchmark == evaluation.benchmark
+        assert rebuilt.ed2_ratio == evaluation.ed2_ratio
+        assert rebuilt.energy_ratio == evaluation.energy_ratio
+        assert rebuilt.time_ratio == evaluation.time_ratio
+
+    def test_dict_form_is_stable(self, evaluation):
+        once = evaluation.to_dict()
+        rebuilt = BenchmarkEvaluation.from_dict(once)
+        assert rebuilt.to_dict() == once
+
+    def test_selection_survives(self, evaluation):
+        rebuilt = BenchmarkEvaluation.from_dict(evaluation.to_dict())
+        original = evaluation.heterogeneous_selection
+        restored = rebuilt.heterogeneous_selection
+        assert restored.fast_factor == original.fast_factor
+        assert restored.slow_ratio == original.slow_ratio
+        assert restored.point == original.point
+
+    def test_profile_class_counts_survive_enum_round_trip(self, evaluation):
+        profile = evaluation.profile
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert len(rebuilt) == len(profile)
+        first, first_rebuilt = profile.loops[0], rebuilt.loops[0]
+        assert first_rebuilt.class_counts == dict(first.class_counts)
+        assert first_rebuilt.rec_mii == first.rec_mii
+        assert isinstance(first_rebuilt.rec_mii, Fraction)
+
+    def test_loop_profile_round_trip(self, evaluation):
+        loop = evaluation.profile.loops[0]
+        assert loop_profile_from_dict(loop_profile_to_dict(loop)) == loop
