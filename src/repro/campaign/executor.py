@@ -39,6 +39,10 @@ class JobResult:
     cached: bool
     evaluation: Optional[BenchmarkEvaluation] = None
     error: Optional[str] = None
+    #: Stage-cache counter deltas of this job's execution (``hits``,
+    #: ``misses``, ``disk_hits``); None for whole-job cache answers and
+    #: payloads written before stage-granular caching existed.
+    stage_cache: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -78,25 +82,60 @@ class CampaignResult:
         """Sum of per-job wall times (compute actually spent this run)."""
         return sum(r.elapsed_s for r in self.results if not r.cached)
 
+    @property
+    def stage_cache_hits(self) -> int:
+        """Stage-level cache hits (memory + disk) across executed jobs."""
+        return sum(
+            r.stage_cache.get("hits", 0) + r.stage_cache.get("disk_hits", 0)
+            for r in self.results
+            if r.stage_cache is not None
+        )
+
 
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def execute_job_payload(job_data: Dict[str, Any]) -> Dict[str, Any]:
+def execute_job_payload(
+    job_data: Dict[str, Any], stage_dir: Optional[str] = None
+) -> Dict[str, Any]:
     """Run one job from its dict form; never raises.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it by
     reference; also the inline path for ``jobs=1``.
+
+    ``stage_dir`` attaches the pipeline's stage cache to an on-disk
+    directory (the result store's ``stages/`` subdir), so profiling and
+    calibration artifacts persist across jobs, workers *and* campaign
+    runs.  The payload records the job's stage-cache counter deltas.
     """
     started = time.perf_counter()
     try:
         job = ExperimentJob.from_dict(job_data)
+        from repro.pipeline.cache import STAGE_CACHE
         from repro.pipeline.experiment import evaluate_corpus
         from repro.workloads.corpus import build_corpus
         from repro.workloads.spec_profiles import SPEC2000_PROFILES
 
-        corpus = build_corpus(SPEC2000_PROFILES[job.benchmark], scale=job.scale)
-        evaluation = evaluate_corpus(corpus, job.options)
+        # Attach the campaign's disk layer for the duration of this job
+        # only: the process-global cache must not keep pointing at the
+        # store afterwards (the directory may be temporary, and
+        # store=None runs are promised to touch no disk).
+        previous_store = STAGE_CACHE.store_dir
+        if stage_dir is not None:
+            STAGE_CACHE.attach_store(stage_dir)
+        try:
+            stats_before = STAGE_CACHE.stats()
+            corpus = build_corpus(
+                SPEC2000_PROFILES[job.benchmark], scale=job.scale
+            )
+            evaluation = evaluate_corpus(corpus, job.options)
+            stats_after = STAGE_CACHE.stats()
+        finally:
+            if stage_dir is not None:
+                if previous_store is None:
+                    STAGE_CACHE.detach_store()
+                else:
+                    STAGE_CACHE.attach_store(previous_store)
         return {
             "schema": 1,
             "job": job_data,
@@ -104,6 +143,10 @@ def execute_job_payload(job_data: Dict[str, Any]) -> Dict[str, Any]:
             "elapsed_s": time.perf_counter() - started,
             "evaluation": evaluation.to_dict(),
             "error": None,
+            "stage_cache": {
+                name: stats_after[name] - stats_before[name]
+                for name in stats_after
+            },
         }
     except Exception:
         return {
@@ -135,6 +178,7 @@ def _result_from_payload(
             else None
         ),
         error=payload.get("error"),
+        stage_cache=None if cached else payload.get("stage_cache"),
     )
 
 
@@ -152,9 +196,16 @@ def run_campaign(
     forces fresh runs even for cached keys.  Successful results are
     persisted to ``store`` before the call returns; failures are
     reported but never cached, so a fixed configuration re-runs.
+
+    Caching is two-granular: whole jobs are answered from ``store``
+    without executing, and executed jobs reuse stage-level artifacts
+    (profiling, calibration) persisted under ``store.stage_dir`` — so a
+    resume whose job entries were invalidated still skips the expensive
+    profiling passes.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    stage_dir = None if store is None else str(store.stage_dir)
     keyed = [(job, job.key()) for job in jobs]
     results: Dict[str, JobResult] = {}
 
@@ -189,12 +240,14 @@ def run_campaign(
 
     if n_jobs == 1 or len(pending) <= 1:
         for job, key in pending:
-            _finish(job, key, execute_job_payload(job.to_dict()))
+            _finish(job, key, execute_job_payload(job.to_dict(), stage_dir))
     else:
         workers = min(n_jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(execute_job_payload, job.to_dict()): (job, key)
+                pool.submit(
+                    execute_job_payload, job.to_dict(), stage_dir
+                ): (job, key)
                 for job, key in pending
             }
             remaining = set(futures)

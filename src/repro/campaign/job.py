@@ -24,8 +24,9 @@ from repro.workloads.spec_profiles import SPEC2000_PROFILES
 KEY_LENGTH = 16
 
 #: Bumped when the serialized job layout changes incompatibly, so stale
-#: cache entries never alias new ones.
-SCHEMA_VERSION = 1
+#: cache entries never alias new ones.  2: options carry the target
+#: machine name (staged experiment API).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,8 @@ class ExperimentJob:
         options = self.options
         scheduler = options.scheduler
         parts: List[str] = [f"buses={options.n_buses}"]
+        if options.machine != "paper":
+            parts.append(f"machine={options.machine}")
         if not options.per_class_energy:
             parts.append("uniform-energy")
         if not scheduler.preplace_recurrences:

@@ -41,6 +41,14 @@ class CampaignSpec:
     benchmarks: Tuple[str, ...]
     scale: float = 0.05
     buses_grid: Tuple[int, ...] = (1,)
+    #: Registered machine names to sweep (see
+    #: :func:`repro.pipeline.registry.register_machine`).  Names resolve
+    #: in the process that *runs* the job: with ``n_jobs > 1`` the
+    #: workers re-import :mod:`repro`, so custom machines must be
+    #: registered at import time (e.g. in a module the workers load),
+    #: not ad hoc in the driver script.  Unknown names fail the job with
+    #: a clear error instead of aborting the sweep.
+    machine_grid: Tuple[str, ...] = ("paper",)
     per_class_energy_grid: Tuple[bool, ...] = (True,)
     preplace_grid: Tuple[bool, ...] = (True,)
     ed2_refinement_grid: Tuple[bool, ...] = (True,)
@@ -60,6 +68,7 @@ class CampaignSpec:
             raise WorkloadError("corpus scale must be positive")
         for label, grid in (
             ("buses_grid", self.buses_grid),
+            ("machine_grid", self.machine_grid),
             ("per_class_energy_grid", self.per_class_energy_grid),
             ("preplace_grid", self.preplace_grid),
             ("ed2_refinement_grid", self.ed2_refinement_grid),
@@ -74,6 +83,7 @@ class CampaignSpec:
         """Number of option points per benchmark."""
         return (
             len(_unique(self.buses_grid))
+            * len(_unique(self.machine_grid))
             * len(_unique(self.per_class_energy_grid))
             * len(_unique(self.preplace_grid))
             * len(_unique(self.ed2_refinement_grid))
@@ -86,10 +96,11 @@ class CampaignSpec:
     def expand(self) -> List[ExperimentJob]:
         """All jobs of the campaign, in deterministic order."""
         jobs: List[ExperimentJob] = []
-        for benchmark, buses, per_class, preplace, ed2_ref, sync in (
+        for benchmark, buses, machine, per_class, preplace, ed2_ref, sync in (
             itertools.product(
                 _unique(self.benchmarks),
                 _unique(self.buses_grid),
+                _unique(self.machine_grid),
                 _unique(self.per_class_energy_grid),
                 _unique(self.preplace_grid),
                 _unique(self.ed2_refinement_grid),
@@ -105,6 +116,7 @@ class CampaignSpec:
             options = replace(
                 self.base_options,
                 n_buses=buses,
+                machine=machine,
                 per_class_energy=per_class,
                 scheduler=scheduler,
                 simulate=self.simulate,
@@ -123,6 +135,7 @@ class CampaignSpec:
             "benchmarks": list(self.benchmarks),
             "scale": self.scale,
             "buses_grid": list(self.buses_grid),
+            "machine_grid": list(self.machine_grid),
             "per_class_energy_grid": list(self.per_class_energy_grid),
             "preplace_grid": list(self.preplace_grid),
             "ed2_refinement_grid": list(self.ed2_refinement_grid),
@@ -138,6 +151,7 @@ class CampaignSpec:
             benchmarks=tuple(data["benchmarks"]),
             scale=data["scale"],
             buses_grid=tuple(data["buses_grid"]),
+            machine_grid=tuple(data.get("machine_grid", ("paper",))),
             per_class_energy_grid=tuple(data["per_class_energy_grid"]),
             preplace_grid=tuple(data["preplace_grid"]),
             ed2_refinement_grid=tuple(data["ed2_refinement_grid"]),

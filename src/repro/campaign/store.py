@@ -22,6 +22,10 @@ from repro.errors import ReproError
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Subdirectory of a result store holding stage-granular artifacts
+#: (profiles, calibrations) written by the pipeline's stage cache.
+STAGE_SUBDIR = "stages"
+
 
 class StoreError(ReproError):
     """A result-store entry is missing or unreadable."""
@@ -38,6 +42,25 @@ class ResultStore:
     def root(self) -> Path:
         """The cache directory."""
         return self._root
+
+    @property
+    def stage_dir(self) -> Path:
+        """Directory for stage-granular artifacts (created on demand).
+
+        The campaign executor attaches the pipeline's stage cache here,
+        so a resumed campaign reuses cached profiling/calibration
+        artifacts even when the whole-job entry is gone — deleting the
+        ``*.json`` job results invalidates *measurements* only.
+        """
+        path = self._root / STAGE_SUBDIR
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def stage_keys(self) -> Iterator[str]:
+        """All persisted stage-artifact keys, sorted."""
+        stage_dir = self._root / STAGE_SUBDIR
+        for path in sorted(stage_dir.glob("*.json")):
+            yield path.stem
 
     def path(self, key: str) -> Path:
         """File backing the entry for ``key``."""

@@ -61,3 +61,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload/corpus generation was asked for something impossible."""
+
+
+class PipelineError(ReproError):
+    """A staged experiment is mis-composed (missing artifact, unknown
+    stage, unregistered machine/selector/scheduler)."""

@@ -1,0 +1,251 @@
+"""The stage cache: one caching mechanism for every pipeline stage.
+
+Stages (:mod:`repro.pipeline.stages`) are pure functions of their
+declared inputs, so their artifacts are memoizable.  This module holds
+the process-wide :class:`StageCache` every experiment consults:
+
+* an **in-memory LRU** over live artifact objects (hits refresh recency
+  via ``OrderedDict.move_to_end``, evictions drop the least recently
+  *used* entry — not merely the oldest inserted), and
+* an optional **on-disk layer** for stages whose artifacts have a
+  JSON-safe payload form (profiling, calibration).  The campaign
+  executor attaches the layer to its result store's ``stages/``
+  directory, so a resumed campaign — even a fresh process — reuses the
+  expensive profiling/calibration work of earlier runs instead of only
+  skipping whole jobs that are already cached.
+
+Keys are content hashes of everything a stage's output depends on
+(corpus fingerprint, machine/technology/scheduler configuration,
+weights, ...), prefixed by the stage name so the counters — and the
+on-disk files — stay attributable per stage.
+
+Observability: :func:`stage_cache_info` reports entry counts and
+hit/miss/eviction counters, overall and per stage.  It supersedes the
+former ``profile_cache_info``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+#: Entries kept in memory before the least recently used one is dropped.
+#: A full ten-benchmark sweep needs 20 profile entries (two calibration
+#: passes per benchmark) plus the matching calibration artifacts.
+DEFAULT_CAPACITY = 128
+
+_MISS = object()
+
+
+def stage_key(stage: str, *parts: Any) -> str:
+    """Content-hashed cache key for one stage invocation.
+
+    ``parts`` must have deterministic ``repr`` across processes (frozen
+    dataclasses of ints/floats/Fractions/strings qualify); the stage
+    name is kept as a readable prefix so keys, counters and on-disk
+    artifacts group by stage.
+    """
+    digest = hashlib.sha256(repr(parts).encode()).hexdigest()[:24]
+    return f"{stage}-{digest}"
+
+
+class StageCache:
+    """LRU artifact memo with an optional JSON-per-artifact disk layer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._store_dir: Optional[Path] = None
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        self._by_stage: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of in-memory entries."""
+        return self._capacity
+
+    @property
+    def store_dir(self) -> Optional[Path]:
+        """Directory of the attached disk layer (None when detached)."""
+        return self._store_dir
+
+    def attach_store(self, directory) -> None:
+        """Persist/load JSON-serializable artifacts under ``directory``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self._store_dir = path
+
+    def detach_store(self) -> None:
+        """Stop reading and writing the on-disk layer."""
+        self._store_dir = None
+
+    # ------------------------------------------------------------------
+    # the cache protocol
+    # ------------------------------------------------------------------
+    def _stage_of(self, key: str) -> str:
+        return key.rsplit("-", 1)[0]
+
+    def _count(self, key: str, event: str) -> None:
+        bucket = self._by_stage.setdefault(
+            self._stage_of(key),
+            {"hits": 0, "misses": 0, "disk_hits": 0},
+        )
+        bucket[event] += 1
+
+    def lookup(
+        self,
+        key: str,
+        decode: Optional[Callable[[Dict[str, Any]], Any]] = None,
+    ):
+        """The cached value for ``key``, or :data:`MISS`.
+
+        Memory is consulted first (a hit refreshes recency); when the
+        disk layer is attached and ``decode`` is given, a miss falls
+        through to ``<store_dir>/<key>.json``.
+        """
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._count(key, "hits")
+            return value
+        if self._store_dir is not None and decode is not None:
+            payload = self._read_payload(key)
+            if payload is not None:
+                try:
+                    value = decode(payload)
+                except Exception:
+                    value = _MISS  # stale or incompatible artifact
+                if value is not _MISS:
+                    self._insert(key, value)
+                    self.disk_hits += 1
+                    self._count(key, "disk_hits")
+                    return value
+        self.misses += 1
+        self._count(key, "misses")
+        return _MISS
+
+    def store(
+        self,
+        key: str,
+        value: Any,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Memoize ``value``; also write ``payload`` to the disk layer."""
+        self._insert(key, value)
+        if self._store_dir is not None and payload is not None:
+            self._write_payload(key, payload)
+
+    def _insert(self, key: str, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        """True when :meth:`lookup` found nothing."""
+        return value is _MISS
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _payload_path(self, key: str) -> Path:
+        assert self._store_dir is not None
+        return self._store_dir / f"{key}.json"
+
+    def _read_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._payload_path(key)) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def _write_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        # Atomic (temp file + rename): a killed process must never leave
+        # a truncated artifact that would poison a later resume.
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self._store_dir, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_name, self._payload_path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> Dict[str, Any]:
+        """Counters: entries, hits, misses, disk_hits, evictions, by_stage."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "by_stage": {
+                stage: dict(counts)
+                for stage, counts in sorted(self._by_stage.items())
+            },
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """The flat counters (cheap snapshot for deltas)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk layer is untouched)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.hits = self.misses = self.disk_hits = self.evictions = 0
+        self._by_stage.clear()
+
+
+#: The process-wide cache every experiment run consults.
+STAGE_CACHE = StageCache()
+
+
+def stage_cache_info() -> Dict[str, Any]:
+    """Counters of the process-wide stage cache.
+
+    Successor of ``profile_cache_info``: reports entries plus
+    hit/miss/disk-hit/eviction counters, overall and per stage.
+    """
+    return STAGE_CACHE.info()
+
+
+def clear_stage_cache(reset_stats: bool = False) -> None:
+    """Drop the in-memory stage memo (tests, long-lived processes)."""
+    STAGE_CACHE.clear()
+    if reset_stats:
+        STAGE_CACHE.reset_stats()

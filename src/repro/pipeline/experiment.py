@@ -12,27 +12,30 @@ This is the code path behind every figure of the evaluation:
 5. schedule every loop on the selected point with the section 4
    algorithm, execute in the simulator, and meter energy,
 6. report heterogeneous/baseline ratios of ED^2, energy and time.
+
+The flow itself is built from first-class, individually cached stages —
+see :mod:`repro.pipeline.stages`; :func:`evaluate_corpus` and
+:func:`evaluate_suite` are thin wrappers over
+``Experiment.paper().run(...)`` kept for compatibility (they produce
+bit-identical results).  This module keeps the experiment *value types*:
+:class:`ExperimentOptions`, :class:`BenchmarkEvaluation`,
+:class:`SuiteResult`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.machine.machine import MachineDescription, paper_machine
 from repro.power.breakdown import EnergyBreakdown
-from repro.power.calibration import CalibratedUnits, calibrate
-from repro.power.energy import EnergyModel, EventCounts
+from repro.power.calibration import CalibratedUnits
 from repro.power.profile import ProgramProfile
 from repro.power.technology import TechnologyModel
-from repro.scheduler.context import PartitionEnergyWeights
-from repro.scheduler.heterogeneous import HeterogeneousModuloScheduler
-from repro.scheduler.homogeneous import HomogeneousModuloScheduler
 from repro.scheduler.options import SchedulerOptions
-from repro.sim.power_meter import MeasuredExecution, PowerMeter
+from repro.sim.power_meter import MeasuredExecution
 from repro.vfs.candidates import DesignSpaceSpec
-from repro.vfs.homogeneous import optimum_homogeneous
-from repro.vfs.selector import ConfigurationSelector, SelectionResult
+from repro.vfs.selector import SelectionResult
 from repro.workloads.corpus import Corpus
 
 
@@ -51,6 +54,10 @@ class ExperimentOptions:
     simulate: bool = True
     #: Per-class instruction energies (False collapses Table 1 energies).
     per_class_energy: bool = True
+    #: Name of the machine factory to target (see
+    #: :func:`repro.pipeline.registry.register_machine`).  Serializable,
+    #: so campaign jobs can sweep registered machines by name.
+    machine: str = "paper"
 
     def to_dict(self) -> dict:
         """Canonical JSON-safe dict form (see pipeline.serialization)."""
@@ -138,210 +145,28 @@ class SuiteResult:
         """Evaluations keyed by benchmark name."""
         return {e.benchmark: e for e in self.evaluations}
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict form: per-benchmark evaluations + suite mean."""
+        return {
+            "evaluations": [e.to_dict() for e in self.evaluations],
+            "mean_ed2_ratio": self.mean_ed2_ratio,
+        }
+
 
 # ----------------------------------------------------------------------
-def _measure_homogeneous(
-    corpus: Corpus,
-    schedules,
-    meter: PowerMeter,
-    point,
-    reference_ct,
-) -> MeasuredExecution:
-    """Measure a homogeneous point from the reference schedules.
-
-    Homogeneous executions are cycle-identical across speeds: only the
-    cycle time changes, so every reference schedule re-times by the ratio
-    of periods — exactly, not approximately.
-    """
-    scale = float(point.clusters[0].cycle_time / reference_ct)
-    measurements = []
-    for loop in corpus.loops:
-        schedule = schedules[loop.name]
-        counts = EventCounts(
-            cluster_energy_units=tuple(
-                u * loop.trip_count * loop.weight
-                for u in schedule.cluster_energy_units()
-            ),
-            n_comms=schedule.comms_per_iteration * loop.trip_count * loop.weight,
-            n_mem_accesses=(
-                schedule.mem_accesses_per_iteration * loop.trip_count * loop.weight
-            ),
-        )
-        time_ns = schedule.execution_time(loop.trip_count) * loop.weight * scale
-        energy = meter.model.estimate(point, counts, time_ns)
-        measurements.append(MeasuredExecution(energy=energy, exec_time_ns=time_ns))
-    return meter.measure_program(measurements)
-
-
+# the compatibility entry points
+# ----------------------------------------------------------------------
 def evaluate_corpus(
     corpus: Corpus, options: Optional[ExperimentOptions] = None
 ) -> BenchmarkEvaluation:
-    """Run the full pipeline for one benchmark corpus."""
-    options = options if options is not None else ExperimentOptions()
-    machine = paper_machine(
-        n_buses=options.n_buses, uniform_energy=not options.per_class_energy
-    )
-    technology = options.technology
+    """Run the full pipeline for one benchmark corpus.
 
-    homogeneous = HomogeneousModuloScheduler(
-        machine, technology, options.scheduler
-    )
-    reference_setting = technology.reference_setting
-
-    # Two-pass profiling: the first pass schedules with default partition
-    # weights and calibrates the unit energies; the second re-schedules
-    # with the *calibrated* weights so the baseline and heterogeneous
-    # runs see identical partitioning economics, then re-calibrates.
-    profile, reference_schedules = profile_corpus_cached(corpus, homogeneous)
-    units = calibrate(
-        profile, reference_setting, options.breakdown, machine.n_clusters
-    )
-    weights = PartitionEnergyWeights(
-        e_ins_unit=units.e_ins_unit,
-        e_comm=units.e_comm,
-        static_rate_per_cluster=units.static_rate_per_cluster,
-        static_rate_icn=units.static_rate_icn,
-    )
-    profile, reference_schedules = profile_corpus_cached(
-        corpus, homogeneous, weights=weights
-    )
-    units = calibrate(
-        profile, reference_setting, options.breakdown, machine.n_clusters
-    )
-    weights = PartitionEnergyWeights(
-        e_ins_unit=units.e_ins_unit,
-        e_comm=units.e_comm,
-        static_rate_per_cluster=units.static_rate_per_cluster,
-        static_rate_icn=units.static_rate_icn,
-    )
-    model = EnergyModel(units, technology)
-    meter = PowerMeter(model)
-
-    # --- baseline: optimum homogeneous (section 5.1) -----------------
-    baseline = optimum_homogeneous(
-        profile, machine, technology, units, options.design_space
-    )
-    reference_point = homogeneous.reference_point()
-    reference_measured = _measure_homogeneous(
-        corpus, reference_schedules, meter, reference_point,
-        reference_setting.cycle_time,
-    )
-    baseline_measured = _measure_homogeneous(
-        corpus, reference_schedules, meter, baseline.point,
-        reference_setting.cycle_time,
-    )
-
-    # --- heterogeneous: select, schedule, simulate, meter -------------
-    selector = ConfigurationSelector(machine, technology, options.design_space)
-    selection = selector.select(profile, units)
-    scheduler = HeterogeneousModuloScheduler(machine, options.scheduler)
-    measurements = []
-    for loop in corpus.loops:
-        schedule = scheduler.schedule(loop, selection.point, weights=weights)
-        measurements.append(
-            meter.measure_loop(
-                schedule,
-                selection.point,
-                iterations=loop.trip_count,
-                invocations=loop.weight,
-                simulate=options.simulate,
-            )
-        )
-    heterogeneous_measured = meter.measure_program(measurements)
-
-    return BenchmarkEvaluation(
-        benchmark=corpus.benchmark,
-        profile=profile,
-        units=units,
-        baseline_selection=baseline,
-        heterogeneous_selection=selection,
-        reference_measured=reference_measured,
-        baseline_measured=baseline_measured,
-        heterogeneous_measured=heterogeneous_measured,
-    )
-
-
-#: Memoized profiling runs: (corpus, scheduler, weights) key -> result.
-#: Profiling dominates the pipeline's cost and the *same* first pass is
-#: re-run for every (baseline, ablation, sweep) variant of a benchmark —
-#: the reference machine, and therefore the reference schedules, do not
-#: change with the experiment options being swept.
-_PROFILE_CACHE: Dict[tuple, tuple] = {}
-
-#: Entries kept before the oldest is dropped (a full ten-benchmark sweep
-#: needs 20: two passes per benchmark).
-_PROFILE_CACHE_LIMIT = 64
-
-
-def _weights_key(weights: Optional[PartitionEnergyWeights]) -> Optional[tuple]:
-    if weights is None:
-        return None
-    return (
-        weights.e_ins_unit,
-        weights.e_comm,
-        weights.static_rate_per_cluster,
-        weights.static_rate_icn,
-    )
-
-
-def _profile_cache_key(
-    corpus: Corpus,
-    scheduler: HomogeneousModuloScheduler,
-    weights: Optional[PartitionEnergyWeights],
-) -> tuple:
-    # MachineDescription, TechnologyModel and SchedulerOptions are frozen
-    # dataclasses, so their reprs are canonical within a process.
-    return (
-        corpus.fingerprint(),
-        repr(scheduler.machine),
-        repr(scheduler.technology),
-        repr(scheduler.options),
-        _weights_key(weights),
-    )
-
-
-def clear_profile_cache() -> None:
-    """Drop every memoized profiling run (tests, long-lived processes)."""
-    _PROFILE_CACHE.clear()
-
-
-def profile_cache_info() -> Dict[str, int]:
-    """Size of the profiling memo (observability hook for benches)."""
-    return {"entries": len(_PROFILE_CACHE)}
-
-
-def profile_corpus_cached(
-    corpus: Corpus,
-    scheduler: HomogeneousModuloScheduler,
-    weights: Optional[PartitionEnergyWeights] = None,
-) -> Tuple[ProgramProfile, Dict[str, object]]:
-    """Memoizing front-end to :func:`repro.pipeline.profiling.profile_corpus`.
-
-    Keyed on the corpus content fingerprint, the scheduler configuration
-    (machine, technology, options) and the partition weights, so repeated
-    first passes across baseline/ablation runs of the same corpus hit the
-    memo instead of re-scheduling every loop.  The cached profile and
-    schedules are shared objects; callers treat them as read-only.
+    Equivalent to ``Experiment.paper(options).run(corpus)`` — kept as the
+    stable function-shaped entry point.
     """
-    from repro.pipeline.profiling import profile_corpus
+    from repro.pipeline.stages import Experiment
 
-    key = _profile_cache_key(corpus, scheduler, weights)
-    cached = _PROFILE_CACHE.get(key)
-    if cached is None:
-        cached = profile_corpus(corpus, scheduler, weights=weights)
-        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_LIMIT:
-            _PROFILE_CACHE.pop(next(iter(_PROFILE_CACHE)))
-        _PROFILE_CACHE[key] = cached
-    profile, schedules = cached
-    # Fresh containers per call: the memoized profile escapes into the
-    # public BenchmarkEvaluation.profile, so container-level mutation by
-    # a caller (sorting/popping loops, adding schedules) must not poison
-    # the process-wide memo.  The LoopProfile/Schedule elements are
-    # treated as immutable throughout the package.
-    return (
-        ProgramProfile(name=profile.name, loops=list(profile.loops)),
-        dict(schedules),
-    )
+    return Experiment.paper(options).run(corpus)
 
 
 def evaluate_suite(
@@ -351,3 +176,67 @@ def evaluate_suite(
     return SuiteResult(
         evaluations=[evaluate_corpus(corpus, options) for corpus in corpora]
     )
+
+
+# ----------------------------------------------------------------------
+# legacy cache surface (now backed by the stage cache)
+# ----------------------------------------------------------------------
+def clear_profile_cache() -> None:
+    """Drop every memoized stage artifact (tests, long-lived processes).
+
+    Alias of :func:`repro.pipeline.cache.clear_stage_cache`, kept for
+    compatibility with pre-stage-cache callers.
+    """
+    from repro.pipeline.cache import clear_stage_cache
+
+    clear_stage_cache()
+
+
+def profile_cache_info() -> Dict[str, int]:
+    """Size of the stage memo (observability hook for benches).
+
+    Superseded by :func:`repro.pipeline.cache.stage_cache_info`, which
+    also reports hit/miss/eviction counters per stage.
+    """
+    from repro.pipeline.cache import STAGE_CACHE
+
+    return {"entries": len(STAGE_CACHE)}
+
+
+def profile_corpus_cached(
+    corpus: Corpus,
+    scheduler,
+    weights=None,
+) -> Tuple[ProgramProfile, Dict[str, object]]:
+    """Memoized profiling pass (deprecated public entry point).
+
+    .. deprecated::
+        Use ``Experiment.paper().run(...)`` for full runs or
+        :class:`repro.pipeline.stages.ProfileStage` for a single stage;
+        both share the process-wide stage cache this function now
+        consults.
+
+    Keyed on the corpus content fingerprint, the scheduler configuration
+    (machine, technology, options) and the partition weights.  The
+    returned profile and schedule containers are fresh per call; their
+    elements are shared with the memo and treated as read-only.
+    """
+    warnings.warn(
+        "profile_corpus_cached is deprecated; use "
+        "repro.pipeline.stages.ProfileStage (or Experiment.paper()) — "
+        "both share the same stage cache",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline.context import ExperimentContext
+    from repro.pipeline.stages import ProfileStage
+
+    context = ExperimentContext(
+        corpus=corpus,
+        machine=scheduler.machine,
+        technology=scheduler.technology,
+        reference_scheduler=scheduler,
+        weights=weights,
+    )
+    ProfileStage().run(context)
+    return context.profile, context.reference_schedules

@@ -1,0 +1,139 @@
+"""Pluggable machines, selectors and schedulers for staged experiments.
+
+Three small name -> factory registries back the
+:class:`~repro.pipeline.stages.Experiment` builder, so a custom machine
+(an :mod:`examples.custom_machine`-style retarget), an alternative
+configuration selector, or a different heterogeneous scheduler flows
+through *exactly* the same pipeline as the paper's evaluation machine —
+including campaign serialization: a registered name fits in
+:class:`~repro.pipeline.experiment.ExperimentOptions` and therefore in
+content-addressed campaign job keys.
+
+Factory signatures:
+
+* machine: ``factory(options: ExperimentOptions) -> MachineDescription``
+  (the options carry ``n_buses``/``per_class_energy`` so one factory can
+  serve several option points; factories may ignore them),
+* selector: ``factory(machine, technology, design_space)`` returning an
+  object with ``select(profile, units) -> SelectionResult``,
+* scheduler: ``factory(machine, scheduler_options)`` returning an object
+  with ``schedule(loop, point, weights=...) -> Schedule``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import PipelineError
+from repro.machine.machine import MachineDescription, paper_machine
+from repro.scheduler.heterogeneous import HeterogeneousModuloScheduler
+from repro.vfs.selector import ConfigurationSelector
+
+#: The name every registry resolves by default — the paper's evaluation
+#: setup (section 5).
+PAPER = "paper"
+
+_MACHINES: Dict[str, Callable[..., MachineDescription]] = {}
+_SELECTORS: Dict[str, Callable] = {}
+_SCHEDULERS: Dict[str, Callable] = {}
+
+
+def _register(
+    registry: Dict[str, Callable],
+    kind: str,
+    name: str,
+    factory: Callable,
+    overwrite: bool,
+) -> None:
+    if not callable(factory):
+        raise PipelineError(f"{kind} factory for {name!r} is not callable")
+    if name in registry and not overwrite:
+        raise PipelineError(
+            f"{kind} {name!r} is already registered (pass overwrite=True "
+            "to replace it)"
+        )
+    registry[name] = factory
+
+
+def _resolve(registry: Dict[str, Callable], kind: str, name: str) -> Callable:
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry)) or "<none>"
+        raise PipelineError(
+            f"unknown {kind} {name!r}; registered: {known}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# machines
+# ----------------------------------------------------------------------
+def register_machine(
+    name: str, factory: Callable, overwrite: bool = False
+) -> None:
+    """Register ``factory`` as the machine named ``name``."""
+    _register(_MACHINES, "machine", name, factory, overwrite)
+
+
+def machine_factory(name: str) -> Callable:
+    """The machine factory registered under ``name``."""
+    return _resolve(_MACHINES, "machine", name)
+
+
+def machine_names() -> Tuple[str, ...]:
+    """Registered machine names, sorted."""
+    return tuple(sorted(_MACHINES))
+
+
+# ----------------------------------------------------------------------
+# selectors
+# ----------------------------------------------------------------------
+def register_selector(
+    name: str, factory: Callable, overwrite: bool = False
+) -> None:
+    """Register ``factory`` as the configuration selector ``name``."""
+    _register(_SELECTORS, "selector", name, factory, overwrite)
+
+
+def selector_factory(name: str) -> Callable:
+    """The selector factory registered under ``name``."""
+    return _resolve(_SELECTORS, "selector", name)
+
+
+def selector_names() -> Tuple[str, ...]:
+    """Registered selector names, sorted."""
+    return tuple(sorted(_SELECTORS))
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+def register_scheduler(
+    name: str, factory: Callable, overwrite: bool = False
+) -> None:
+    """Register ``factory`` as the heterogeneous scheduler ``name``."""
+    _register(_SCHEDULERS, "scheduler", name, factory, overwrite)
+
+
+def scheduler_factory(name: str) -> Callable:
+    """The scheduler factory registered under ``name``."""
+    return _resolve(_SCHEDULERS, "scheduler", name)
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """Registered scheduler names, sorted."""
+    return tuple(sorted(_SCHEDULERS))
+
+
+# ----------------------------------------------------------------------
+# built-ins: the paper's evaluation setup
+# ----------------------------------------------------------------------
+def _paper_machine_factory(options) -> MachineDescription:
+    return paper_machine(
+        n_buses=options.n_buses, uniform_energy=not options.per_class_energy
+    )
+
+
+register_machine(PAPER, _paper_machine_factory)
+register_selector(PAPER, ConfigurationSelector)
+register_scheduler(PAPER, HeterogeneousModuloScheduler)

@@ -311,6 +311,7 @@ def options_to_dict(options) -> Dict[str, Any]:
         "scheduler": scheduler_options_to_dict(options.scheduler),
         "simulate": options.simulate,
         "per_class_energy": options.per_class_energy,
+        "machine": options.machine,
     }
 
 
@@ -326,6 +327,8 @@ def options_from_dict(data: Dict[str, Any]):
         scheduler=scheduler_options_from_dict(data["scheduler"]),
         simulate=data["simulate"],
         per_class_energy=data["per_class_energy"],
+        # Absent in pre-stage-API payloads: those always ran the paper machine.
+        machine=data.get("machine", "paper"),
     )
 
 

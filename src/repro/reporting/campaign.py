@@ -89,5 +89,8 @@ def campaign_summary(result: CampaignResult) -> str:
     ]
     if n_failed:
         parts.append(f"{n_failed} FAILED")
+    stage_hits = result.stage_cache_hits
+    if stage_hits:
+        parts.append(f"{stage_hits} stage-cache hit(s)")
     parts.append(f"{result.total_elapsed_s:.1f}s compute")
     return ", ".join(parts)

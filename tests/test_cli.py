@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -27,6 +29,60 @@ class TestEvaluate:
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError):
             main(["evaluate", "quake", "--scale", "0.02"])
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["evaluate", "swim", "--scale", "0.02", "--output", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "171.swim"
+        assert set(data) >= {
+            "profile",
+            "units",
+            "baseline_selection",
+            "heterogeneous_selection",
+            "heterogeneous_measured",
+        }
+        # canonical dict form: round-trips through the serializer
+        from repro.pipeline import BenchmarkEvaluation
+
+        assert BenchmarkEvaluation.from_dict(data).to_dict() == data
+
+    def test_stages_prints_plan_without_running(self, capsys):
+        assert main(["evaluate", "swim", "--stages"]) == 0
+        output = capsys.readouterr().out
+        assert "Experiment plan" in output
+        assert "profile" in output and "measure" in output
+
+    def test_explain_prints_plan_then_runs(self, capsys):
+        assert main(
+            ["evaluate", "swim", "--scale", "0.02", "--explain"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Experiment plan" in captured.err
+        assert "ED^2 vs optimum homogeneous" in captured.out
+
+    def test_unknown_machine_fails_fast(self):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError, match="unknown machine"):
+            main(["evaluate", "swim", "--scale", "0.02", "--machine", "warp9"])
+
+
+class TestSuiteFlags:
+    def test_suite_stages_plan(self, capsys):
+        assert main(["suite", "--stages", "--buses", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Experiment plan" in output
+        assert "buses=2" in output
+
+
+class TestCampaignFlags:
+    def test_campaign_stages_plan(self, capsys):
+        assert main(["campaign", "--stages", "--machine", "paper"]) == 0
+        output = capsys.readouterr().out
+        assert "Experiment plan" in output
+        assert "machine='paper'" in output
 
 
 class TestTable2:
