@@ -44,5 +44,14 @@ def bench_campaign(benchmark):
             "",
             campaign_means_table(warm.results),
         ]
-        publish("campaign_cache", "\n".join(lines))
+        publish(
+            "campaign_cache",
+            "\n".join(lines),
+            data={
+                "jobs": len(warm),
+                "cold_compute_s": cold.total_elapsed_s,
+                "warm_compute_s": warm.total_elapsed_s,
+                "warm_cached_jobs": warm.n_cached,
+            },
+        )
         assert warm.n_cached == len(warm)

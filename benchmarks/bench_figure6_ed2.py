@@ -19,10 +19,12 @@ def bench_figure6(benchmark):
     )
 
     sections = []
+    data = {}
     for n_buses in (1, 2):
         evaluations = evaluate_all(ExperimentOptions(n_buses=n_buses))
         measured = {name: e.ed2_ratio for name, e in evaluations.items()}
         measured["mean"] = mean_ed2(evaluations)
+        data[f"ed2_ratio_{n_buses}_bus"] = dict(measured)
         chart = bar_chart(
             measured,
             title=f"Figure 6 ({n_buses} bus{'es' if n_buses > 1 else ''}): "
@@ -59,4 +61,5 @@ def bench_figure6(benchmark):
             v for k, v in measured.items() if k != "mean"
         )
 
-    publish("figure6_ed2", "\n\n".join(sections))
+    data["paper_1_bus"] = dict(PAPER_FIGURE6_ED2)
+    publish("figure6_ed2", "\n\n".join(sections), data=data)

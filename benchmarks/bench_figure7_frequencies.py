@@ -58,7 +58,15 @@ def bench_figure7(benchmark):
         title="Figure 7: ED^2 vs number of supported frequencies "
         f"(subset: {', '.join(SENSITIVITY_BENCHMARKS)})",
     )
-    publish("figure7_frequencies", text)
+    publish(
+        "figure7_frequencies",
+        text,
+        data={
+            "mean_ed2_by_palette": means,
+            "paper_degradation": dict(PAPER_FIGURE7_DEGRADATION),
+            "benchmarks": list(SENSITIVITY_BENCHMARKS),
+        },
+    )
 
     # Shape: richer palettes cannot hurt; the coarse 4-frequency palette
     # costs at most a few percent.

@@ -55,7 +55,19 @@ def bench_figure8(benchmark):
         title="Figure 8: ED^2 vs baseline energy shares "
         f"(subset: {', '.join(SENSITIVITY_BENCHMARKS)})",
     )
-    publish("figure8_energy_shares", text)
+    publish(
+        "figure8_energy_shares",
+        text,
+        data={
+            "mean_ed2_by_shares": means,
+            "per_benchmark": {
+                label: {
+                    name: e.ed2_ratio for name, e in evaluations.items()
+                }
+                for label, evaluations in per_bench.items()
+            },
+        },
+    )
 
     # Shape: heterogeneity keeps winning and the spread stays small.
     values = list(means.values())

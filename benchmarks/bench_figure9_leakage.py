@@ -53,7 +53,19 @@ def bench_figure9(benchmark):
         title="Figure 9: ED^2 vs leakage assumptions "
         f"(subset: {', '.join(SENSITIVITY_BENCHMARKS)})",
     )
-    publish("figure9_leakage", text)
+    publish(
+        "figure9_leakage",
+        text,
+        data={
+            "mean_ed2_by_leakage": means,
+            "per_benchmark": {
+                label: {
+                    name: e.ed2_ratio for name, e in evaluations.items()
+                }
+                for label, evaluations in per_bench.items()
+            },
+        },
+    )
 
     values = list(means.values())
     assert all(v < 1.0 for v in values)

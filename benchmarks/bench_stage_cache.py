@@ -79,7 +79,17 @@ def bench_stage_cache(benchmark):
         f"speed-up: {cold_total / staged_total:.2f}x",
         f"stage cache: {info['by_stage']}",
     ]
-    publish("stage_cache", "\n".join(lines))
+    publish(
+        "stage_cache",
+        "\n".join(lines),
+        data={
+            "benchmark": BENCHMARK,
+            "sweep_points": len(SWEEP),
+            "cold_s": cold_total,
+            "staged_s": staged_total,
+            "speedup": cold_total / staged_total,
+        },
+    )
     # The shared profiling pass must actually be reused from disk.
     assert info["by_stage"]["profile"]["disk_hits"] >= len(SWEEP)
     assert staged_total < cold_total

@@ -54,4 +54,14 @@ def bench_table1(benchmark):
         entry = PAPER_TABLE_1[key]
         assert (entry.latency, entry.energy) == (latency, energy)
     assert table.latency(OpClass.FDIV) == 18
-    publish("table1_isa", text)
+    publish(
+        "table1_isa",
+        text,
+        data={
+            opclass.value: {
+                "latency": table.latency(opclass),
+                "energy": table.energy(opclass),
+            }
+            for opclass in OpClass
+        },
+    )

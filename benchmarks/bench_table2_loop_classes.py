@@ -30,8 +30,10 @@ def bench_table2(benchmark):
     benchmark.pedantic(profile_one, args=("200.sixtrack",), rounds=1, iterations=1)
 
     rows = []
+    measured_shares = {}
     for name in SPEC2000_PROFILES:
         shares = profile_one(name).time_share_by_constraint_class()
+        measured_shares[name] = dict(shares)
         paper = PAPER_TABLE2_SHARES[name]
         rows.append(
             (
@@ -58,4 +60,14 @@ def bench_table2(benchmark):
         title="Table 2: execution-time share per constraint class "
         "(measured on the synthetic corpora vs the paper)",
     )
-    publish("table2_loop_classes", text)
+    publish(
+        "table2_loop_classes",
+        text,
+        data={
+            "measured": measured_shares,
+            "paper": {
+                name: list(shares)
+                for name, shares in PAPER_TABLE2_SHARES.items()
+            },
+        },
+    )

@@ -1,14 +1,17 @@
 """Shared infrastructure for the reproduction benches.
 
 Every bench regenerates one of the paper's evaluation artefacts (a table
-or a figure), prints it, and writes it to ``benchmarks/results/`` so the
-output survives pytest's capture.  Corpus sizes scale with the
-``REPRO_CORPUS_SCALE`` environment variable (default 0.15, i.e. ~60 loops
-per benchmark; the paper's full population is ~400 per benchmark at 1.0).
+or a figure), prints it, and writes it to ``benchmarks/results/`` — the
+human-readable text plus, when the bench passes structured ``data``, a
+machine-readable JSON twin so perf/result trajectories can be consumed
+by tooling.  Corpus sizes scale with the ``REPRO_CORPUS_SCALE``
+environment variable (default 0.15, i.e. ~60 loops per benchmark; the
+paper's full population is ~400 per benchmark at 1.0).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence
@@ -58,9 +61,18 @@ def mean_ed2(evaluations: Dict[str, BenchmarkEvaluation]) -> float:
     return sum(values) / len(values)
 
 
-def publish(name: str, text: str) -> None:
-    """Print an artefact and persist it under benchmarks/results/."""
+def publish(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print an artefact and persist it under benchmarks/results/.
+
+    ``data`` (when given) lands next to the text as ``{name}.json`` —
+    the machine-readable form downstream tooling and perf trajectories
+    consume.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )

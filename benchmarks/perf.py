@@ -1,0 +1,48 @@
+"""Pipeline perf harness: per-stage timings -> BENCH_pipeline.json.
+
+Thin bench-side entry point over :mod:`repro.perf` (the engine behind
+``python -m repro bench``).  Under pytest-benchmark it times one
+uncached single-benchmark pipeline run and publishes the full per-stage
+table for the whole suite; run directly it behaves like the CLI verb::
+
+    PYTHONPATH=src python benchmarks/perf.py [--scale 0.05] [--check ...]
+
+The checked-in ``benchmarks/perf_baseline.json`` is the regression gate
+CI compares against (calibration-normalized, 25% tolerance).
+"""
+
+import sys
+
+from repro.perf import (
+    render_report,
+    run_pipeline_bench,
+    time_benchmark,
+    write_report,
+)
+
+from common import RESULTS_DIR, corpus_scale, publish
+
+
+def bench_pipeline_stages(benchmark):
+    """pytest-benchmark hook: one uncached full-pipeline run."""
+    benchmark.pedantic(
+        time_benchmark,
+        args=("200.sixtrack", corpus_scale()),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = run_pipeline_bench(scale=corpus_scale())
+    publish("perf_pipeline", render_report(report), data=report)
+    write_report(report, RESULTS_DIR / "BENCH_pipeline.json")
+
+
+def main(argv=None) -> int:
+    """Standalone runner delegating to the CLI verb."""
+    from repro.__main__ import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ Commands:
   caching, and print the aggregate tables (``--jobs``, ``--buses``,
   ``--machine``, ``--ablate``, ``--cache-dir``),
 * ``table2`` — print the measured constraint-class time shares,
+* ``bench`` — time the pipeline per stage per benchmark, write
+  ``BENCH_pipeline.json``, and optionally gate against a baseline
+  (``--check benchmarks/perf_baseline.json --tolerance 0.25``),
 * ``list`` — list the available benchmarks.
 
 ``evaluate``/``suite``/``campaign`` also take ``--stages`` (print the
@@ -143,6 +146,39 @@ def _parser() -> argparse.ArgumentParser:
 
     table2 = commands.add_parser("table2", help="measured Table 2 shares")
     table2.add_argument("--scale", type=float, default=0.05)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the pipeline per stage and write BENCH_pipeline.json",
+    )
+    bench.add_argument(
+        "--benchmarks",
+        default="all",
+        help="comma-separated benchmark names, or 'all' (default)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="corpus scale (default: REPRO_CORPUS_SCALE or 0.15)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_pipeline.json",
+        help="where to write the JSON report (default BENCH_pipeline.json)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed normalized-total regression for --check (default 0.25)",
+    )
 
     commands.add_parser("list", help="list the available benchmarks")
     return parser
@@ -379,6 +415,42 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        check_regression,
+        render_report,
+        run_pipeline_bench,
+        write_report,
+    )
+
+    if args.benchmarks.strip().lower() == "all":
+        benchmarks = None
+    else:
+        benchmarks = [
+            spec_profile(name.strip()).name
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    report = run_pipeline_bench(benchmarks=benchmarks, scale=args.scale)
+    path = write_report(report, args.output)
+    print(render_report(report), file=sys.stderr)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.check is not None:
+        baseline = json.loads(open(args.check).read())
+        failures = check_regression(report, baseline, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"perf gate passed: normalized {report['normalized_total']:.1f} "
+            f"vs baseline {baseline['normalized_total']:.1f} "
+            f"(tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, spec in SPEC2000_PROFILES.items():
         print(
@@ -397,6 +469,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _cmd_suite,
         "campaign": _cmd_campaign,
         "table2": _cmd_table2,
+        "bench": _cmd_bench,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

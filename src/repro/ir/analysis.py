@@ -10,9 +10,11 @@ used in practice).
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.errors import GraphValidationError
 from repro.ir.cycles import elementary_circuits
@@ -25,6 +27,106 @@ from repro.ir.opcodes import OpClass
 def edge_delay(dep: Dependence, table) -> int:
     """Scheduling delay of an edge given the machine's latency table."""
     return dep.delay_cycles(table.latency(dep.src.opclass))
+
+
+# ----------------------------------------------------------------------
+# per-(DDG, table) integer edge data, memoized
+# ----------------------------------------------------------------------
+class _EdgeData:
+    """Integer-scaled view of a DDG under one latency table.
+
+    Everything the cycle analyses need, precomputed once: node-indexed
+    edge arrays of ``(src, dst, delay, distance)`` plus lazily-filled memo
+    slots for the expensive derived analyses (recurrence enumeration).
+    The delays are plain ints, so the positive-cycle oracle and recMII
+    search never touch :class:`Fraction` arithmetic in their inner loops.
+    """
+
+    __slots__ = (
+        "n_ops",
+        "n_deps",
+        "edge_src",
+        "edge_dst",
+        "edge_delays",
+        "edge_distances",
+        "out_edges",
+        "delay_sum",
+        "distance_sum",
+        "recurrences",
+        "delay_by_dep",
+        "asap",
+        "alap",
+        "heights",
+    )
+
+    def __init__(self, ddg: DDG, table):
+        ops = ddg.operations
+        deps = ddg.dependences
+        self.n_ops = len(ops)
+        self.n_deps = len(deps)
+        index = {op: i for i, op in enumerate(ops)}
+        self.edge_src: List[int] = []
+        self.edge_dst: List[int] = []
+        self.edge_delays: List[int] = []
+        self.edge_distances: List[int] = []
+        self.out_edges: List[List[int]] = [[] for _ in range(self.n_ops)]
+        for position, dep in enumerate(deps):
+            src = index[dep.src]
+            self.edge_src.append(src)
+            self.edge_dst.append(index[dep.dst])
+            self.edge_delays.append(
+                dep.delay_cycles(table.latency(dep.src.opclass))
+            )
+            self.edge_distances.append(dep.distance)
+            self.out_edges[src].append(position)
+        self.delay_sum = sum(self.edge_delays)
+        self.distance_sum = sum(self.edge_distances)
+        #: limit -> tuple of Recurrence (filled by find_recurrences).
+        self.recurrences: Dict[int, Tuple[Recurrence, ...]] = {}
+        self.delay_by_dep: Dict[Dependence, int] = dict(
+            zip(deps, self.edge_delays)
+        )
+        #: Memo slots for the static time analyses (filled lazily).
+        self.asap: Optional[Dict[Operation, int]] = None
+        self.alap: Optional[Dict[Operation, int]] = None
+        self.heights: Optional[Dict[Operation, int]] = None
+
+
+#: ddg -> {table: _EdgeData}.  Weak on the DDG so dropping a corpus frees
+#: its analyses; the inner dict is keyed by the (hashable) latency table.
+_EDGE_DATA_CACHE: "WeakKeyDictionary[DDG, Dict[object, _EdgeData]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _edge_data(ddg: DDG, table) -> _EdgeData:
+    """The memoized integer edge view of ``ddg`` under ``table``.
+
+    A stale entry (the graph grew since it was built) is rebuilt; DDGs are
+    append-only, so comparing node/edge counts detects every mutation.
+    (Same weak two-key memo shape as ``scheduler.context.loop_analysis``
+    — change both in tandem.  Values must not reference the DDG, or the
+    weak key would be pinned forever.)
+    """
+    try:
+        per_table = _EDGE_DATA_CACHE.get(ddg)
+    except TypeError:  # pragma: no cover - DDG is always weakref-able
+        return _EdgeData(ddg, table)
+    if per_table is None:
+        per_table = {}
+        _EDGE_DATA_CACHE[ddg] = per_table
+    try:
+        data = per_table.get(table)
+    except TypeError:  # unhashable duck-typed table: skip the cache
+        return _EdgeData(ddg, table)
+    if (
+        data is None
+        or data.n_ops != len(ddg)
+        or data.n_deps != ddg.n_dependences
+    ):
+        data = _EdgeData(ddg, table)
+        per_table[table] = data
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -96,7 +198,16 @@ def find_recurrences(
 
     Ordering: descending ``ratio``, then descending delay, then ascending
     size, then lexicographic operation names (fully deterministic).
+
+    Memoized per ``(ddg, table, limit)``: circuit enumeration dominates
+    per-loop analysis cost and every IT retry, calibration pass and
+    profiling run re-asks for the same graph, so repeated calls return the
+    cached (immutable) recurrences in a fresh list.
     """
+    data = _edge_data(ddg, table)
+    cached = data.recurrences.get(limit)
+    if cached is not None:
+        return list(cached)
     circuits = elementary_circuits(_adjacency(ddg), limit=limit)
     recurrences: List[Recurrence] = []
     for circuit in circuits:
@@ -117,6 +228,7 @@ def find_recurrences(
             tuple(op.name for op in r.operations),
         )
     )
+    data.recurrences[limit] = tuple(recurrences)
     return recurrences
 
 
@@ -137,30 +249,58 @@ def rec_mii(ddg: DDG, table, limit: int = 100_000) -> Fraction:
     return recurrences[0].ratio
 
 
+def _positive_cycle_scaled(data: _EdgeData, num: int, den: int) -> bool:
+    """True when some cycle has ``sum(delay) - (num/den) * sum(distance) > 0``.
+
+    Integer-scaled SPFA on longest paths: edge weights are
+    ``delay * den - num * distance`` (exact — no rationals in the loop),
+    only out-edges of updated nodes are re-relaxed, and a node updated
+    more than |V| times certifies a positive cycle.
+    """
+    n = data.n_ops
+    if n == 0 or data.n_deps == 0:
+        return False
+    edge_dst = data.edge_dst
+    weights = [
+        delay * den - num * distance
+        for delay, distance in zip(data.edge_delays, data.edge_distances)
+    ]
+    out_edges = data.out_edges
+    potential = [0] * n
+    # Edge count of the improving chain behind each node's potential: a
+    # chain of >= n edges repeats a vertex, and (with monotonically
+    # increasing potentials) only a positive cycle can keep improving
+    # through a repeat — the classic exact SPFA termination bound.
+    chain_len = [0] * n
+    queue = deque(range(n))
+    in_queue = [True] * n
+    while queue:
+        node = queue.popleft()
+        in_queue[node] = False
+        base = potential[node]
+        base_len = chain_len[node]
+        for edge in out_edges[node]:
+            candidate = base + weights[edge]
+            dst = edge_dst[edge]
+            if candidate > potential[dst]:
+                potential[dst] = candidate
+                chain_len[dst] = base_len + 1
+                if chain_len[dst] >= n:
+                    return True
+                if not in_queue[dst]:
+                    in_queue[dst] = True
+                    queue.append(dst)
+    return False
+
+
 def _has_positive_cycle(
     ddg: DDG, table, rate: Fraction
 ) -> bool:
-    """True when some cycle has ``sum(delay) - rate * sum(distance) > 0``.
-
-    Bellman-Ford on longest paths; a relaxation succeeding after |V|
-    rounds certifies a positive cycle.
-    """
-    ops = ddg.operations
-    potential: Dict[Operation, Fraction] = {op: Fraction(0) for op in ops}
-    edges = [
-        (d.src, d.dst, Fraction(edge_delay(d, table)) - rate * d.distance)
-        for d in ddg.dependences
-    ]
-    for _ in range(len(ops)):
-        changed = False
-        for src, dst, weight in edges:
-            candidate = potential[src] + weight
-            if candidate > potential[dst]:
-                potential[dst] = candidate
-                changed = True
-        if not changed:
-            return False
-    return True
+    """True when some cycle has ``sum(delay) - rate * sum(distance) > 0``."""
+    rate = Fraction(rate)
+    return _positive_cycle_scaled(
+        _edge_data(ddg, table), rate.numerator, rate.denominator
+    )
 
 
 def rec_mii_lawler(ddg: DDG, table) -> Fraction:
@@ -168,26 +308,29 @@ def rec_mii_lawler(ddg: DDG, table) -> Fraction:
 
     The optimum is a ratio of integers with denominator at most the sum of
     all edge distances; a binary search narrowed below ``1/den_max**2``
-    identifies it exactly via ``Fraction.limit_denominator``.
+    identifies it exactly via ``Fraction.limit_denominator``.  The oracle
+    runs on integer-scaled weights (see :func:`_positive_cycle_scaled`),
+    which decides exactly the same predicate as rational Bellman-Ford.
     """
-    den_max = sum(d.distance for d in ddg.dependences)
+    data = _edge_data(ddg, table)
+    den_max = data.distance_sum
     if den_max == 0:
         return Fraction(0)
     low = Fraction(0)
-    high = Fraction(sum(edge_delay(d, table) for d in ddg.dependences) + 1)
-    if not _has_positive_cycle(ddg, table, low):
+    high = Fraction(data.delay_sum + 1)
+    if not _positive_cycle_scaled(data, 0, 1):
         return Fraction(0)
     # Invariant: positive cycle at `low`, none at `high`; optimum in (low, high].
     while high - low > Fraction(1, 2 * den_max * den_max):
         mid = (low + high) / 2
-        if _has_positive_cycle(ddg, table, mid):
+        if _positive_cycle_scaled(data, mid.numerator, mid.denominator):
             low = mid
         else:
             high = mid
     candidate = ((low + high) / 2).limit_denominator(den_max)
     # The true optimum rate r satisfies: positive cycle strictly below r,
     # none at r. Validate and nudge if the snap landed one step off.
-    if _has_positive_cycle(ddg, table, candidate):
+    if _positive_cycle_scaled(data, candidate.numerator, candidate.denominator):
         candidate = Fraction(
             candidate.numerator * den_max + 1, candidate.denominator * den_max
         ).limit_denominator(den_max)
@@ -229,33 +372,51 @@ def res_mii(
 # ----------------------------------------------------------------------
 # ASAP / ALAP / slack / height (static, over intra-iteration edges)
 # ----------------------------------------------------------------------
+def edge_delay_map(ddg: DDG, table) -> Dict[Dependence, int]:
+    """Every edge's scheduling delay, from the memoized edge data.
+
+    The returned dict is shared with the memo — treat it as read-only.
+    """
+    return _edge_data(ddg, table).delay_by_dep
+
+
 def asap_times(ddg: DDG, table) -> Dict[Operation, int]:
     """Earliest issue cycle of each op over the omega-0 subgraph."""
+    data = _edge_data(ddg, table)
+    if data.asap is not None:
+        return dict(data.asap)
     order = ddg.topological_order(intra_iteration_only=True)
     if order is None:
         raise GraphValidationError(f"DDG {ddg.name!r} has a zero-distance cycle")
+    delay_of = data.delay_by_dep
     times = {op: 0 for op in ddg.operations}
     for op in order:
         for dep in ddg.out_edges(op):
             if dep.is_loop_carried:
                 continue
-            times[dep.dst] = max(times[dep.dst], times[op] + edge_delay(dep, table))
-    return times
+            times[dep.dst] = max(times[dep.dst], times[op] + delay_of[dep])
+    data.asap = times
+    return dict(times)
 
 
 def alap_times(ddg: DDG, table) -> Dict[Operation, int]:
     """Latest issue cycle keeping the ASAP makespan, omega-0 subgraph."""
+    data = _edge_data(ddg, table)
+    if data.alap is not None:
+        return dict(data.alap)
     asap = asap_times(ddg, table)
     makespan = max(asap.values(), default=0)
     order = ddg.topological_order(intra_iteration_only=True)
     assert order is not None  # asap_times already validated
+    delay_of = data.delay_by_dep
     times = {op: makespan for op in ddg.operations}
     for op in reversed(order):
         for dep in ddg.out_edges(op):
             if dep.is_loop_carried:
                 continue
-            times[op] = min(times[op], times[dep.dst] - edge_delay(dep, table))
-    return times
+            times[op] = min(times[op], times[dep.dst] - delay_of[dep])
+    data.alap = times
+    return dict(times)
 
 
 def slack(ddg: DDG, table) -> Dict[Operation, int]:
@@ -271,16 +432,21 @@ def operation_heights(ddg: DDG, table) -> Dict[Operation, int]:
     This is the classic list-scheduling priority: higher means more
     critical.
     """
+    data = _edge_data(ddg, table)
+    if data.heights is not None:
+        return dict(data.heights)
     order = ddg.topological_order(intra_iteration_only=True)
     if order is None:
         raise GraphValidationError(f"DDG {ddg.name!r} has a zero-distance cycle")
+    delay_of = data.delay_by_dep
     heights = {op: 0 for op in ddg.operations}
     for op in reversed(order):
         for dep in ddg.out_edges(op):
             if dep.is_loop_carried:
                 continue
-            heights[op] = max(heights[op], edge_delay(dep, table) + heights[dep.dst])
-    return heights
+            heights[op] = max(heights[op], delay_of[dep] + heights[dep.dst])
+    data.heights = heights
+    return dict(heights)
 
 
 def critical_path_length(ddg: DDG, table) -> int:

@@ -28,6 +28,7 @@ class DDG:
         self._deps: List[Dependence] = []
         self._out: Dict[Operation, List[Dependence]] = {}
         self._in: Dict[Operation, List[Dependence]] = {}
+        self._index: Dict[Operation, int] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -36,6 +37,7 @@ class DDG:
         """Insert ``op`` as a node; names must be unique within the graph."""
         if op.name in self._by_name:
             raise IRError(f"duplicate operation name {op.name!r} in DDG {self.name!r}")
+        self._index[op] = len(self._ops)
         self._ops.append(op)
         self._by_name[op.name] = op
         self._out[op] = []
@@ -67,6 +69,11 @@ class DDG:
         """All edges, in insertion order."""
         return tuple(self._deps)
 
+    @property
+    def n_dependences(self) -> int:
+        """Edge count (cheaper than ``len(ddg.dependences)``)."""
+        return len(self._deps)
+
     def __len__(self) -> int:
         return len(self._ops)
 
@@ -79,6 +86,10 @@ class DDG:
     def operation(self, name: str) -> Operation:
         """Look a node up by name; raises ``KeyError`` when absent."""
         return self._by_name[name]
+
+    def index_of(self, op: Operation) -> int:
+        """Position of ``op`` in insertion order (stable node id)."""
+        return self._index[op]
 
     def out_edges(self, op: Operation) -> Tuple[Dependence, ...]:
         """Edges whose source is ``op``."""

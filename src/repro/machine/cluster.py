@@ -33,14 +33,30 @@ class ClusterConfig:
                 raise ValueError(f"{label} must be >= 0, got {value}")
         if self.n_int + self.n_fp + self.n_mem == 0:
             raise ValueError("a cluster must contain at least one function unit")
+        # Lookup structures built once: fu_count() runs in refinement inner
+        # loops, so it must not allocate a dict per call.  (Extra slots on
+        # a frozen dataclass don't participate in eq/hash/repr.)
+        object.__setattr__(
+            self,
+            "_counts",
+            {FUType.INT: self.n_int, FUType.FP: self.n_fp, FUType.MEM: self.n_mem},
+        )
+        object.__setattr__(
+            self, "_counts_by_code", (self.n_int, self.n_fp, self.n_mem)
+        )
 
     def fu_count(self, fu: FUType) -> int:
         """Number of units of one FU type in this cluster."""
-        return {FUType.INT: self.n_int, FUType.FP: self.n_fp, FUType.MEM: self.n_mem}[fu]
+        return self._counts[fu]
 
     def fu_counts(self) -> Dict[FUType, int]:
         """All FU counts as a dict."""
-        return {FUType.INT: self.n_int, FUType.FP: self.n_fp, FUType.MEM: self.n_mem}
+        return dict(self._counts)
+
+    @property
+    def fu_counts_by_code(self) -> tuple:
+        """FU counts indexed by :data:`repro.machine.fu.FU_INDEX` code."""
+        return self._counts_by_code
 
     @property
     def issue_width(self) -> int:

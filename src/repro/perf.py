@@ -1,0 +1,192 @@
+"""The perf-regression harness behind ``python -m repro bench``.
+
+Times every stage of the paper pipeline (profile / calibrate / baseline /
+select / schedule / measure) per benchmark, from a cold stage cache, and
+writes a machine-readable ``BENCH_pipeline.json`` — the repo's perf
+trajectory.  A checked-in baseline plus :func:`check_regression` lets CI
+fail when the pipeline regresses by more than a tolerance.
+
+Cross-machine comparability: wall-clock on a shared CI runner is noisy
+and machine-dependent, so every report carries a ``calibration_s`` — the
+time of a fixed pure-Python workload on the same interpreter — and
+regressions are judged on the *normalized* total
+(``total_s / calibration_s``), which cancels most of the machine-speed
+difference between the baseline host and the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+SCHEMA = 1
+
+#: Stage-name buckets reported per benchmark, in pipeline order.
+STAGE_ORDER = ("profile", "calibrate", "baseline", "select", "schedule", "measure")
+
+
+def calibration_score(rounds: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload (machine-speed proxy).
+
+    Best of ``rounds`` to shed scheduler noise; ~50 ms on a 2020 laptop.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(400_000):
+            acc = (acc + i * i) % 1000003
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def time_benchmark(
+    name: str,
+    scale: float,
+    options=None,
+) -> Dict[str, object]:
+    """Per-stage wall times of one benchmark's full pipeline run.
+
+    The stage cache is cleared first, so the numbers reflect a single
+    *uncached* experiment (the quantity this harness guards); repeated
+    stages (the two profile/calibrate calibration passes) accumulate into
+    one bucket per stage name.
+    """
+    from repro.pipeline import Experiment, clear_profile_cache
+    from repro.workloads import build_corpus, spec_profile
+
+    clear_profile_cache()
+    started = time.perf_counter()
+    corpus = build_corpus(spec_profile(name), scale=scale)
+    corpus_s = time.perf_counter() - started
+
+    experiment = Experiment.paper(options)
+    context = experiment.build_context(corpus)
+    stages: Dict[str, float] = {}
+    total = corpus_s
+    for stage in experiment.stages:
+        stage_start = time.perf_counter()
+        stage.run(context)
+        elapsed = time.perf_counter() - stage_start
+        stages[stage.name] = stages.get(stage.name, 0.0) + elapsed
+        total += elapsed
+    return {
+        "benchmark": corpus.benchmark,
+        "n_loops": len(corpus.loops),
+        "corpus_s": corpus_s,
+        "stages": {name: stages.get(name, 0.0) for name in STAGE_ORDER},
+        "total_s": total,
+        "ed2_ratio": context.evaluation.ed2_ratio,
+    }
+
+
+def run_pipeline_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    options=None,
+) -> Dict[str, object]:
+    """The full harness: every benchmark, per-stage timings, metadata."""
+    from repro.workloads import SPEC2000_PROFILES, default_scale
+
+    names = list(SPEC2000_PROFILES) if benchmarks is None else list(benchmarks)
+    if scale is None:
+        scale = default_scale()
+    calibration = calibration_score()
+    per_benchmark = {}
+    for name in names:
+        per_benchmark[name] = time_benchmark(name, scale, options)
+    total = sum(entry["total_s"] for entry in per_benchmark.values())
+    stage_totals = {
+        stage: sum(entry["stages"][stage] for entry in per_benchmark.values())
+        for stage in STAGE_ORDER
+    }
+    return {
+        "schema": SCHEMA,
+        "kind": "pipeline",
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": scale,
+        "calibration_s": calibration,
+        "benchmarks": per_benchmark,
+        "stage_totals_s": stage_totals,
+        "total_s": total,
+        "normalized_total": total / calibration if calibration > 0 else None,
+    }
+
+
+def check_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Failure messages when ``current`` regressed past ``tolerance``.
+
+    Compares calibration-normalized suite totals (see module docstring);
+    an empty list means the gate passes.  Baselines recorded at another
+    scale or benchmark set are rejected rather than silently compared.
+    """
+    failures: List[str] = []
+    if baseline.get("scale") != current.get("scale"):
+        return [
+            f"baseline scale {baseline.get('scale')} != current "
+            f"{current.get('scale')}; regenerate the baseline"
+        ]
+    if set(baseline.get("benchmarks", {})) != set(current.get("benchmarks", {})):
+        return ["baseline and current cover different benchmarks"]
+    base_norm = baseline.get("normalized_total")
+    cur_norm = current.get("normalized_total")
+    if not base_norm or not cur_norm:
+        return ["missing normalized totals; regenerate both reports"]
+    limit = base_norm * (1.0 + tolerance)
+    if cur_norm > limit:
+        failures.append(
+            f"pipeline total regressed: normalized {cur_norm:.1f} > "
+            f"baseline {base_norm:.1f} * (1 + {tolerance:.0%}) = {limit:.1f} "
+            f"(raw {current['total_s']:.2f}s vs {baseline['total_s']:.2f}s)"
+        )
+    return failures
+
+
+def write_report(data: Dict[str, object], path) -> Path:
+    """Write a report as sorted, indented JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_report(data: Dict[str, object]) -> str:
+    """Human-readable table of a report (stderr companion to the JSON)."""
+    from repro.reporting import render_table
+
+    rows = []
+    for name, entry in data["benchmarks"].items():
+        stages = entry["stages"]
+        rows.append(
+            (
+                name,
+                *(f"{stages[stage]:.3f}" for stage in STAGE_ORDER),
+                f"{entry['total_s']:.3f}",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            *(
+                f"{data['stage_totals_s'][stage]:.3f}"
+                for stage in STAGE_ORDER
+            ),
+            f"{data['total_s']:.3f}",
+        )
+    )
+    return render_table(
+        ["benchmark", *STAGE_ORDER, "total"],
+        rows,
+        title=(
+            f"pipeline stage timings (s) at scale {data['scale']}, "
+            f"calibration {data['calibration_s'] * 1e3:.1f} ms"
+        ),
+    )

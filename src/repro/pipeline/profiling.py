@@ -42,8 +42,16 @@ def profile_loop(
             if recurrence.ratio >= top_ratio
             for op in recurrence.operations
         }
+        # Sum in DDG order, not set order: float addition is not
+        # associative and set iteration order follows object addresses,
+        # which would make the profile depend on allocation history.
         critical_fraction = (
-            sum(isa.energy(op.opclass) for op in critical_ops) / total_units
+            sum(
+                isa.energy(op.opclass)
+                for op in ddg.operations
+                if op in critical_ops
+            )
+            / total_units
         )
         boundary_edges = sum(
             1

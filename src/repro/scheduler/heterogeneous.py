@@ -18,7 +18,11 @@ from repro.errors import (
 from repro.ir.loop import Loop
 from repro.machine.machine import MachineDescription
 from repro.machine.operating_point import OperatingPoint
-from repro.scheduler.context import PartitionEnergyWeights, SchedulingContext
+from repro.scheduler.context import (
+    PartitionEnergyWeights,
+    SchedulingContext,
+    loop_analysis,
+)
 from repro.scheduler.ii_selection import iter_it_candidates, select_assignments
 from repro.scheduler.kernel import KernelScheduler
 from repro.scheduler.mii import minimum_initiation_time
@@ -69,6 +73,10 @@ class HeterogeneousModuloScheduler:
                 "operating point and machine disagree on cluster count"
             )
 
+        # Everything that depends only on the loop (recurrences, heights,
+        # priorities, per-op arrays) is computed once and shared across
+        # every IT candidate — each retry only re-runs placement.
+        analysis = loop_analysis(ddg, machine.isa)
         mit = minimum_initiation_time(ddg, machine, point.speeds)
         candidates = iter_it_candidates(point, options.palette, start=mit)
         failures = []
@@ -88,6 +96,7 @@ class HeterogeneousModuloScheduler:
                 options,
                 trip_count=loop.trip_count,
                 weights=weights,
+                analysis=analysis,
             )
             try:
                 partition = build_partition(ctx)

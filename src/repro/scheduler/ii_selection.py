@@ -115,7 +115,10 @@ def iter_it_candidates(
     while heap:
         value = heapq.heappop(heap)
         for period in periods:
-            if (value / period).denominator == 1:
+            # Divisibility check without allocating the quotient Fraction.
+            if (value.numerator * period.denominator) % (
+                value.denominator * period.numerator
+            ) == 0:
                 heapq.heappush(heap, value + period)
         if previous is None or value > previous:
             previous = value

@@ -18,9 +18,8 @@ to be split if profitable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
-from repro.machine.fu import FUType
 from repro.scheduler.context import SchedulingContext
 from repro.scheduler.partition.coarsen import CoarseningResult, Macro
 from repro.scheduler.partition.partition import Partition
@@ -29,11 +28,14 @@ from repro.scheduler.pseudo import partition_cost
 
 def _total_overload(ctx: SchedulingContext, partition: Partition) -> int:
     total = 0
+    demand = partition.demand_matrix()
     for cluster in range(ctx.n_clusters):
         ii = ctx.cluster_iis[cluster]
-        config = ctx.machine.cluster(cluster)
-        for fu, needed in partition.fu_demand(cluster).items():
-            total += max(0, needed - ii * config.fu_count(fu))
+        counts = ctx.cluster_fu_counts[cluster]
+        for code, needed in enumerate(demand[cluster]):
+            excess = needed - ii * counts[code]
+            if excess > 0:
+                total += excess
     return total
 
 

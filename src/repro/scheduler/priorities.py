@@ -4,11 +4,14 @@ Operations on critical recurrences go first (most critical recurrence
 first), then greater height (longest delay-weighted path to a sink),
 then original DDG order for determinism — the classic iterative modulo
 scheduling priority adapted to recurrence criticality.
+
+The keys are IT-invariant, so they live on the context's
+:class:`~repro.scheduler.context.LoopAnalysis` and are computed once per
+loop rather than once per IT candidate.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Dict, List, Tuple
 
 from repro.ir.operation import Operation
@@ -16,21 +19,11 @@ from repro.scheduler.context import SchedulingContext
 
 
 def priority_key(ctx: SchedulingContext) -> Dict[Operation, Tuple]:
-    """Sort key per operation: smaller sorts earlier (= schedule first)."""
-    ratio: Dict[Operation, Fraction] = {}
-    for recurrence in ctx.recurrences:
-        for op in recurrence.operations:
-            if op not in ratio or recurrence.ratio > ratio[op]:
-                ratio[op] = recurrence.ratio
-    position = {op: index for index, op in enumerate(ctx.ddg.operations)}
-    keys: Dict[Operation, Tuple] = {}
-    for op in ctx.ddg.operations:
-        keys[op] = (
-            -ratio.get(op, Fraction(0)),
-            -ctx.heights[op],
-            position[op],
-        )
-    return keys
+    """Sort key per operation: smaller sorts earlier (= schedule first).
+
+    Returns the loop analysis's shared key dict — treat it as read-only.
+    """
+    return ctx.analysis.priority_keys
 
 
 def scheduling_order(ctx: SchedulingContext) -> List[Operation]:

@@ -12,17 +12,19 @@ refinement needs.
 
 Floats are used here deliberately: the pseudo-scheduler runs in the
 refinement inner loop, and its output feeds a heuristic comparison, not a
-legality check.
+legality check.  This is the hottest function in the whole pipeline
+(thousands of candidate partitions per loop), so it works entirely on the
+dense integer-indexed arrays precomputed by
+:class:`~repro.scheduler.context.LoopAnalysis` — no enum hashing, no
+object-keyed dict lookups, no per-call latency-table queries.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.ir.operation import Operation
-from repro.machine.fu import fu_for
 from repro.scheduler.context import SchedulingContext
 from repro.scheduler.partition.partition import Partition
 
@@ -52,83 +54,92 @@ class PseudoSchedule:
 
 def pseudo_schedule(ctx: SchedulingContext, partition: Partition) -> PseudoSchedule:
     """One list-scheduling pass over the partitioned loop."""
+    analysis = ctx.analysis
     machine = ctx.machine
-    isa = ctx.isa
-    it = float(ctx.it)
+    it = ctx.it_float
     window = ctx.options.pseudo_window
+    sync_penalties = ctx.options.sync_penalties
 
-    cluster_ct = [float(t) if t is not None else None for t in ctx.cluster_cycle_times]
-    icn_ct = float(ctx.icn_cycle_time) if ctx.icn_cycle_time is not None else None
+    assign = partition.vector()
+    cluster_ct = ctx.cluster_ct_floats
+    icn_ct = ctx.icn_ct_float
     bus_latency = machine.interconnect.latency
+    n_buses = machine.interconnect.n_buses
+    icn_ii = ctx.icn_ii
+    cluster_iis = ctx.cluster_iis
+    fu_counts = ctx.cluster_fu_counts
+    op_fu_code = analysis.op_fu_code
+    op_latency = analysis.op_latency
+    op_energy = analysis.op_energy
+    pred_edges = analysis.pred_edges
 
-    # Modulo occupancy counters.
-    fu_rows: List[Optional[Dict]] = []
+    # Modulo occupancy counters: per cluster, one row array per FU code.
+    fu_rows: List[Optional[List[List[int]]]] = []
     for index in range(machine.n_clusters):
-        ii = ctx.cluster_iis[index]
+        ii = cluster_iis[index]
         fu_rows.append(
-            {fu: [0] * ii for fu in ctx.machine.cluster(index).fu_counts()}
-            if ii >= 1
-            else None
+            [[0] * ii for _ in fu_counts[index]] if ii >= 1 else None
         )
-    bus_rows = [0] * ctx.icn_ii if ctx.icn_ii >= 1 else None
+    bus_rows = [0] * icn_ii if icn_ii >= 1 else None
 
-    issue: Dict[Operation, float] = {}
-    finish: Dict[Operation, float] = {}
+    n = analysis.n_ops
+    issue = [0.0] * n
+    finish = [0.0] * n
     overflow = 0
     comms = 0
+    ceil = math.ceil
 
-    def sync(from_ct: float, to_ct: float) -> float:
-        if ctx.options.sync_penalties and from_ct != to_ct:
-            return to_ct
-        return 0.0
-
-    for op in ctx.topo_order:
-        cluster = partition.cluster_of(op)
+    for position in analysis.topo_indices:
+        cluster = assign[position]
         ct = cluster_ct[cluster]
         if ct is None:
             # Op assigned to a gated cluster: unschedulable here.
             overflow += 1
-            issue[op] = 0.0
-            finish[op] = 0.0
+            issue[position] = 0.0
+            finish[position] = 0.0
             continue
         ready = 0.0
-        for dep in ctx.ddg.in_edges(op):
-            if dep.is_loop_carried or dep.src not in finish:
-                continue
-            src_cluster = partition.cluster_of(dep.src)
+        for src, delay, carries in pred_edges[position]:
+            src_cluster = assign[src]
             src_ct = cluster_ct[src_cluster]
             if src_ct is None:
                 continue
-            value_at = issue[dep.src] + ctx.delay(dep) * src_ct
-            if dep.carries_value and src_cluster != cluster:
+            value_at = issue[src] + delay * src_ct
+            if carries and src_cluster != cluster:
                 comms += 1
                 if icn_ct is None:
                     overflow += 1
-                    ready = max(ready, value_at)
+                    if value_at > ready:
+                        ready = value_at
                     continue
-                bus_ready = value_at + sync(src_ct, icn_ct)
-                bus_cycle = math.ceil(bus_ready / icn_ct - 1e-9)
+                bus_ready = value_at
+                if sync_penalties and src_ct != icn_ct:
+                    bus_ready = value_at + icn_ct
+                bus_cycle = ceil(bus_ready / icn_ct - 1e-9)
                 placed_bus = False
                 if bus_rows is not None:
-                    limit = bus_cycle + ctx.icn_ii * window
+                    limit = bus_cycle + icn_ii * window
                     while bus_cycle <= limit:
-                        row = bus_cycle % ctx.icn_ii
-                        if bus_rows[row] < machine.interconnect.n_buses:
+                        row = bus_cycle % icn_ii
+                        if bus_rows[row] < n_buses:
                             bus_rows[row] += 1
                             placed_bus = True
                             break
                         bus_cycle += 1
                 if not placed_bus:
                     overflow += 1
-                value_at = (bus_cycle + bus_latency) * icn_ct + sync(icn_ct, ct)
-            ready = max(ready, value_at)
+                value_at = (bus_cycle + bus_latency) * icn_ct
+                if sync_penalties and icn_ct != ct:
+                    value_at += ct
+            if value_at > ready:
+                ready = value_at
 
-        ii = ctx.cluster_iis[cluster]
-        cycle = math.ceil(ready / ct - 1e-9)
-        fu = fu_for(op.opclass)
-        if fu is not None:
-            rows = fu_rows[cluster][fu]
-            capacity = machine.cluster(cluster).fu_count(fu)
+        ii = cluster_iis[cluster]
+        cycle = ceil(ready / ct - 1e-9)
+        code = op_fu_code[position]
+        if code >= 0:
+            rows = fu_rows[cluster][code]
+            capacity = fu_counts[cluster][code]
             limit = cycle + ii * window
             placed = False
             while cycle <= limit:
@@ -139,48 +150,42 @@ def pseudo_schedule(ctx: SchedulingContext, partition: Partition) -> PseudoSched
                 cycle += 1
             if not placed:
                 overflow += 1
-        issue[op] = cycle * ct
-        finish[op] = (cycle + isa.latency(op.opclass)) * ct
+        issue[position] = cycle * ct
+        finish[position] = (cycle + op_latency[position]) * ct
 
-    it_length = max(finish.values(), default=0.0)
+    it_length = max(finish, default=0.0)
 
     # Loop-carried feasibility: each recurrence circuit must close within
     # distance * IT once per-cluster latencies and copies are counted.
     violation = 0.0
-    for recurrence in ctx.recurrences:
+    for total_distance, hops in analysis.recurrence_hops:
         total = 0.0
-        size = len(recurrence.operations)
-        for position, src in enumerate(recurrence.operations):
-            dst = recurrence.operations[(position + 1) % size]
-            src_cluster = partition.cluster_of(src)
-            dst_cluster = partition.cluster_of(dst)
+        for src, dst, best_delay, carries in hops:
+            src_cluster = assign[src]
+            dst_cluster = assign[dst]
             src_ct = cluster_ct[src_cluster]
             if src_ct is None:
                 src_ct = float(
                     max(t for t in cluster_ct if t is not None)
                 )
-            best_delay: Optional[int] = None
-            carries = False
-            for dep in ctx.ddg.out_edges(src):
-                if dep.dst is dst:
-                    delay = ctx.delay(dep)
-                    if best_delay is None or delay > best_delay:
-                        best_delay = delay
-                        carries = dep.carries_value
-            total += (best_delay or 0) * src_ct
+            total += best_delay * src_ct
             if carries and src_cluster != dst_cluster and icn_ct is not None:
-                total += (
-                    sync(src_ct, icn_ct)
-                    + bus_latency * icn_ct
-                    + sync(icn_ct, cluster_ct[dst_cluster] or icn_ct)
+                dst_ct = cluster_ct[dst_cluster]
+                sync_in = (
+                    icn_ct if sync_penalties and src_ct != icn_ct else 0.0
                 )
-        budget = recurrence.total_distance * it
+                out_ct = dst_ct if dst_ct is not None else icn_ct
+                sync_out = (
+                    out_ct if sync_penalties and icn_ct != out_ct else 0.0
+                )
+                total += sync_in + bus_latency * icn_ct + sync_out
+        budget = total_distance * it
         if total > budget + 1e-9:
             violation += total - budget
 
     units = [0.0] * machine.n_clusters
-    for op in ctx.ddg.operations:
-        units[partition.cluster_of(op)] += isa.energy(op.opclass)
+    for position in range(n):
+        units[assign[position]] += op_energy[position]
 
     return PseudoSchedule(
         it_length=it_length,
@@ -203,21 +208,24 @@ def partition_cost(
     by the estimated squared execution time.
     """
     infeasibility = 0.0
+    demand = partition.demand_matrix()
+    fu_counts = ctx.cluster_fu_counts
+    cluster_iis = ctx.cluster_iis
     for cluster in range(ctx.n_clusters):
-        demand = partition.fu_demand(cluster)
-        ii = ctx.cluster_iis[cluster]
-        config = ctx.machine.cluster(cluster)
-        for fu, needed in demand.items():
-            capacity = ii * config.fu_count(fu)
+        ii = cluster_iis[cluster]
+        row = demand[cluster]
+        counts = fu_counts[cluster]
+        for code, needed in enumerate(row):
+            capacity = ii * counts[code]
             if needed > capacity:
                 infeasibility += needed - capacity
 
     ps = pseudo_schedule(ctx, partition)
     infeasibility += ps.overflow
-    infeasibility += ps.recurrence_violation / max(float(ctx.it), 1e-12)
+    infeasibility += ps.recurrence_violation / max(ctx.it_float, 1e-12)
 
     weights = ctx.weights
-    time_estimate = (ctx.trip_count - 1) * float(ctx.it) + ps.it_length
+    time_estimate = (ctx.trip_count - 1) * ctx.it_float + ps.it_length
     dynamic = weights.e_ins_unit * sum(
         delta * units for delta, units in zip(ctx.cluster_deltas, ps.cluster_units)
     )

@@ -24,15 +24,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import SimulationError
 from repro.ir.analysis import edge_delay
+from repro.ir.dependence import Dependence
+from repro.ir.operation import Operation
 from repro.machine.fu import fu_for
 from repro.power.energy import EventCounts
 from repro.scheduler.schedule import Schedule
 from repro.sim.engine import EventEngine
 from repro.sim.events import CopyArrive, CopyStart, OpComplete, OpIssue
+from repro.units import common_quantum
 
 
 @dataclass(frozen=True)
@@ -64,7 +67,15 @@ class LoopExecutor:
 
     # ------------------------------------------------------------------
     def run(self, iterations: float) -> SimulationResult:
-        """Simulate, verify, extrapolate to ``iterations``."""
+        """Simulate, verify, extrapolate to ``iterations``.
+
+        All event timestamps are integers on the schedule's common time
+        grid (the gcd of the IT and every running domain period): every
+        issue/finish/copy instant is an exact multiple of that quantum,
+        so scaling loses nothing and the event loop — heap ordering,
+        oversubscription keys, readiness comparisons — runs on machine
+        ints instead of :class:`Fraction` arithmetic.
+        """
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         schedule = self._schedule
@@ -78,103 +89,155 @@ class LoopExecutor:
         machine = schedule.machine
         isa = machine.isa
 
-        # --- runtime state -------------------------------------------
-        local_ready: Dict[Tuple[str, int], Fraction] = {}
-        copy_ready: Dict[Tuple[int, int], Fraction] = {}
-        fu_load: Dict[Tuple[int, object, Fraction], int] = {}
-        bus_load: Dict[Fraction, int] = {}
+        # --- the common integer time grid ----------------------------
+        periods = [schedule.it]
+        for index in range(machine.n_clusters):
+            if schedule.cluster_assignment(index).usable:
+                periods.append(schedule.cluster_cycle_time(index))
+        if schedule.icn_assignment.usable:
+            periods.append(schedule.icn_cycle_time)
+        quantum = common_quantum(periods)
 
+        def grid(value: Fraction) -> int:
+            scaled = value / quantum
+            assert scaled.denominator == 1, "event off the time grid"
+            return scaled.numerator
+
+        it_q = grid(schedule.it)
+
+        # --- precomputed per-op / per-edge timing (iteration 0) ------
+        placements = schedule.placements
+        issue_q: Dict[Operation, int] = {}
+        finish_q: Dict[Operation, int] = {}
+        op_fu = {}
+        for op in placements:
+            issue_q[op] = grid(schedule.issue_time(op))
+            finish_q[op] = grid(schedule.finish_time(op))
+            op_fu[op] = fu_for(op.opclass)
+        copy_start_q: Dict[Dependence, int] = {}
+        copy_arrive_q: Dict[Dependence, int] = {}
+        copy_gate_q: Dict[Dependence, int] = {}
+        for dep in schedule.copies:
+            copy_start_q[dep] = grid(schedule.copy_issue_time(dep))
+            copy_arrive_q[dep] = grid(schedule.copy_arrival_time(dep))
+            producer = placements[dep.src]
+            src_ct = schedule.cluster_cycle_time(producer.cluster)
+            produce = schedule.issue_time(dep.src) + edge_delay(dep, isa) * src_ct
+            copy_gate_q[dep] = grid(
+                produce + schedule._sync_penalty(src_ct, schedule.icn_cycle_time)
+            )
         dep_index = {dep: i for i, dep in enumerate(schedule.ddg.dependences)}
+        #: In-edge readiness checks per op: (distance, copy key or None,
+        #: iteration-0 ready time on the grid, producer name).
+        ready_checks: Dict[Operation, list] = {}
+        for op in placements:
+            checks = []
+            for dep in schedule.ddg.in_edges(op):
+                if dep in schedule.copies:
+                    checks.append((dep.distance, dep_index[dep], 0, dep.src.name))
+                else:
+                    producer = placements[dep.src]
+                    ready0 = grid(
+                        schedule.issue_time(dep.src)
+                        + edge_delay(dep, isa)
+                        * schedule.cluster_cycle_time(producer.cluster)
+                    )
+                    checks.append((dep.distance, None, ready0, dep.src.name))
+            ready_checks[op] = checks
+
+        # --- runtime state -------------------------------------------
+        copy_ready: Dict[Tuple[int, int], int] = {}
+        fu_load: Dict[Tuple[int, object, int], int] = {}
+        bus_load: Dict[int, int] = {}
 
         def on_issue(event: OpIssue) -> None:
             op, i, t = event.op, event.iteration, event.time
-            fu = fu_for(op.opclass)
+            fu = op_fu[op]
             if fu is not None:
                 key = (event.cluster, fu, t)
                 fu_load[key] = fu_load.get(key, 0) + 1
                 capacity = machine.cluster(event.cluster).fu_count(fu)
                 if fu_load[key] > capacity:
                     raise SimulationError(
-                        f"{fu} oversubscribed on cluster {event.cluster} at {t}"
+                        f"{fu} oversubscribed on cluster {event.cluster} "
+                        f"at {t * quantum}"
                     )
-            for dep in schedule.ddg.in_edges(op):
-                source_iter = i - dep.distance
+            for distance, copy_key, ready0, src_name in ready_checks[op]:
+                source_iter = i - distance
                 if source_iter < 0:
                     continue  # value comes from before the loop
-                if dep in schedule.copies:
-                    ready = copy_ready.get((dep_index[dep], source_iter))
-                    what = f"copy {dep.src.name}->{op.name}"
+                if copy_key is not None:
+                    ready = copy_ready.get((copy_key, source_iter))
+                    what = f"copy {src_name}->{op.name}"
                 else:
-                    producer = schedule.placements[dep.src]
-                    delay = edge_delay(dep, isa)
-                    ready = (
-                        schedule.issue_time(dep.src)
-                        + delay * schedule.cluster_cycle_time(producer.cluster)
-                        + source_iter * schedule.it
-                    )
-                    what = f"value {dep.src.name}->{op.name}"
+                    ready = ready0 + source_iter * it_q
+                    what = f"value {src_name}->{op.name}"
                 if ready is None or ready > t:
                     raise SimulationError(
-                        f"iteration {i}: {what} not ready at {t} (ready {ready})"
+                        f"iteration {i}: {what} not ready at {t * quantum} "
+                        f"(ready {None if ready is None else ready * quantum})"
                     )
 
         def on_copy_start(event: CopyStart) -> None:
             t = event.time
             bus_load[t] = bus_load.get(t, 0) + 1
             if bus_load[t] > machine.interconnect.n_buses:
-                raise SimulationError(f"buses oversubscribed at {t}")
+                raise SimulationError(
+                    f"buses oversubscribed at {t * quantum}"
+                )
             dep, i = event.dep, event.iteration
-            producer = schedule.placements[dep.src]
-            src_ct = schedule.cluster_cycle_time(producer.cluster)
-            produce = (
-                schedule.issue_time(dep.src)
-                + edge_delay(dep, isa) * src_ct
-                + i * schedule.it
-            )
-            gate = produce + schedule._sync_penalty(src_ct, schedule.icn_cycle_time)
+            gate = copy_gate_q[dep] + i * it_q
             if t < gate:
                 raise SimulationError(
-                    f"copy {dep.src.name}->{dep.dst.name} starts at {t} "
-                    f"before its value clears the sync queue at {gate}"
+                    f"copy {dep.src.name}->{dep.dst.name} starts at "
+                    f"{t * quantum} before its value clears the sync queue "
+                    f"at {gate * quantum}"
                 )
 
         def on_copy_arrive(event: CopyArrive) -> None:
             copy_ready[(dep_index[event.dep], event.iteration)] = event.time
 
-        def on_complete(event: OpComplete) -> None:
-            local_ready[(event.op.name, event.iteration)] = event.time
-
+        # OpComplete events still flow through the engine (they define the
+        # makespan) but need no handler: readiness is checked against the
+        # precomputed grid times, not runtime completion state.
         engine.on(OpIssue, on_issue)
-        engine.on(OpComplete, on_complete)
         engine.on(CopyStart, on_copy_start)
         engine.on(CopyArrive, on_copy_arrive)
 
         # --- event generation ----------------------------------------
         for i in range(window):
-            base = i * schedule.it
-            for op, placed in schedule.placements.items():
-                issue = base + schedule.issue_time(op)
+            base = i * it_q
+            for op, placed in placements.items():
                 engine.schedule(
-                    OpIssue(time=issue, iteration=i, op=op, cluster=placed.cluster)
+                    OpIssue(
+                        time=base + issue_q[op],
+                        iteration=i,
+                        op=op,
+                        cluster=placed.cluster,
+                    )
                 )
-                finish = base + schedule.finish_time(op)
                 engine.schedule(
-                    OpComplete(time=finish, iteration=i, op=op, cluster=placed.cluster)
+                    OpComplete(
+                        time=base + finish_q[op],
+                        iteration=i,
+                        op=op,
+                        cluster=placed.cluster,
+                    )
                 )
             for dep in schedule.copies:
-                start = base + schedule.copy_issue_time(dep)
-                engine.schedule(CopyStart(time=start, iteration=i, dep=dep))
-                arrive = base + schedule.copy_arrival_time(dep)
+                engine.schedule(
+                    CopyStart(time=base + copy_start_q[dep], iteration=i, dep=dep)
+                )
                 engine.schedule(
                     CopyArrive(
-                        time=arrive,
+                        time=base + copy_arrive_q[dep],
                         iteration=i,
                         dep=dep,
-                        cluster=schedule.placements[dep.dst].cluster,
+                        cluster=placements[dep.dst].cluster,
                     )
                 )
 
-        makespan = engine.run()
+        makespan = engine.run() * quantum
         expected = (window - 1) * schedule.it + schedule.it_length
         if makespan != expected:
             raise SimulationError(

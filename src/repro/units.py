@@ -114,7 +114,19 @@ def is_integral(value: Fraction) -> bool:
 
 
 def ceil_div(value: Fraction, unit: Fraction) -> int:
-    """Smallest integer ``k`` with ``k * unit >= value`` (units positive)."""
+    """Smallest integer ``k`` with ``k * unit >= value`` (units positive).
+
+    Integer and Fraction inputs take a pure-integer path (``ceil(a/b) =
+    -(-a // b)`` on cross-multiplied numerators) instead of constructing
+    and normalising intermediate :class:`Fraction` ratios — this runs in
+    the kernel's slot-probing inner loop.
+    """
+    if isinstance(value, (int, Fraction)) and isinstance(unit, (int, Fraction)):
+        num = value.numerator * unit.denominator
+        den = value.denominator * unit.numerator
+        if den <= 0:
+            raise ValueError("unit must be positive")
+        return -((-num) // den)
     if unit <= 0:
         raise ValueError("unit must be positive")
     ratio = as_fraction(value) / unit
@@ -122,7 +134,16 @@ def ceil_div(value: Fraction, unit: Fraction) -> int:
 
 
 def floor_div(value: Fraction, unit: Fraction) -> int:
-    """Largest integer ``k`` with ``k * unit <= value`` (units positive)."""
+    """Largest integer ``k`` with ``k * unit <= value`` (units positive).
+
+    Same pure-integer fast path as :func:`ceil_div`.
+    """
+    if isinstance(value, (int, Fraction)) and isinstance(unit, (int, Fraction)):
+        num = value.numerator * unit.denominator
+        den = value.denominator * unit.numerator
+        if den <= 0:
+            raise ValueError("unit must be positive")
+        return num // den
     if unit <= 0:
         raise ValueError("unit must be positive")
     ratio = as_fraction(value) / unit

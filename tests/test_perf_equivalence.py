@@ -1,0 +1,348 @@
+"""Equivalence tests guarding the hot-path rewrites.
+
+Two families:
+
+* **recMII** — the integer-scaled SPFA positive-cycle oracle behind
+  :func:`rec_mii_lawler` must agree exactly with the elementary-circuit
+  enumeration on random DDGs, across several latency tables (the oracle
+  is exact integer arithmetic, so equality is ``==`` on Fractions, not
+  approximate).
+* **MRT** — the array-backed :class:`ModuloReservationTable` must be
+  observably identical to the old dict-of-lists implementation; a
+  reference model (the seed implementation, verbatim semantics) is
+  driven with the same random probe/reserve/release/evict traffic and
+  every observable (including raised errors) is compared.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir.analysis import (
+    find_recurrences,
+    rec_mii,
+    rec_mii_lawler,
+)
+from repro.ir.builder import DDGBuilder
+from repro.ir.opcodes import COMPUTE_CLASSES, OpClass
+from repro.machine.isa import ClassEntry, InstructionTable
+from repro.machine.machine import paper_machine
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.units import ceil_div, floor_div
+
+ISA = paper_machine().isa
+
+#: Latency tables with deliberately different ratios, to exercise the
+#: scaled oracle away from the paper's defaults.
+TABLES = [
+    ISA,
+    InstructionTable.paper_defaults(uniform_energy=True).with_entry(
+        OpClass.FMUL, ClassEntry(11, 1.5)
+    ),
+    InstructionTable.paper_defaults().with_entry(
+        OpClass.IADD, ClassEntry(3, 1.0)
+    ),
+]
+
+
+def random_ddg(rng: random.Random, max_ops: int = 12):
+    """A random valid DDG: a flow DAG plus random loop-carried edges."""
+    n = rng.randint(2, max_ops)
+    b = DDGBuilder(f"rand{rng.random():.6f}")
+    ops = [
+        b.op(f"n{i}", rng.choice(COMPUTE_CLASSES)) for i in range(n)
+    ]
+    for j in range(1, n):
+        for i in rng.sample(range(j), k=min(j, rng.randint(0, 2))):
+            b.flow(ops[i], ops[j])
+    for _ in range(rng.randint(0, 4)):
+        src = rng.randrange(n)
+        dst = rng.randrange(n)
+        b.flow(ops[src], ops[dst], distance=rng.randint(1, 3))
+    return b.build()
+
+
+def _bellman_ford_oracle(ddg, table, rate: Fraction) -> bool:
+    """The seed's rational Bellman-Ford positive-cycle test, verbatim."""
+    from repro.ir.analysis import edge_delay
+
+    ops = ddg.operations
+    potential = {op: Fraction(0) for op in ops}
+    edges = [
+        (d.src, d.dst, Fraction(edge_delay(d, table)) - rate * d.distance)
+        for d in ddg.dependences
+    ]
+    for _ in range(len(ops)):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = potential[src] + weight
+            if candidate > potential[dst]:
+                potential[dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def adversarial_ddg(rng: random.Random):
+    """DDGs with latency-override parallel edges: nodes with many
+    in-edges can legitimately improve more than |V| times during SPFA,
+    which broke a naive update-count cycle criterion."""
+    n = rng.randint(2, 8)
+    b = DDGBuilder(f"adv{rng.random():.6f}")
+    ops = [b.op(f"n{i}", rng.choice(COMPUTE_CLASSES)) for i in range(n)]
+    for j in range(1, n):
+        for i in rng.sample(range(j), k=min(j, rng.randint(0, 3))):
+            b.dep(ops[i], ops[j], latency=rng.choice([None, 1, 3, 4]))
+    for _ in range(rng.randint(0, 5)):
+        b.dep(
+            ops[rng.randrange(n)],
+            ops[rng.randrange(n)],
+            distance=rng.randint(1, 3),
+            latency=rng.choice([None, 1, 3, 4]),
+        )
+    ddg = b.build(validate=False)
+    if ddg.topological_order(intra_iteration_only=True) is None:
+        return None
+    return ddg
+
+
+class TestPositiveCycleOracle:
+    """The integer SPFA oracle must decide exactly the seed's predicate."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_bellman_ford_on_adversarial_graphs(self, seed):
+        from repro.ir.analysis import _has_positive_cycle
+
+        rng = random.Random(5000 + seed)
+        ddg = adversarial_ddg(rng)
+        if ddg is None:
+            return
+        for rate in (
+            Fraction(0),
+            Fraction(1),
+            Fraction(5, 2),
+            Fraction(3),
+            Fraction(9),
+        ):
+            assert _has_positive_cycle(ddg, ISA, rate) == _bellman_ford_oracle(
+                ddg, ISA, rate
+            ), (ddg.to_edge_list(), rate)
+
+
+class TestRecMIIEquivalence:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_lawler_matches_enumeration_across_tables(self, seed):
+        rng = random.Random(seed)
+        ddg = random_ddg(rng)
+        for table in TABLES:
+            exact = rec_mii(ddg, table)
+            lawler = rec_mii_lawler(ddg, table)
+            assert lawler == exact, (ddg.to_edge_list(), table)
+            assert isinstance(lawler, Fraction)
+
+    def test_memoized_recurrences_are_fresh_lists(self):
+        ddg = random_ddg(random.Random(7))
+        first = find_recurrences(ddg, ISA)
+        first_copy = list(first)
+        first.append("poison")  # caller-side mutation
+        second = find_recurrences(ddg, ISA)
+        assert second == first_copy
+
+    def test_dropped_ddgs_are_garbage_collected(self):
+        # The weak memos (edge data + loop analysis) must not pin their
+        # keys: a dropped corpus has to actually free its graphs.
+        import gc
+        import weakref
+
+        from repro.scheduler.context import loop_analysis
+
+        ddg = random_ddg(random.Random(11))
+        rec_mii(ddg, ISA)  # populate the analysis memo
+        analysis = loop_analysis(ddg, ISA)
+        assert analysis.ddg is ddg
+        witness = weakref.ref(ddg)
+        del ddg, analysis
+        gc.collect()
+        assert witness() is None
+
+    def test_memo_invalidated_when_graph_grows(self):
+        b = DDGBuilder("growing")
+        first = b.op("a", OpClass.FADD)
+        second = b.op("b", OpClass.FADD)
+        b.flow(first, second)
+        b.flow(second, first, distance=1)
+        ddg = b.build()
+        before = rec_mii(ddg, ISA)
+        # Tighten the recurrence by adding a parallel slow path.
+        from repro.ir.dependence import Dependence
+        from repro.ir.operation import Operation
+
+        extra = ddg.add_operation(Operation("c", OpClass.FDIV))
+        ddg.add_dependence(Dependence(second, extra))
+        ddg.add_dependence(Dependence(extra, first, distance=1))
+        after = rec_mii(ddg, ISA)
+        assert after > before
+
+
+# ----------------------------------------------------------------------
+# reference MRT: the seed's dict-of-lists implementation, verbatim
+# ----------------------------------------------------------------------
+class DictMRT:
+    def __init__(self, ii, capacities):
+        if ii < 1:
+            raise SchedulingError(f"reservation table needs II >= 1, got {ii}")
+        self._ii = ii
+        self._capacities = dict(capacities)
+        self._slots = {}
+
+    @property
+    def ii(self):
+        return self._ii
+
+    def capacity(self, kind):
+        return self._capacities.get(kind, 0)
+
+    def occupancy(self, cycle, kind):
+        return len(self._slots.get((cycle % self._ii, kind), ()))
+
+    def is_free(self, cycle, kind):
+        return self.occupancy(cycle, kind) < self.capacity(kind)
+
+    def occupants(self, cycle, kind):
+        return tuple(self._slots.get((cycle % self._ii, kind), ()))
+
+    def reserve(self, cycle, kind, token):
+        if not self.is_free(cycle, kind):
+            raise SchedulingError("full")
+        self._slots.setdefault((cycle % self._ii, kind), []).append(token)
+
+    def release(self, cycle, kind, token):
+        occupants = self._slots.get((cycle % self._ii, kind), [])
+        for index, occupant in enumerate(occupants):
+            if occupant is token:
+                del occupants[index]
+                return
+        raise SchedulingError("absent")
+
+    def force_reserve(self, cycle, kind, token):
+        if self.capacity(kind) < 1:
+            raise SchedulingError("no instances")
+        key = (cycle % self._ii, kind)
+        evicted = tuple(self._slots.get(key, ()))
+        self._slots[key] = [token]
+        return evicted
+
+
+class TestMRTEquivalence:
+    KINDS = ("int", "fp", "mem", "ghost")  # ghost: capacity-0 queries
+
+    def _machines(self, rng):
+        ii = rng.randint(1, 6)
+        capacities = {
+            "int": rng.randint(0, 2),
+            "fp": rng.randint(1, 2),
+            "mem": rng.randint(1, 3),
+        }
+        return (
+            ModuloReservationTable(ii, capacities),
+            DictMRT(ii, capacities),
+        )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_traffic_observably_identical(self, seed):
+        rng = random.Random(1000 + seed)
+        fast, reference = self._machines(rng)
+        tokens = [object() for _ in range(8)]
+        for _step in range(300):
+            cycle = rng.randint(0, 20)
+            kind = rng.choice(self.KINDS)
+            token = rng.choice(tokens)
+            action = rng.randrange(6)
+            if action == 0:
+                assert fast.is_free(cycle, kind) == reference.is_free(
+                    cycle, kind
+                )
+            elif action == 1:
+                assert fast.occupancy(cycle, kind) == reference.occupancy(
+                    cycle, kind
+                )
+                assert fast.occupants(cycle, kind) == reference.occupants(
+                    cycle, kind
+                )
+                assert fast.capacity(kind) == reference.capacity(kind)
+            elif action == 2:
+                outcome_fast = outcome_ref = "ok"
+                try:
+                    fast.reserve(cycle, kind, token)
+                except SchedulingError:
+                    outcome_fast = "raise"
+                try:
+                    reference.reserve(cycle, kind, token)
+                except SchedulingError:
+                    outcome_ref = "raise"
+                assert outcome_fast == outcome_ref
+            elif action == 3:
+                outcome_fast = outcome_ref = "ok"
+                try:
+                    fast.release(cycle, kind, token)
+                except SchedulingError:
+                    outcome_fast = "raise"
+                try:
+                    reference.release(cycle, kind, token)
+                except SchedulingError:
+                    outcome_ref = "raise"
+                assert outcome_fast == outcome_ref
+            elif action == 4:
+                evicted_fast = evicted_ref = None
+                try:
+                    evicted_fast = fast.force_reserve(cycle, kind, token)
+                except SchedulingError:
+                    pass
+                try:
+                    evicted_ref = reference.force_reserve(cycle, kind, token)
+                except SchedulingError:
+                    pass
+                assert evicted_fast == evicted_ref
+            else:
+                # Cross-check a full row scan (probe path of the kernel).
+                for probe in range(fast.ii):
+                    assert fast.is_free(probe, kind) == reference.is_free(
+                        probe, kind
+                    )
+
+    def test_eviction_returns_all_occupants_in_order(self):
+        table = ModuloReservationTable(2, {"int": 3})
+        table.reserve(0, "int", "a")
+        table.reserve(2, "int", "b")  # same row (2 % 2 == 0)
+        table.reserve(0, "int", "c")
+        assert table.occupants(0, "int") == ("a", "b", "c")
+        assert table.force_reserve(4, "int", "d") == ("a", "b", "c")
+        assert table.occupants(0, "int") == ("d",)
+        assert table.occupancy(0, "int") == 1
+
+
+class TestIntegerDivFastPath:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_rational_definition(self, seed):
+        import math
+
+        rng = random.Random(seed)
+        for _ in range(50):
+            value = Fraction(rng.randint(0, 400), rng.randint(1, 40))
+            unit = Fraction(rng.randint(1, 50), rng.randint(1, 20))
+            assert ceil_div(value, unit) == math.ceil(value / unit)
+            assert floor_div(value, unit) == math.floor(value / unit)
+            n, d = rng.randint(0, 1000), rng.randint(1, 60)
+            assert ceil_div(n, d) == math.ceil(Fraction(n, d))
+            assert floor_div(n, d) == math.floor(Fraction(n, d))
+
+    def test_rejects_non_positive_units(self):
+        with pytest.raises(ValueError):
+            ceil_div(Fraction(1), Fraction(0))
+        with pytest.raises(ValueError):
+            floor_div(3, -2)
+        with pytest.raises(ValueError):
+            ceil_div(Fraction(1), Fraction(-1, 3))
