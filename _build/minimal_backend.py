@@ -73,7 +73,8 @@ def _package_files() -> dict:
     for dirpath, dirnames, filenames in os.walk(SRC / NAME):
         dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
         for filename in sorted(filenames):
-            if not filename.endswith(".py"):
+            # Package data: bundled scenario packs ship as TOML files.
+            if not filename.endswith((".py", ".toml")):
                 continue
             full = Path(dirpath) / filename
             archive_name = full.relative_to(SRC).as_posix()

@@ -20,8 +20,9 @@ The package implements, from scratch:
   composable, individually cached stages with pluggable
   machines/selectors/schedulers (:mod:`repro.pipeline` — see
   :class:`Experiment`), plus campaign orchestration
-  (:mod:`repro.campaign`) and plain-text reporting
-  (:mod:`repro.reporting`).
+  (:mod:`repro.campaign`), declarative TOML/JSON scenario packs for
+  file-based machines and workloads (:mod:`repro.scenarios`) and
+  plain-text reporting (:mod:`repro.reporting`).
 
 Staged experiments::
 
@@ -60,6 +61,7 @@ from repro.errors import (
     PartitionError,
     PipelineError,
     ReproError,
+    ScenarioError,
     SchedulingError,
     SimulationError,
     SynchronizationError,
@@ -141,6 +143,14 @@ from repro.pipeline import (
     register_selector,
     stage_cache_info,
 )
+from repro.pipeline.registry import register_workload
+from repro.scenarios import (
+    ScenarioPack,
+    find_pack,
+    load_pack,
+    machine_to_toml,
+    pack_to_toml,
+)
 
 __version__ = "1.0.0"
 
@@ -160,6 +170,7 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "PipelineError",
+    "ScenarioError",
     # ir
     "DDG",
     "DDGBuilder",
@@ -236,5 +247,12 @@ __all__ = [
     "register_machine",
     "register_scheduler",
     "register_selector",
+    "register_workload",
     "stage_cache_info",
+    # scenarios
+    "ScenarioPack",
+    "find_pack",
+    "load_pack",
+    "machine_to_toml",
+    "pack_to_toml",
 ]

@@ -14,11 +14,15 @@ Commands:
 * ``bench`` — time the pipeline per stage per benchmark, write
   ``BENCH_pipeline.json``, and optionally gate against a baseline
   (``--check benchmarks/perf_baseline.json --tolerance 0.25``),
+* ``scenarios`` — list, validate, describe or export declarative
+  scenario packs (``--validate``, ``--describe``, ``--export``),
 * ``list`` — list the available benchmarks.
 
 ``evaluate``/``suite``/``campaign`` also take ``--stages`` (print the
-experiment's stage plan and exit) and ``--explain`` (print the plan to
-stderr, then run).
+experiment's stage plan and exit), ``--explain`` (print the plan to
+stderr, then run), ``--machine`` (a registered machine name) and
+``--machine-file`` (a scenario pack file; see ``docs/cli.md`` for the
+full reference).
 """
 
 from __future__ import annotations
@@ -41,13 +45,43 @@ def _parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_stage_flags(subparser, machine_help: Optional[str] = None) -> None:
+    def add_stage_flags(
+        subparser,
+        machine_help: Optional[str] = None,
+        campaign_files: bool = False,
+    ) -> None:
         subparser.add_argument(
             "--machine",
-            default="paper",
+            default=None,
             help=machine_help
             or "registered machine name to target (default 'paper'; "
             "see repro.pipeline.register_machine)",
+        )
+        if campaign_files:
+            subparser.add_argument(
+                "--machine-file",
+                action="append",
+                default=[],
+                metavar="PACK",
+                help="scenario pack file (or bundled pack name) to add to "
+                "the machine sweep (repeatable); when given without "
+                "--machine, only the files are swept",
+            )
+        else:
+            subparser.add_argument(
+                "--machine-file",
+                default=None,
+                metavar="PACK",
+                help="scenario pack file (or bundled pack name) declaring "
+                "the machine; overrides --machine",
+            )
+        subparser.add_argument(
+            "--workloads",
+            action="append",
+            default=[],
+            metavar="PACK",
+            help="scenario pack (bundled name or file) whose workloads to "
+            "register before resolving benchmark names (repeatable)",
         )
         subparser.add_argument(
             "--stages",
@@ -141,7 +175,37 @@ def _parser() -> argparse.ArgumentParser:
     add_stage_flags(
         campaign,
         machine_help="comma-separated registered machine names to sweep, "
-        "e.g. 'paper,my-dsp' (default 'paper')",
+        "e.g. 'paper,my-dsp' (default 'paper' unless --machine-file is "
+        "given)",
+        campaign_files=True,
+    )
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="list, validate, describe or export declarative scenario packs",
+    )
+    scenarios.add_argument(
+        "packs",
+        nargs="*",
+        metavar="PACK",
+        help="bundled pack names or scenario file paths (default: every "
+        "bundled pack)",
+    )
+    scenarios.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the packs; exit 1 if any fails",
+    )
+    scenarios.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the full machine/workload tables of each pack",
+    )
+    scenarios.add_argument(
+        "--export",
+        action="store_true",
+        help="print each pack's canonical TOML form (load -> export "
+        "round trip)",
     )
 
     table2 = commands.add_parser("table2", help="measured Table 2 shares")
@@ -184,11 +248,38 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _machine_file_path(ref: Optional[str]) -> Optional[str]:
+    """Resolve a --machine-file value: a path, or a bundled pack name."""
+    if ref is None:
+        return None
+    import os
+
+    if not os.path.exists(ref):
+        from repro.scenarios import bundled_pack_paths
+
+        bundled = bundled_pack_paths()
+        if ref in bundled:
+            return str(bundled[ref])
+    return str(ref)
+
+
+def _load_workload_packs(args: argparse.Namespace) -> None:
+    """Register the workloads of every ``--workloads`` pack."""
+    if getattr(args, "workloads", None):
+        from repro.scenarios import find_pack
+
+        for ref in args.workloads:
+            find_pack(ref).register()
+
+
 def _experiment(args: argparse.Namespace) -> Experiment:
     """The staged experiment the CLI flags describe."""
-    machine = getattr(args, "machine", "paper")
+    machine = getattr(args, "machine", None) or "paper"
+    machine_file = _machine_file_path(getattr(args, "machine_file", None))
     return Experiment.paper(
-        ExperimentOptions(n_buses=args.buses, machine=machine)
+        ExperimentOptions(
+            n_buses=args.buses, machine=machine, machine_file=machine_file
+        )
     )
 
 
@@ -202,6 +293,19 @@ def _stage_plan(args: argparse.Namespace, experiment: Experiment) -> bool:
     return False
 
 
+def _campaign_machines(args: argparse.Namespace) -> tuple:
+    """The campaign machine axis: (names, resolved file paths)."""
+    machines = [
+        m.strip()
+        for m in str(args.machine or "").split(",")
+        if m.strip()
+    ]
+    files = [_machine_file_path(f) for f in args.machine_file]
+    if not machines and not files:
+        machines = ["paper"]
+    return machines, files
+
+
 def _campaign_plan_args(args: argparse.Namespace) -> argparse.Namespace:
     """First grid point of a campaign, as evaluate-style args.
 
@@ -210,10 +314,11 @@ def _campaign_plan_args(args: argparse.Namespace) -> argparse.Namespace:
     bus/machine grids.
     """
     buses = [int(b.strip()) for b in str(args.buses).split(",") if b.strip()]
-    machines = [m.strip() for m in str(args.machine).split(",") if m.strip()]
+    machines, files = _campaign_machines(args)
     return argparse.Namespace(
         buses=buses[0] if buses else 1,
-        machine=machines[0] if machines else "paper",
+        machine=machines[0] if machines else None,
+        machine_file=None if machines else files[0],
     )
 
 
@@ -223,6 +328,7 @@ def _evaluate(name: str, experiment: Experiment, scale: float):
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _load_workload_packs(args)
     experiment = _experiment(args)
     if _stage_plan(args, experiment):
         return 0
@@ -253,6 +359,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    _load_workload_packs(args)
     experiment = _experiment(args)
     if _stage_plan(args, experiment):
         return 0
@@ -297,6 +404,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         campaign_summary,
     )
 
+    _load_workload_packs(args)
     if _stage_plan(args, _experiment(_campaign_plan_args(args))):
         return 0
 
@@ -329,15 +437,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if name.strip()
         )
     on_off = lambda knob: (True, False) if knob in args.ablate else (True,)
+    machines, machine_files = _campaign_machines(args)
     spec = CampaignSpec(
         benchmarks=benchmarks,
         scale=args.scale,
         buses_grid=tuple(
             int(b.strip()) for b in str(args.buses).split(",") if b.strip()
         ),
-        machine_grid=tuple(
-            m.strip() for m in str(args.machine).split(",") if m.strip()
-        ),
+        machine_grid=tuple(machines),
+        machine_files=tuple(machine_files),
         per_class_energy_grid=on_off("per-class-energy"),
         preplace_grid=on_off("preplace"),
         ed2_refinement_grid=on_off("ed2-refinement"),
@@ -367,6 +475,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         progress=_progress,
         recompute=args.recompute,
+        workload_packs=tuple(args.workloads),
     )
     print(campaign_summary(outcome), file=sys.stderr)
     for failure in outcome.failed:
@@ -451,6 +560,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError
+    from repro.reporting import scenario_detail, scenario_list_table
+    from repro.scenarios import bundled_pack_paths, find_pack, pack_to_toml
+
+    refs = args.packs or sorted(bundled_pack_paths())
+    packs = []
+    failures = 0
+    for ref in refs:
+        try:
+            pack = find_pack(ref)
+        except ScenarioError as error:
+            failures += 1
+            print(f"FAIL {ref}: {error}", file=sys.stderr)
+            continue
+        packs.append(pack)
+        if args.validate:
+            print(f"ok   {ref}: scenario {pack.name!r} ({pack.describe()})")
+    if args.validate:
+        if failures:
+            print(f"{failures} of {len(refs)} pack(s) failed", file=sys.stderr)
+        return 1 if failures else 0
+    if failures:
+        return 1
+    if args.export:
+        # One pack per document: concatenated [scenario] tables would
+        # not parse as TOML.
+        if len(packs) != 1:
+            print(
+                "scenarios --export takes exactly one pack "
+                f"(got {len(packs)}); name it, e.g. "
+                "`scenarios --export paper-1bus`",
+                file=sys.stderr,
+            )
+            return 2
+        print(pack_to_toml(packs[0]), end="")
+        return 0
+    if args.describe:
+        print("\n\n".join(scenario_detail(pack) for pack in packs))
+        return 0
+    print(scenario_list_table(packs))
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, spec in SPEC2000_PROFILES.items():
         print(
@@ -470,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "table2": _cmd_table2,
         "bench": _cmd_bench,
+        "scenarios": _cmd_scenarios,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

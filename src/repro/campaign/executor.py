@@ -107,30 +107,45 @@ _CORPUS_CACHE_LIMIT = 32
 
 def _corpus_for(benchmark: str, scale: float):
     from repro.workloads.corpus import build_corpus
-    from repro.workloads.spec_profiles import SPEC2000_PROFILES
+    from repro.workloads.spec_profiles import spec_profile
 
-    key = (benchmark, scale)
+    # Keyed by the resolved *spec* (frozen, hashable), not the name:
+    # registered workloads can be re-registered with a new definition
+    # mid-process (e.g. jobs carrying edited pack workloads), and a
+    # name-keyed memo would serve the stale corpus.
+    spec = spec_profile(benchmark)
+    key = (spec, scale)
     corpus = _CORPUS_CACHE.get(key)
     if corpus is None:
-        corpus = build_corpus(SPEC2000_PROFILES[benchmark], scale=scale)
+        corpus = build_corpus(spec, scale=scale)
         while len(_CORPUS_CACHE) >= _CORPUS_CACHE_LIMIT:
             _CORPUS_CACHE.pop(next(iter(_CORPUS_CACHE)))
         _CORPUS_CACHE[key] = corpus
     return corpus
 
 
-def _worker_init(stage_dir: Optional[str]) -> None:
+def _worker_init(
+    stage_dir: Optional[str], workload_packs: Sequence[str] = ()
+) -> None:
     """One-time setup of a pool worker.
 
     Attaches the campaign's on-disk stage cache once per process (instead
-    of per job) and warms the heavyweight imports — machine registry,
-    workload profiles, pipeline stages — so the first job of each worker
-    doesn't pay them inside its measured time.
+    of per job), registers the campaign's workload packs (pack-declared
+    benchmarks must resolve in *this* process — registration does not
+    survive the spawn/forkserver boundary), and warms the heavyweight
+    imports — machine registry, workload profiles, pipeline stages — so
+    the first job of each worker doesn't pay them inside its measured
+    time.
     """
     if stage_dir is not None:
         from repro.pipeline.cache import STAGE_CACHE
 
         STAGE_CACHE.attach_store(stage_dir)
+    if workload_packs:
+        from repro.scenarios import find_pack
+
+        for ref in workload_packs:
+            find_pack(ref).register()
     import repro.pipeline.registry  # noqa: F401  (registers factories)
     import repro.pipeline.stages  # noqa: F401
     import repro.workloads.spec_profiles  # noqa: F401
@@ -238,14 +253,19 @@ def run_campaign(
     n_jobs: int = 1,
     progress: Optional[Callable[[JobResult], None]] = None,
     recompute: bool = False,
+    workload_packs: Sequence[str] = (),
 ) -> CampaignResult:
     """Execute ``jobs``, reusing cached results and sharding the rest.
 
     ``n_jobs`` bounds worker processes (1 runs inline); ``progress`` is
     invoked once per finished job, in completion order; ``recompute``
-    forces fresh runs even for cached keys.  Successful results are
-    persisted to ``store`` before the call returns; failures are
-    reported but never cached, so a fixed configuration re-runs.
+    forces fresh runs even for cached keys.  ``workload_packs`` names
+    scenario packs (bundled names or paths) whose workloads every worker
+    registers at startup — required when jobs reference pack-declared
+    benchmarks and ``n_jobs > 1``, because registry state does not cross
+    the process boundary.  Successful results are persisted to ``store``
+    before the call returns; failures are reported but never cached, so
+    a fixed configuration re-runs.
 
     Caching is two-granular: whole jobs are answered from ``store``
     without executing, and executed jobs reuse stage-level artifacts
@@ -308,7 +328,7 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(stage_dir,),
+            initargs=(stage_dir, tuple(workload_packs)),
         ) as pool:
             futures = {
                 pool.submit(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List
 
 from repro.errors import WorkloadError
@@ -39,23 +40,57 @@ class ExperimentJob:
 
     def __post_init__(self) -> None:
         if self.benchmark not in SPEC2000_PROFILES:
-            raise WorkloadError(f"unknown benchmark {self.benchmark!r}")
+            from repro.pipeline.registry import registered_workload
+
+            if registered_workload(self.benchmark) is None:
+                raise WorkloadError(f"unknown benchmark {self.benchmark!r}")
         if self.scale <= 0:
             raise WorkloadError(f"corpus scale must be positive, got {self.scale}")
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-safe dict form of the job."""
-        return {
+        """Canonical JSON-safe dict form of the job.
+
+        A benchmark that names a *registered* workload (a scenario-pack
+        corpus rather than a built-in profile) embeds its full spec
+        under ``workload``.  That makes such jobs content-addressed —
+        editing the workload definition changes the key, so stale
+        cached results are never served — and self-contained:
+        :meth:`from_dict` re-registers the spec, so worker processes
+        need no prior registration.
+        """
+        data = {
             "schema": SCHEMA_VERSION,
             "benchmark": self.benchmark,
             "scale": self.scale,
             "options": self.options.to_dict(),
         }
+        if self.benchmark not in SPEC2000_PROFILES:
+            from repro.pipeline.registry import registered_workload
+            from repro.scenarios.schema import workload_to_dict
+
+            spec = registered_workload(self.benchmark)
+            if spec is not None:
+                data["workload"] = workload_to_dict(spec)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentJob":
-        """Rebuild a job from :meth:`to_dict` output."""
+        """Rebuild a job from :meth:`to_dict` output.
+
+        An embedded ``workload`` spec is registered (replacing any
+        same-named registration) before validation, so jobs carrying
+        pack workloads rebuild in any process.
+        """
+        if "workload" in data:
+            from repro.pipeline.registry import register_workload
+            from repro.scenarios.schema import workload_from_dict
+
+            register_workload(
+                workload_from_dict(data["workload"]),
+                name=data["benchmark"],
+                overwrite=True,
+            )
         return cls(
             benchmark=data["benchmark"],
             scale=data["scale"],
@@ -69,8 +104,24 @@ class ExperimentJob:
         )
 
     def key(self) -> str:
-        """Content-addressed cache key of this job."""
-        digest = hashlib.sha256(self.canonical_json().encode()).hexdigest()
+        """Content-addressed cache key of this job.
+
+        Hashes the canonical dict form — minus the machine file's
+        *path*, which is transport (where a worker finds the file), not
+        identity: the hashed ``machine_file`` entry keeps the pack's
+        scenario name and content fingerprint, so moving or renaming a
+        pack preserves its cache entries while editing it invalidates
+        them.
+        """
+        data = self.to_dict()
+        machine_file = data["options"].get("machine_file")
+        if machine_file is not None:
+            machine_file = dict(machine_file)
+            machine_file.pop("path", None)
+            data["options"] = dict(data["options"], machine_file=machine_file)
+        digest = hashlib.sha256(
+            json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
         return digest[:KEY_LENGTH]
 
     # ------------------------------------------------------------------
@@ -83,7 +134,21 @@ class ExperimentJob:
         options = self.options
         scheduler = options.scheduler
         parts: List[str] = [f"buses={options.n_buses}"]
-        if options.machine != "paper":
+        if options.machine_file is not None:
+            # The file-declared scenario name is the collision-free
+            # identity (two packs may share a basename); fall back to
+            # the path stem when the file is gone (e.g. --report-only
+            # over a cache whose packs moved).
+            try:
+                from repro.scenarios import load_machine_file
+
+                label = load_machine_file(
+                    options.machine_file, register=False
+                ).name
+            except Exception:
+                label = Path(options.machine_file).stem
+            parts.append(f"machine-file={label}")
+        elif options.machine != "paper":
             parts.append(f"machine={options.machine}")
         if not options.per_class_energy:
             parts.append("uniform-energy")

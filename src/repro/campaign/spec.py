@@ -1,11 +1,25 @@
 """Campaign specifications: option grids expanded into concrete jobs.
 
 A :class:`CampaignSpec` names the benchmarks to run and, for each
-experiment dimension the paper sweeps (bus count, per-class energies,
-the scheduler ablation switches, simulation fidelity), the grid of
-values to explore.  :meth:`CampaignSpec.expand` takes the cross product
-and emits one :class:`~repro.campaign.job.ExperimentJob` per point, in a
-deterministic order.
+experiment dimension the paper sweeps (bus count, target machine,
+per-class energies, the scheduler ablation switches, simulation
+fidelity), the grid of values to explore.  :meth:`CampaignSpec.expand`
+takes the cross product and emits one
+:class:`~repro.campaign.job.ExperimentJob` per point, in a deterministic
+order.
+
+**Names vs files.**  The machine axis has two legs that concatenate into
+one grid: ``machine_grid`` holds *registered names* and ``machine_files``
+holds *scenario pack paths* (:mod:`repro.scenarios`).  Names rely on the
+registration contract documented in :mod:`repro.pipeline.registry` — in
+particular, with ``n_jobs > 1`` a name must be registered in a module
+the worker processes import, while a file needs no prior registration
+anywhere: the job carries the path and every worker loads it.  Job keys
+embed the file's scenario name and content fingerprint, so sweeping
+files stays content-addressed (editing a pack invalidates exactly its
+own jobs).  Benchmarks resolve through the same contract: built-in
+SPECfp2000 profiles always work, and workloads registered from a pack
+work inline (``n_jobs=1``) or wherever the workers also register them.
 """
 
 from __future__ import annotations
@@ -49,6 +63,10 @@ class CampaignSpec:
     #: not ad hoc in the driver script.  Unknown names fail the job with
     #: a clear error instead of aborting the sweep.
     machine_grid: Tuple[str, ...] = ("paper",)
+    #: Scenario pack paths to sweep alongside (concatenated with) the
+    #: named machines: each file contributes one machine-axis point.
+    #: Unlike names, files resolve in the worker with no registration.
+    machine_files: Tuple[str, ...] = ()
     per_class_energy_grid: Tuple[bool, ...] = (True,)
     preplace_grid: Tuple[bool, ...] = (True,)
     ed2_refinement_grid: Tuple[bool, ...] = (True,)
@@ -61,14 +79,15 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if not self.benchmarks:
             raise WorkloadError("a campaign needs at least one benchmark")
+        from repro.pipeline.registry import registered_workload
+
         for name in self.benchmarks:
-            if name not in SPEC2000_PROFILES:
+            if name not in SPEC2000_PROFILES and registered_workload(name) is None:
                 raise WorkloadError(f"unknown benchmark {name!r}")
         if self.scale <= 0:
             raise WorkloadError("corpus scale must be positive")
         for label, grid in (
             ("buses_grid", self.buses_grid),
-            ("machine_grid", self.machine_grid),
             ("per_class_energy_grid", self.per_class_energy_grid),
             ("preplace_grid", self.preplace_grid),
             ("ed2_refinement_grid", self.ed2_refinement_grid),
@@ -76,14 +95,27 @@ class CampaignSpec:
         ):
             if not grid:
                 raise WorkloadError(f"campaign grid {label} is empty")
+        # The machine axis is the concatenation of both legs.
+        if not self.machine_grid and not self.machine_files:
+            raise WorkloadError(
+                "campaign needs a machine: machine_grid and machine_files "
+                "are both empty"
+            )
 
     # ------------------------------------------------------------------
+    def _machine_axis(self) -> Tuple[Tuple[str, str], ...]:
+        """The machine grid as (kind, value) points: names then files."""
+        return tuple(
+            [("name", name) for name in _unique(self.machine_grid)]
+            + [("file", path) for path in _unique(self.machine_files)]
+        )
+
     @property
     def n_configurations(self) -> int:
         """Number of option points per benchmark."""
         return (
             len(_unique(self.buses_grid))
-            * len(_unique(self.machine_grid))
+            * len(self._machine_axis())
             * len(_unique(self.per_class_energy_grid))
             * len(_unique(self.preplace_grid))
             * len(_unique(self.ed2_refinement_grid))
@@ -100,7 +132,7 @@ class CampaignSpec:
             itertools.product(
                 _unique(self.benchmarks),
                 _unique(self.buses_grid),
-                _unique(self.machine_grid),
+                self._machine_axis(),
                 _unique(self.per_class_energy_grid),
                 _unique(self.preplace_grid),
                 _unique(self.ed2_refinement_grid),
@@ -113,10 +145,18 @@ class CampaignSpec:
                 ed2_refinement=ed2_ref,
                 sync_penalties=sync,
             )
+            machine_kind, machine_value = machine
             options = replace(
                 self.base_options,
                 n_buses=buses,
-                machine=machine,
+                machine=(
+                    machine_value
+                    if machine_kind == "name"
+                    else self.base_options.machine
+                ),
+                machine_file=(
+                    machine_value if machine_kind == "file" else None
+                ),
                 per_class_energy=per_class,
                 scheduler=scheduler,
                 simulate=self.simulate,
@@ -136,6 +176,7 @@ class CampaignSpec:
             "scale": self.scale,
             "buses_grid": list(self.buses_grid),
             "machine_grid": list(self.machine_grid),
+            "machine_files": list(self.machine_files),
             "per_class_energy_grid": list(self.per_class_energy_grid),
             "preplace_grid": list(self.preplace_grid),
             "ed2_refinement_grid": list(self.ed2_refinement_grid),
@@ -152,6 +193,7 @@ class CampaignSpec:
             scale=data["scale"],
             buses_grid=tuple(data["buses_grid"]),
             machine_grid=tuple(data.get("machine_grid", ("paper",))),
+            machine_files=tuple(data.get("machine_files", ())),
             per_class_energy_grid=tuple(data["per_class_energy_grid"]),
             preplace_grid=tuple(data["preplace_grid"]),
             ed2_refinement_grid=tuple(data["ed2_refinement_grid"]),

@@ -66,3 +66,8 @@ class WorkloadError(ReproError):
 class PipelineError(ReproError):
     """A staged experiment is mis-composed (missing artifact, unknown
     stage, unregistered machine/selector/scheduler)."""
+
+
+class ScenarioError(ReproError):
+    """A declarative scenario pack is malformed or violates a model
+    invariant (unknown field, bad FU code, negative latency, ...)."""

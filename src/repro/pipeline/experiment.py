@@ -58,6 +58,14 @@ class ExperimentOptions:
     #: :func:`repro.pipeline.registry.register_machine`).  Serializable,
     #: so campaign jobs can sweep registered machines by name.
     machine: str = "paper"
+    #: Path of a scenario pack declaring the machine (see
+    #: :mod:`repro.scenarios`).  Takes precedence over ``machine`` when
+    #: set; the file is (re-)loaded in whichever process runs the
+    #: experiment, so campaign workers resolve it without any prior
+    #: registration.  Serialized with the pack's content fingerprint, so
+    #: job keys follow the file's *content*: editing the pack's meaning
+    #: invalidates caches, merely reformatting the TOML does not.
+    machine_file: Optional[str] = None
 
     def to_dict(self) -> dict:
         """Canonical JSON-safe dict form (see pipeline.serialization)."""

@@ -302,8 +302,15 @@ def profile_from_dict(data: Dict[str, Any]) -> ProgramProfile:
 # experiment options / evaluation (the public entry points)
 # ----------------------------------------------------------------------
 def options_to_dict(options) -> Dict[str, Any]:
-    """Canonical dict form of :class:`ExperimentOptions`."""
-    return {
+    """Canonical dict form of :class:`ExperimentOptions`.
+
+    ``machine_file`` (when set) serializes as the file path *plus* the
+    pack's scenario name and content fingerprint, read at serialization
+    time — campaign job keys hash this dict, so a job's cache identity
+    follows the pack's content.  The key is omitted entirely when unset,
+    keeping pre-scenario payloads (and their job keys) byte-identical.
+    """
+    data = {
         "n_buses": options.n_buses,
         "breakdown": breakdown_to_dict(options.breakdown),
         "technology": technology_to_dict(options.technology),
@@ -313,6 +320,16 @@ def options_to_dict(options) -> Dict[str, Any]:
         "per_class_energy": options.per_class_energy,
         "machine": options.machine,
     }
+    if getattr(options, "machine_file", None) is not None:
+        from repro.scenarios import machine_file_fingerprint
+
+        scenario, fingerprint = machine_file_fingerprint(options.machine_file)
+        data["machine_file"] = {
+            "path": str(options.machine_file),
+            "scenario": scenario,
+            "fingerprint": fingerprint,
+        }
+    return data
 
 
 def options_from_dict(data: Dict[str, Any]):
@@ -329,6 +346,7 @@ def options_from_dict(data: Dict[str, Any]):
         per_class_energy=data["per_class_energy"],
         # Absent in pre-stage-API payloads: those always ran the paper machine.
         machine=data.get("machine", "paper"),
+        machine_file=data.get("machine_file", {}).get("path"),
     )
 
 

@@ -592,9 +592,14 @@ class Experiment:
         ``factory(options)`` callable."""
         if isinstance(machine, str):
             registry.machine_factory(machine)  # fail fast on unknown names
+            # Also drop any machine_file: it outranks the name at
+            # resolution, so leaving it set would silently ignore this
+            # call.
             return replace(
                 self,
-                options=replace(self.options, machine=machine),
+                options=replace(
+                    self.options, machine=machine, machine_file=None
+                ),
                 machine=None,
             )
         if isinstance(machine, MachineDescription) or callable(machine):
@@ -602,6 +607,23 @@ class Experiment:
         raise PipelineError(
             f"with_machine expects a name, MachineDescription or factory, "
             f"got {machine!r}"
+        )
+
+    def with_machine_file(self, path: str) -> "Experiment":
+        """Target the machine declared in a scenario pack file.
+
+        The serializable sibling of :meth:`with_machine`: the path lands
+        in ``options.machine_file``, so campaign jobs can carry it and
+        workers re-load the file themselves.  Loads (and registers) the
+        pack immediately to fail fast on malformed files.
+        """
+        from repro.scenarios import load_machine_file
+
+        load_machine_file(path)
+        return replace(
+            self,
+            options=replace(self.options, machine_file=str(path)),
+            machine=None,
         )
 
     def with_selector(self, selector: Union[str, Callable]) -> "Experiment":
@@ -626,11 +648,21 @@ class Experiment:
 
     # ------------------------------------------------------------------
     def resolve_machine(self) -> MachineDescription:
-        """The concrete machine this experiment targets."""
+        """The concrete machine this experiment targets.
+
+        Precedence: an explicit ``machine`` override (live description or
+        factory) wins, then ``options.machine_file`` (a scenario pack,
+        loaded and registered on resolution), then the registry entry
+        named by ``options.machine``.
+        """
         if isinstance(self.machine, MachineDescription):
             return self.machine
         if callable(self.machine):
             return self.machine(self.options)
+        if self.options.machine_file is not None:
+            from repro.scenarios import load_machine_file
+
+            return load_machine_file(self.options.machine_file).machine
         return registry.machine_factory(self.options.machine)(self.options)
 
     def build_context(self, corpus: Corpus) -> ExperimentContext:

@@ -11,6 +11,7 @@ from repro.reporting.campaign import (
     campaign_results_table,
     campaign_summary,
 )
+from repro.reporting.scenarios import scenario_detail, scenario_list_table
 from repro.reporting.paper import (
     PAPER_FIGURE6_ED2,
     PAPER_FIGURE7_DEGRADATION,
@@ -28,6 +29,8 @@ __all__ = [
     "campaign_pareto_table",
     "campaign_results_table",
     "campaign_summary",
+    "scenario_detail",
+    "scenario_list_table",
     "PAPER_FIGURE6_ED2",
     "PAPER_FIGURE7_DEGRADATION",
     "PAPER_TABLE2_SHARES",

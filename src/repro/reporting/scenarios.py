@@ -1,0 +1,108 @@
+"""Plain-text rendering of scenario packs (the ``scenarios`` CLI verb)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.reporting.tables import render_table
+from repro.scenarios.pack import ScenarioPack
+
+
+def scenario_list_table(packs: Sequence[ScenarioPack], title: str = "") -> str:
+    """One row per pack: name, contents summary, description."""
+    rows = []
+    for pack in packs:
+        rows.append((pack.name, pack.describe(), pack.description))
+    return render_table(
+        ["scenario", "contents", "description"],
+        rows,
+        title=title or f"{len(packs)} scenario pack(s)",
+    )
+
+
+def scenario_detail(pack: ScenarioPack) -> str:
+    """Full description of one pack: machine tables + workload rows."""
+    sections: List[str] = []
+    header = pack.name if not pack.description else (
+        f"{pack.name} — {pack.description}"
+    )
+    if pack.source:
+        header += f"\n(from {pack.source})"
+    sections.append(header)
+
+    if pack.machine is not None:
+        machine = pack.machine
+        sections.append(
+            render_table(
+                ["cluster", "int", "fp", "mem", "registers"],
+                [
+                    (index, c.n_int, c.n_fp, c.n_mem, c.n_regs)
+                    for index, c in enumerate(machine.clusters)
+                ],
+                title="clusters",
+            )
+        )
+        sections.append(
+            render_table(
+                ["buses", "bus latency", "always-hit memory"],
+                [
+                    (
+                        machine.interconnect.n_buses,
+                        machine.interconnect.latency,
+                        machine.memory.always_hit,
+                    )
+                ],
+                title="interconnect / memory",
+            )
+        )
+        sections.append(
+            render_table(
+                ["class", "latency", "energy"],
+                [
+                    (opclass.value, entry.latency, f"{entry.energy:g}")
+                    for opclass, entry in machine.isa.rows()
+                ],
+                title="instruction table",
+            )
+        )
+        if pack.palette is not None:
+            if pack.palette.per_domain_size is not None:
+                palette = f"per-domain ladder of {pack.palette.per_domain_size}"
+            elif pack.palette.frequencies is not None:
+                palette = "global set: " + ", ".join(
+                    str(f) for f in pack.palette.frequencies
+                )
+            else:
+                palette = "any frequency"
+            sections.append(f"palette: {palette}")
+
+    if pack.workloads:
+        sections.append(
+            render_table(
+                [
+                    "workload",
+                    "seed",
+                    "resource",
+                    "balanced",
+                    "recurrence",
+                    "width",
+                    "trips",
+                    "loops",
+                ],
+                [
+                    (
+                        spec.name,
+                        spec.seed,
+                        f"{spec.resource_share:.1%}",
+                        f"{spec.balanced_share:.1%}",
+                        f"{spec.recurrence_share:.1%}",
+                        spec.recurrence_width.value,
+                        f"{spec.trip_counts[0]:g}-{spec.trip_counts[1]:g}",
+                        spec.n_loops,
+                    )
+                    for spec in pack.workloads
+                ],
+                title="workloads",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,364 @@
+"""Dict-level schema of scenario packs: machines and workloads.
+
+This module converts between plain JSON/TOML-shaped dicts and the live
+model objects (:class:`~repro.machine.machine.MachineDescription`,
+:class:`~repro.workloads.spec_profiles.BenchmarkSpec`), validating as it
+goes.  It is deliberately strict: unknown keys are errors (they are
+almost always typos — ``"registres"`` silently defaulting to 16 would be
+a miserable debugging session), every model invariant violation
+(zero clusters, negative latencies, share sums far from 1, ...) is
+re-raised as a :class:`~repro.errors.ScenarioError` with the offending
+field named.
+
+The machine schema::
+
+    {
+      "clusters": [{"count": 4, "int": 1, "fp": 1, "mem": 1,
+                    "registers": 16}],
+      "interconnect": {"buses": 1, "latency": 1},
+      "memory": {"always_hit": true},
+      "isa": {"base": "paper",                 # or "uniform"
+              "overrides": {"fmul": {"latency": 4, "energy": 1.4}}},
+    }
+
+``clusters`` entries carry an optional ``count`` (run-length encoding of
+identical clusters); FU fields are keyed by the
+:class:`~repro.machine.fu.FUType` codes ``int``/``fp``/``mem``.  The ISA
+is expressed as a named base table plus per-class overrides, so a pack
+stays a readable *diff* against Table 1 rather than a full dump — and
+:func:`machine_to_dict` emits exactly that diff, which is what makes the
+load -> export -> load round trip bit-identical.
+
+The workload schema mirrors :class:`BenchmarkSpec` field for field::
+
+    {"name": "stress.deep", "seed": 9000,
+     "resource_share": 0.0, "balanced_share": 0.0,
+     "recurrence_share": 1.0, "recurrence_width": "narrow",
+     "trip_counts": [4.0, 12.0], "n_loops": 400}
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.ir.opcodes import OpClass
+from repro.machine.clocking import FrequencyPalette
+from repro.machine.cluster import ClusterConfig
+from repro.machine.interconnect import InterconnectConfig
+from repro.machine.isa import ClassEntry, InstructionTable
+from repro.machine.machine import MachineDescription
+from repro.machine.memory import MemoryConfig
+from repro.workloads.spec_profiles import BenchmarkSpec, RecurrenceWidth
+
+#: Named ISA base tables a pack may build on.
+ISA_BASES = ("paper", "uniform")
+
+_CLUSTER_KEYS = {"count", "int", "fp", "mem", "registers"}
+_MACHINE_KEYS = {"clusters", "interconnect", "memory", "isa", "palette"}
+_INTERCONNECT_KEYS = {"buses", "latency"}
+_MEMORY_KEYS = {"always_hit"}
+_ISA_KEYS = {"base", "overrides"}
+_ISA_OVERRIDE_KEYS = {"latency", "energy"}
+_PALETTE_KEYS = {"per_domain_size", "frequencies"}
+_WORKLOAD_KEYS = {
+    "name",
+    "seed",
+    "resource_share",
+    "balanced_share",
+    "recurrence_share",
+    "recurrence_width",
+    "trip_counts",
+    "n_loops",
+}
+
+
+def _fail(where: str, message: str) -> "ScenarioError":
+    return ScenarioError(f"{where}: {message}")
+
+
+def _check_keys(data: Dict[str, Any], allowed, where: str) -> None:
+    if not isinstance(data, dict):
+        raise _fail(where, f"expected a table/dict, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise _fail(
+            where,
+            f"unknown key(s) {', '.join(map(repr, unknown))} "
+            f"(allowed: {', '.join(sorted(allowed))})",
+        )
+
+
+def _get_int(data: Dict[str, Any], key: str, where: str, default=None) -> int:
+    value = data.get(key, default)
+    if value is None:
+        raise _fail(where, f"missing required key {key!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(where, f"{key} must be an integer, got {value!r}")
+    return value
+
+
+def _get_number(data: Dict[str, Any], key: str, where: str, default=None) -> float:
+    value = data.get(key, default)
+    if value is None:
+        raise _fail(where, f"missing required key {key!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(where, f"{key} must be a number, got {value!r}")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# machines
+# ----------------------------------------------------------------------
+def _cluster_from_dict(data: Dict[str, Any], where: str) -> Tuple[int, ClusterConfig]:
+    _check_keys(data, _CLUSTER_KEYS, where)
+    count = _get_int(data, "count", where, default=1)
+    if count < 1:
+        raise _fail(where, f"count must be >= 1, got {count}")
+    try:
+        cluster = ClusterConfig(
+            n_int=_get_int(data, "int", where, default=1),
+            n_fp=_get_int(data, "fp", where, default=1),
+            n_mem=_get_int(data, "mem", where, default=1),
+            n_regs=_get_int(data, "registers", where, default=16),
+        )
+    except ValueError as error:
+        raise _fail(where, str(error)) from error
+    return count, cluster
+
+
+def _isa_from_dict(data: Optional[Dict[str, Any]], where: str) -> InstructionTable:
+    if data is None:
+        return InstructionTable.paper_defaults()
+    _check_keys(data, _ISA_KEYS, where)
+    base = data.get("base", "paper")
+    if base not in ISA_BASES:
+        raise _fail(
+            where, f"unknown isa base {base!r} (known: {', '.join(ISA_BASES)})"
+        )
+    table = InstructionTable.paper_defaults(uniform_energy=(base == "uniform"))
+    overrides = data.get("overrides", {})
+    if not isinstance(overrides, dict):
+        raise _fail(where, "overrides must be a table of per-class entries")
+    for class_name, entry in overrides.items():
+        entry_where = f"{where}.overrides.{class_name}"
+        try:
+            opclass = OpClass(class_name)
+        except ValueError:
+            known = ", ".join(oc.value for oc in OpClass)
+            raise _fail(
+                entry_where,
+                f"unknown instruction class (known: {known})",
+            ) from None
+        _check_keys(entry, _ISA_OVERRIDE_KEYS, entry_where)
+        current = table.entry(opclass)
+        latency = entry.get("latency", current.latency)
+        if isinstance(latency, bool) or not isinstance(latency, int):
+            raise _fail(entry_where, f"latency must be an integer, got {latency!r}")
+        energy = _get_number(entry, "energy", entry_where, default=current.energy)
+        try:
+            table = table.with_entry(
+                opclass, ClassEntry(latency=latency, energy=energy)
+            )
+        except ValueError as error:
+            raise _fail(entry_where, str(error)) from error
+    return table
+
+
+def _palette_from_dict(
+    data: Optional[Dict[str, Any]], where: str
+) -> Optional[FrequencyPalette]:
+    if data is None:
+        return None
+    _check_keys(data, _PALETTE_KEYS, where)
+    per_domain = data.get("per_domain_size")
+    frequencies = data.get("frequencies")
+    try:
+        if frequencies is not None:
+            if not isinstance(frequencies, list):
+                raise _fail(where, "frequencies must be a list")
+            parsed = tuple(Fraction(str(f)) for f in frequencies)
+            return FrequencyPalette(
+                frequencies=parsed, per_domain_size=per_domain
+            )
+        return FrequencyPalette(per_domain_size=per_domain)
+    except (ValueError, ZeroDivisionError) as error:
+        raise _fail(where, str(error)) from error
+
+
+def machine_from_dict(
+    data: Dict[str, Any], where: str = "machine"
+) -> MachineDescription:
+    """Build a validated :class:`MachineDescription` from its dict form."""
+    _check_keys(data, _MACHINE_KEYS, where)
+    raw_clusters = data.get("clusters")
+    if raw_clusters is None or raw_clusters == []:
+        raise _fail(where, "a machine needs at least one cluster entry")
+    if not isinstance(raw_clusters, list):
+        raise _fail(where, "clusters must be an array of tables")
+    clusters: List[ClusterConfig] = []
+    for index, entry in enumerate(raw_clusters):
+        count, cluster = _cluster_from_dict(entry, f"{where}.clusters[{index}]")
+        clusters.extend(cluster for _ in range(count))
+
+    icn_where = f"{where}.interconnect"
+    raw_icn = data.get("interconnect", {})
+    _check_keys(raw_icn, _INTERCONNECT_KEYS, icn_where)
+    try:
+        interconnect = InterconnectConfig(
+            n_buses=_get_int(raw_icn, "buses", icn_where, default=1),
+            latency=_get_int(raw_icn, "latency", icn_where, default=1),
+        )
+    except ValueError as error:
+        raise _fail(icn_where, str(error)) from error
+
+    mem_where = f"{where}.memory"
+    raw_memory = data.get("memory", {})
+    _check_keys(raw_memory, _MEMORY_KEYS, mem_where)
+    try:
+        memory = MemoryConfig(always_hit=raw_memory.get("always_hit", True))
+    except NotImplementedError as error:
+        raise _fail(mem_where, str(error)) from error
+
+    isa = _isa_from_dict(data.get("isa"), f"{where}.isa")
+    try:
+        return MachineDescription(
+            clusters=tuple(clusters),
+            interconnect=interconnect,
+            memory=memory,
+            isa=isa,
+        )
+    except Exception as error:  # ConfigurationError and friends
+        raise _fail(where, str(error)) from error
+
+
+def machine_palette_from_dict(
+    data: Dict[str, Any], where: str = "machine"
+) -> Optional[FrequencyPalette]:
+    """The optional operating-point palette declared next to a machine.
+
+    The palette is not part of :class:`MachineDescription` (it belongs to
+    :class:`~repro.scheduler.options.SchedulerOptions`), so it is parsed
+    separately and surfaced on the pack for callers to apply.
+    """
+    return _palette_from_dict(data.get("palette"), f"{where}.palette")
+
+
+def machine_to_dict(machine: MachineDescription) -> Dict[str, Any]:
+    """Dict form of a machine (the exact inverse of :func:`machine_from_dict`).
+
+    Identical consecutive clusters are run-length compressed; the ISA is
+    emitted as the named base (``paper``, or ``uniform`` when it matches
+    the collapsed-energy table) plus the minimal per-class override diff.
+    """
+    clusters: List[Dict[str, Any]] = []
+    for cluster in machine.clusters:
+        entry = {
+            "count": 1,
+            "int": cluster.n_int,
+            "fp": cluster.n_fp,
+            "mem": cluster.n_mem,
+            "registers": cluster.n_regs,
+        }
+        if clusters and all(
+            clusters[-1][key] == entry[key] for key in ("int", "fp", "mem", "registers")
+        ):
+            clusters[-1]["count"] += 1
+        else:
+            clusters.append(entry)
+
+    base = "paper"
+    reference = InstructionTable.paper_defaults()
+    uniform = InstructionTable.paper_defaults(uniform_energy=True)
+    if machine.isa == uniform and machine.isa != reference:
+        base, reference = "uniform", uniform
+    overrides: Dict[str, Dict[str, Any]] = {}
+    for opclass, entry in machine.isa.rows():
+        expected = reference.entry(opclass)
+        if entry != expected:
+            override: Dict[str, Any] = {}
+            if entry.latency != expected.latency:
+                override["latency"] = entry.latency
+            if entry.energy != expected.energy:
+                override["energy"] = entry.energy
+            overrides[opclass.value] = override
+
+    isa: Dict[str, Any] = {"base": base}
+    if overrides:
+        isa["overrides"] = overrides
+    return {
+        "clusters": clusters,
+        "interconnect": {
+            "buses": machine.interconnect.n_buses,
+            "latency": machine.interconnect.latency,
+        },
+        "memory": {"always_hit": machine.memory.always_hit},
+        "isa": isa,
+    }
+
+
+def palette_to_dict(palette: FrequencyPalette) -> Dict[str, Any]:
+    """Dict form of a frequency palette (scenario flavour: fraction strings)."""
+    if palette.per_domain_size is not None:
+        return {"per_domain_size": palette.per_domain_size}
+    if palette.frequencies is not None:
+        return {"frequencies": [str(f) for f in palette.frequencies]}
+    return {}
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def workload_from_dict(
+    data: Dict[str, Any], where: str = "workload"
+) -> BenchmarkSpec:
+    """Build a validated :class:`BenchmarkSpec` from its dict form."""
+    _check_keys(data, _WORKLOAD_KEYS, where)
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise _fail(where, f"name must be a non-empty string, got {name!r}")
+    width_value = data.get("recurrence_width", "narrow")
+    try:
+        width = RecurrenceWidth(width_value)
+    except ValueError:
+        known = ", ".join(w.value for w in RecurrenceWidth)
+        raise _fail(
+            where, f"unknown recurrence_width {width_value!r} (known: {known})"
+        ) from None
+    trips = data.get("trip_counts")
+    if (
+        not isinstance(trips, (list, tuple))
+        or len(trips) != 2
+        or any(isinstance(t, bool) or not isinstance(t, (int, float)) for t in trips)
+    ):
+        raise _fail(where, f"trip_counts must be a [low, high] pair, got {trips!r}")
+    try:
+        return BenchmarkSpec(
+            name=name,
+            seed=_get_int(data, "seed", where),
+            resource_share=_get_number(data, "resource_share", where, default=0.0),
+            balanced_share=_get_number(data, "balanced_share", where, default=0.0),
+            recurrence_share=_get_number(
+                data, "recurrence_share", where, default=0.0
+            ),
+            recurrence_width=width,
+            trip_counts=(float(trips[0]), float(trips[1])),
+            n_loops=_get_int(data, "n_loops", where, default=400),
+        )
+    except ValueError as error:
+        raise _fail(where, str(error)) from error
+
+
+def workload_to_dict(spec: BenchmarkSpec) -> Dict[str, Any]:
+    """Dict form of a workload spec (inverse of :func:`workload_from_dict`)."""
+    return {
+        "name": spec.name,
+        "seed": spec.seed,
+        "resource_share": spec.resource_share,
+        "balanced_share": spec.balanced_share,
+        "recurrence_share": spec.recurrence_share,
+        "recurrence_width": spec.recurrence_width.value,
+        "trip_counts": [spec.trip_counts[0], spec.trip_counts[1]],
+        "n_loops": spec.n_loops,
+    }

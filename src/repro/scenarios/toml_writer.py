@@ -1,0 +1,97 @@
+"""A minimal TOML emitter for scenario packs.
+
+The standard library ships a TOML *reader* (:mod:`tomllib`) but no
+writer, and this repository takes no third-party dependencies — so this
+module implements the small TOML subset scenario packs actually use:
+string/bool/int/float scalars, homogeneous scalar arrays, nested tables,
+and arrays of tables.  Output is deterministic (keys keep their insertion
+order, which the schema builders choose deliberately), and everything it
+emits parses back with ``tomllib.loads`` — asserted by the round-trip
+tests over every bundled pack.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Tuple
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _format_key(key: str) -> str:
+    return key if _BARE_KEY.match(key) else json.dumps(key)
+
+
+def _format_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        # TOML floats need a dot or exponent; repr() of inf/nan differs.
+        return {"inf": "inf", "-inf": "-inf", "nan": "nan"}.get(text, text)
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise TypeError(f"unsupported TOML scalar: {value!r}")
+
+
+def _format_array(values: List[Any]) -> str:
+    return "[" + ", ".join(_format_scalar(v) for v in values) + "]"
+
+
+def _split(table: Dict[str, Any]) -> Tuple[list, list, list]:
+    """Partition a table into (scalar, sub-table, array-of-table) items."""
+    scalars, tables, table_arrays = [], [], []
+    for key, value in table.items():
+        if isinstance(value, dict):
+            tables.append((key, value))
+        elif isinstance(value, list) and value and all(
+            isinstance(v, dict) for v in value
+        ):
+            table_arrays.append((key, value))
+        elif isinstance(value, list):
+            scalars.append((key, _format_array(value)))
+        elif value is None:
+            continue  # TOML has no null; absent key means default
+        else:
+            scalars.append((key, _format_scalar(value)))
+    return scalars, tables, table_arrays
+
+
+def _emit(table: Dict[str, Any], path: Tuple[str, ...], lines: List[str]) -> None:
+    scalars, tables, table_arrays = _split(table)
+    if path and (scalars or not (tables or table_arrays)):
+        if lines:
+            lines.append("")
+        lines.append("[" + ".".join(_format_key(p) for p in path) + "]")
+    for key, text in scalars:
+        lines.append(f"{_format_key(key)} = {text}")
+    for key, value in tables:
+        _emit(value, path + (key,), lines)
+    for key, items in table_arrays:
+        header = "[[" + ".".join(_format_key(p) for p in path + (key,)) + "]]"
+        for item in items:
+            if lines:
+                lines.append("")
+            lines.append(header)
+            item_scalars, item_tables, item_arrays = _split(item)
+            for sub_key, text in item_scalars:
+                lines.append(f"{_format_key(sub_key)} = {text}")
+            for sub_key, sub_value in item_tables:
+                _emit(sub_value, path + (key, sub_key), lines)
+            if item_arrays:
+                raise TypeError(
+                    "nested arrays of tables are not supported by the "
+                    "scenario TOML writer"
+                )
+    if not path:
+        return
+
+
+def toml_dumps(data: Dict[str, Any]) -> str:
+    """Serialize ``data`` (nested dicts/lists/scalars) as a TOML document."""
+    lines: List[str] = []
+    _emit(data, (), lines)
+    return "\n".join(lines) + "\n"

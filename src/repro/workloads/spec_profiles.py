@@ -157,10 +157,22 @@ SPEC2000_PROFILES: Dict[str, BenchmarkSpec] = {
 
 
 def spec_profile(name: str) -> BenchmarkSpec:
-    """Look up one benchmark spec by (possibly unprefixed) name."""
+    """Look up one benchmark spec by (possibly unprefixed) name.
+
+    Resolution order: the built-in SPECfp2000 profiles (exact name, then
+    the unprefixed short form ``swim`` -> ``171.swim``), then workloads
+    registered at runtime (:func:`repro.pipeline.registry.register_workload`
+    — e.g. by a loaded :mod:`repro.scenarios` pack).
+    """
     if name in SPEC2000_PROFILES:
         return SPEC2000_PROFILES[name]
     for key, spec in SPEC2000_PROFILES.items():
         if key.split(".", 1)[-1] == name:
             return spec
-    raise KeyError(f"unknown SPECfp2000 benchmark {name!r}")
+    # Deferred import: pipeline.registry imports this module at load time.
+    from repro.pipeline.registry import registered_workload
+
+    registered = registered_workload(name)
+    if registered is not None:
+        return registered
+    raise KeyError(f"unknown benchmark {name!r}")

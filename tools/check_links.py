@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check that intra-repo links in Markdown files resolve.
+
+Scans ``[text](target)`` links in the given Markdown files (default:
+``README.md`` and ``docs/*.md``), skips external URLs (``http(s)://``,
+``mailto:``) and pure in-page anchors, and verifies every relative
+target exists on disk (resolved against the linking file's directory,
+with any ``#fragment`` stripped).  Exits non-zero listing the broken
+links — CI runs this as the docs job, and ``tests/test_docs.py`` runs it
+in-process so the tier-1 suite enforces it too.
+
+Usage: ``python tools/check_links.py [FILE.md ...]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline Markdown links; deliberately simple — our docs use no nested
+#: brackets or angle-bracket destinations.  The target may contain
+#: spaces (a broken-but-real link is exactly what must not slip by).
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path) -> List[str]:
+    """All link targets in one Markdown file, fenced code blocks excluded."""
+    targets = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(LINK.findall(line))
+    return targets
+
+
+def broken_links(paths: List[Path]) -> List[Tuple[Path, str]]:
+    """(file, target) pairs whose relative targets do not resolve."""
+    broken = []
+    for path in paths:
+        for target in iter_links(path):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((path, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).parent.parent
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        paths = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    missing_files = [path for path in paths if not path.exists()]
+    for path in missing_files:
+        print(f"no such file: {path}", file=sys.stderr)
+    failures = broken_links([p for p in paths if p.exists()])
+    for path, target in failures:
+        print(f"{path}: broken link -> {target}", file=sys.stderr)
+    checked = sum(len(iter_links(p)) for p in paths if p.exists())
+    print(
+        f"checked {checked} link(s) in {len(paths)} file(s): "
+        f"{len(failures)} broken"
+    )
+    return 1 if (failures or missing_files) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
