@@ -22,8 +22,25 @@ import os
 import zipfile
 from pathlib import Path
 
+import re
+
 NAME = "repro"
-VERSION = "0.1.0"
+
+
+def _project_version() -> str:
+    """The authoritative version, read from ``pyproject.toml``.
+
+    A regex instead of a TOML parser: ``tomllib`` only exists on 3.11+
+    and this backend supports the project's full 3.9+ range.
+    """
+    text = (Path(__file__).resolve().parent.parent / "pyproject.toml").read_text()
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("no version field in pyproject.toml")
+    return match.group(1)
+
+
+VERSION = _project_version()
 TAG = "py3-none-any"
 DIST_INFO = f"{NAME}-{VERSION}.dist-info"
 WHEEL_NAME = f"{NAME}-{VERSION}-{TAG}.whl"

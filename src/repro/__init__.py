@@ -152,7 +152,10 @@ from repro.scenarios import (
     pack_to_toml,
 )
 
-__version__ = "1.0.0"
+#: Fallback version for source-tree (PYTHONPATH=src) runs; installed
+#: distributions report their package metadata instead, and the build
+#: backend reads the authoritative value from ``pyproject.toml``.
+__version__ = "0.5.0"
 
 __all__ = [
     "__version__",

@@ -16,7 +16,18 @@ Commands:
   (``--check benchmarks/perf_baseline.json --tolerance 0.25``),
 * ``scenarios`` — list, validate, describe or export declarative
   scenario packs (``--validate``, ``--describe``, ``--export``),
+* ``serve`` — run the async evaluation service: submit evaluate/suite/
+  campaign jobs over HTTP, deduplicated by content-addressed job keys,
+  with the SQLite warehouse kept in sync (``--host``, ``--port``,
+  ``--cache-dir``, ``--jobs``, ``--runner``),
+* ``query`` — ask the warehouse cross-campaign questions: ``ingest``,
+  ``summary``, ``jobs``, ``best``, ``pareto``, ``diff``, ``campaigns``
+  (``--db``, ``--campaign``, ``--metric``, ``--output json``),
 * ``list`` — list the available benchmarks.
+
+``python -m repro --version`` prints the package version (installed
+distribution metadata when available, the source tree's fallback
+otherwise).
 
 ``evaluate``/``suite``/``campaign`` also take ``--stages`` (print the
 experiment's stage plan and exit), ``--explain`` (print the plan to
@@ -37,11 +48,33 @@ from repro.reporting import PAPER_FIGURE6_ED2, bar_chart, render_table
 from repro.workloads import SPEC2000_PROFILES, build_corpus, spec_profile
 
 
+def _package_version() -> str:
+    """The version ``--version`` reports.
+
+    Prefers the installed distribution's metadata (what ``pip`` sees);
+    source-tree runs (``PYTHONPATH=src``) have no metadata and fall
+    back to :data:`repro.__version__`.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Heterogeneous Clustered VLIW "
         "Microarchitectures' (CGO 2007)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_package_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -172,6 +205,13 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip execution; aggregate whatever the cache already holds",
     )
+    campaign.add_argument(
+        "--label",
+        default=None,
+        help="record this run as a named campaign in the cache's SQLite "
+        "warehouse (enables `repro query diff <label> ...` later); "
+        "without it, jobs are indexed but not grouped",
+    )
     add_stage_flags(
         campaign,
         machine_help="comma-separated registered machine names to sweep, "
@@ -206,6 +246,98 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each pack's canonical TOML form (load -> export "
         "round trip)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async evaluation service (HTTP + SQLite warehouse)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port (0 picks a free one; default 8321)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store + warehouse directory (default .repro-cache)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes for the evaluation pool (default 2)",
+    )
+    serve.add_argument(
+        "--runner",
+        choices=("process", "inline"),
+        default="process",
+        help="'process' uses a ProcessPoolExecutor (default); 'inline' "
+        "runs jobs on threads in the server process (tests, smoke runs)",
+    )
+    serve.add_argument(
+        "--no-ingest",
+        action="store_true",
+        help="skip the startup warehouse sync of the existing cache dir",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="cross-campaign queries over the SQLite results warehouse",
+    )
+    query.add_argument(
+        "op",
+        choices=(
+            "ingest",
+            "summary",
+            "campaigns",
+            "jobs",
+            "best",
+            "pareto",
+            "diff",
+        ),
+        help="what to ask (see docs/service.md#queries)",
+    )
+    query.add_argument(
+        "selectors",
+        nargs="*",
+        metavar="SELECTOR",
+        help="for ingest: cache dirs to index; for diff: exactly two "
+        "selectors (campaign labels or machine:NAME); for best/pareto/"
+        "jobs: an optional single selector narrowing the population",
+    )
+    query.add_argument(
+        "--db",
+        default=None,
+        help="warehouse database (default <cache-dir>/warehouse.sqlite)",
+    )
+    query.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory the default --db lives in (default "
+        ".repro-cache)",
+    )
+    query.add_argument(
+        "--label",
+        default=None,
+        help="for ingest: campaign label to file the entries under",
+    )
+    query.add_argument(
+        "--benchmark", default=None, help="for best: narrow to one benchmark"
+    )
+    query.add_argument(
+        "--metric",
+        choices=("ed2_ratio", "energy_ratio", "time_ratio"),
+        default="ed2_ratio",
+        help="ranking/diff metric (default ed2_ratio)",
+    )
+    query.add_argument(
+        "--output",
+        choices=("table", "json"),
+        default="table",
+        help="result format (default table)",
     )
 
     table2 = commands.add_parser("table2", help="measured Table 2 shares")
@@ -469,14 +601,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    outcome = run_campaign(
-        jobs,
-        store=store,
-        n_jobs=args.jobs,
-        progress=_progress,
-        recompute=args.recompute,
-        workload_packs=tuple(args.workloads),
-    )
+    warehouse = None
+    sink = None
+    if store is not None:
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse.for_store(store)
+
+        def sink(key, payload, cached) -> None:
+            warehouse.record_payload(payload, campaign=args.label)
+
+    try:
+        outcome = run_campaign(
+            jobs,
+            store=store,
+            n_jobs=args.jobs,
+            progress=_progress,
+            recompute=args.recompute,
+            workload_packs=tuple(args.workloads),
+            sink=sink,
+        )
+    finally:
+        if warehouse is not None:
+            warehouse.close()
     print(campaign_summary(outcome), file=sys.stderr)
     for failure in outcome.failed:
         print(
@@ -491,6 +638,174 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(campaign_best_table(outcome.results))
         print(campaign_pareto_table(outcome.results))
     return 1 if outcome.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.campaign import DEFAULT_CACHE_DIR, ResultStore
+    from repro.service import JobManager, ServiceServer
+    from repro.warehouse import Warehouse
+
+    store = ResultStore(
+        args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    )
+    warehouse = Warehouse.for_store(store)
+    if not args.no_ingest:
+        report = warehouse.ingest_store(store)
+        print(report.describe(), file=sys.stderr)
+
+    async def _serve() -> None:
+        if args.runner == "inline":
+            manager = JobManager(
+                store=store,
+                warehouse=warehouse,
+                executor=JobManager.inline_executor(max_workers=args.jobs),
+            )
+        else:
+            manager = JobManager(
+                store=store, warehouse=warehouse, max_workers=args.jobs
+            )
+        server = ServiceServer(manager, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(
+            f"repro service listening on http://{host}:{port} "
+            f"(store {store.root}, warehouse {warehouse.path}, "
+            f"runner {args.runner} x{args.jobs})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    finally:
+        warehouse.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.campaign import DEFAULT_CACHE_DIR
+    from repro.reporting import (
+        warehouse_best_table,
+        warehouse_diff_table,
+        warehouse_jobs_table,
+        warehouse_pareto_table,
+        warehouse_summary_table,
+    )
+    from repro.warehouse import (
+        DEFAULT_WAREHOUSE_NAME,
+        Warehouse,
+        WarehouseError,
+        best_points,
+        pareto_frontier,
+        regression_diff,
+    )
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    db_path = (
+        args.db
+        if args.db is not None
+        else f"{cache_dir}/{DEFAULT_WAREHOUSE_NAME}"
+    )
+    selectors = list(args.selectors)
+
+    def _emit(document, table: str) -> None:
+        if args.output == "json":
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(table)
+
+    with Warehouse(db_path) as warehouse:
+        try:
+            if args.op == "ingest":
+                sources = selectors or [cache_dir]
+                for source in sources:
+                    report = warehouse.ingest_store(source, campaign=args.label)
+                    print(report.describe(), file=sys.stderr)
+                print(warehouse_summary_table(warehouse))
+                return 0
+            selector = selectors[0] if selectors else None
+            if args.op not in ("diff",) and len(selectors) > 1:
+                print(
+                    f"query {args.op} takes at most one selector, "
+                    f"got {len(selectors)}",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.op == "summary" or args.op == "campaigns":
+                _emit(
+                    {
+                        "summary": warehouse.summary(),
+                        "campaigns": warehouse.campaigns(),
+                    },
+                    warehouse_summary_table(warehouse),
+                )
+                return 0
+            if args.op == "jobs":
+                rows = warehouse.job_rows(selector, benchmark=args.benchmark)
+                _emit(
+                    {"jobs": [vars(row) for row in rows]},
+                    warehouse_jobs_table(rows),
+                )
+                return 0
+            if args.op == "best":
+                rows = best_points(
+                    warehouse,
+                    selector,
+                    benchmark=args.benchmark,
+                    metric=args.metric,
+                )
+                _emit(
+                    {"best": [vars(row) for row in rows]},
+                    warehouse_best_table(
+                        warehouse, selector, metric=args.metric, rows=rows
+                    ),
+                )
+                return 0
+            if args.op == "pareto":
+                points = pareto_frontier(warehouse, selector)
+                _emit(
+                    {"pareto": [vars(point) for point in points]},
+                    warehouse_pareto_table(warehouse, selector, points=points),
+                )
+                return 0
+            if args.op == "diff":
+                if len(selectors) != 2:
+                    print(
+                        "query diff takes exactly two selectors "
+                        "(campaign labels or machine:NAME), "
+                        f"got {len(selectors)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                a, b = selectors
+                diffs = regression_diff(warehouse, a, b, metric=args.metric)
+                _emit(
+                    {
+                        "metric": args.metric,
+                        "regressed": sum(1 for d in diffs if d.regressed),
+                        "diff": [
+                            dict(
+                                vars(diff),
+                                delta=diff.delta,
+                                regressed=diff.regressed,
+                            )
+                            for diff in diffs
+                        ],
+                    },
+                    warehouse_diff_table(diffs, a, b, metric=args.metric),
+                )
+                return 1 if any(d.regressed for d in diffs) else 0
+        except WarehouseError as error:
+            print(f"query failed: {error}", file=sys.stderr)
+            return 2
+    return 2
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -621,6 +936,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "suite": _cmd_suite,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "table2": _cmd_table2,
         "bench": _cmd_bench,
         "scenarios": _cmd_scenarios,

@@ -254,6 +254,7 @@ def run_campaign(
     progress: Optional[Callable[[JobResult], None]] = None,
     recompute: bool = False,
     workload_packs: Sequence[str] = (),
+    sink: Optional[Callable[[str, Dict[str, Any], bool], None]] = None,
 ) -> CampaignResult:
     """Execute ``jobs``, reusing cached results and sharding the rest.
 
@@ -266,6 +267,11 @@ def run_campaign(
     the process boundary.  Successful results are persisted to ``store``
     before the call returns; failures are reported but never cached, so
     a fixed configuration re-runs.
+
+    ``sink`` is the raw-payload hook: called once per finished job with
+    ``(key, payload, cached)`` — the exact dict that lands in (or came
+    from) the store.  The warehouse uses it to index results as they
+    complete; ``progress`` stays the human-facing, deserialized view.
 
     Caching is two-granular: whole jobs are answered from ``store``
     without executing, and executed jobs reuse stage-level artifacts
@@ -296,6 +302,8 @@ def run_campaign(
                 cached_result = None
         if cached_result is not None:
             results[key] = cached_result
+            if sink is not None:
+                sink(key, dict(payload, key=key), True)
             if progress is not None:
                 progress(cached_result)
         else:
@@ -304,6 +312,8 @@ def run_campaign(
     def _finish(job: ExperimentJob, key: str, payload: Dict[str, Any]) -> None:
         if store is not None and payload.get("status") == STATUS_OK:
             store.save(key, dict(payload, key=key))
+        if sink is not None:
+            sink(key, dict(payload, key=key), False)
         results[key] = _result_from_payload(job, key, payload, cached=False)
         if progress is not None:
             progress(results[key])

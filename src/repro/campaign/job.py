@@ -10,14 +10,13 @@ design-space grid, scale, ...) yields a fresh key.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List
 
 from repro.errors import WorkloadError
 from repro.pipeline.experiment import ExperimentOptions
+from repro.pipeline.serialization import canonical_json, content_key
 from repro.workloads.spec_profiles import SPEC2000_PROFILES
 
 #: Hex digits of the sha256 digest used as the job key (64 bits —
@@ -99,9 +98,7 @@ class ExperimentJob:
 
     def canonical_json(self) -> str:
         """Canonical serialized form (sorted keys, no whitespace)."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        return canonical_json(self.to_dict())
 
     def key(self) -> str:
         """Content-addressed cache key of this job.
@@ -119,10 +116,7 @@ class ExperimentJob:
             machine_file = dict(machine_file)
             machine_file.pop("path", None)
             data["options"] = dict(data["options"], machine_file=machine_file)
-        digest = hashlib.sha256(
-            json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
-        ).hexdigest()
-        return digest[:KEY_LENGTH]
+        return content_key(data, length=KEY_LENGTH)
 
     # ------------------------------------------------------------------
     def config_label(self) -> str:

@@ -15,7 +15,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -66,12 +66,28 @@ class ResultStore:
         """File backing the entry for ``key``."""
         return self._root / f"{key}.json"
 
+    def _entry_names(self) -> List[str]:
+        """Entry file names (one scandir pass, no JSON parsing).
+
+        Excludes the ``stages/`` subdirectory and the hidden ``.*.tmp``
+        files a concurrent :meth:`save` may have in flight, so listings
+        only ever name complete entries.
+        """
+        return [
+            entry.name
+            for entry in os.scandir(self._root)
+            if entry.name.endswith(".json")
+            and not entry.name.startswith(".")
+            and entry.is_file()
+        ]
+
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._root.glob("*.json"))
+        """Number of entries; a directory scan, no JSON is parsed."""
+        return len(self._entry_names())
 
     def save(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically persist ``payload`` under ``key``."""
@@ -118,9 +134,29 @@ class ResultStore:
             return False
 
     def keys(self) -> Iterator[str]:
-        """All cached job keys, sorted for determinism."""
-        for path in sorted(self._root.glob("*.json")):
-            yield path.stem
+        """All cached job keys, sorted for determinism.
+
+        Listing never opens or parses the JSON bodies — it is a single
+        directory scan, cheap enough for a resuming campaign or the
+        warehouse ingester to call on every pass.
+        """
+        for name in sorted(self._entry_names()):
+            yield name[: -len(".json")]
+
+    def stat_entries(self) -> Iterator[Tuple[str, float]]:
+        """``(key, mtime)`` per entry, sorted by key, bodies unread.
+
+        The warehouse ingester keys its incremental sync on this: an
+        entry whose key is already indexed with the same mtime needs no
+        re-read, so re-ingesting a large cache directory costs one
+        directory scan plus one stat per entry.
+        """
+        for name in sorted(self._entry_names()):
+            try:
+                mtime = os.stat(self._root / name).st_mtime
+            except FileNotFoundError:  # deleted between scan and stat
+                continue
+            yield name[: -len(".json")], mtime
 
     def entries(self) -> Iterator[Dict[str, Any]]:
         """All readable cached payloads, in key order."""

@@ -18,6 +18,8 @@ Conventions:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from fractions import Fraction
 from typing import Any, Dict
 
@@ -38,6 +40,48 @@ from repro.vfs.selector import SelectionResult
 
 def _fraction_str(value) -> str:
     return str(as_fraction(value))
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+def canonical_json(data: Any) -> str:
+    """The canonical serialized form of a JSON-safe value.
+
+    Sorted keys, no whitespace: two structurally equal values always
+    produce the same bytes, so hashes of this form are content
+    addresses.  Everything in the repo that derives an identity from a
+    dict — campaign job keys, service job ids, warehouse fingerprints —
+    goes through here.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(data: Any, length: int = 16) -> str:
+    """Hex content address of a JSON-safe value (sha256 prefix)."""
+    digest = hashlib.sha256(canonical_json(data).encode()).hexdigest()
+    return digest[:length]
+
+
+def evaluation_ratios(evaluation: Dict[str, Any]) -> tuple:
+    """(ed2, energy, time) ratios straight from an evaluation dict.
+
+    Mirrors :class:`~repro.pipeline.experiment.BenchmarkEvaluation`'s
+    properties without rebuilding the full object graph — the warehouse
+    ingests thousands of payloads and the service summarises every
+    completion, and each needs only these three numbers.
+    """
+    het = evaluation["heterogeneous_measured"]
+    base = evaluation["baseline_measured"]
+    het_energy = float(sum(het["energy"].values()))
+    base_energy = float(sum(base["energy"].values()))
+    het_time = float(het["exec_time_ns"])
+    base_time = float(base["exec_time_ns"])
+    return (
+        (het_energy * het_time**2) / (base_energy * base_time**2),
+        het_energy / base_energy,
+        het_time / base_time,
+    )
 
 
 # ----------------------------------------------------------------------

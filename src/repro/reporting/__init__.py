@@ -12,6 +12,13 @@ from repro.reporting.campaign import (
     campaign_summary,
 )
 from repro.reporting.scenarios import scenario_detail, scenario_list_table
+from repro.reporting.warehouse import (
+    warehouse_best_table,
+    warehouse_diff_table,
+    warehouse_jobs_table,
+    warehouse_pareto_table,
+    warehouse_summary_table,
+)
 from repro.reporting.paper import (
     PAPER_FIGURE6_ED2,
     PAPER_FIGURE7_DEGRADATION,
@@ -31,6 +38,11 @@ __all__ = [
     "campaign_summary",
     "scenario_detail",
     "scenario_list_table",
+    "warehouse_best_table",
+    "warehouse_diff_table",
+    "warehouse_jobs_table",
+    "warehouse_pareto_table",
+    "warehouse_summary_table",
     "PAPER_FIGURE6_ED2",
     "PAPER_FIGURE7_DEGRADATION",
     "PAPER_TABLE2_SHARES",

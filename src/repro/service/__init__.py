@@ -1,0 +1,45 @@
+"""The online half of the reproduction: an async evaluation service.
+
+Batch campaigns answer "run this grid"; the service answers *requests*:
+a long-running asyncio process (``python -m repro serve``) accepts
+evaluate / suite / campaign submissions over HTTP, schedules them on a
+worker pool, dedupes identical work via the campaign subsystem's
+content-addressed job keys (identical concurrent requests compute
+once and fan the result out), streams progress events to clients, and
+keeps the SQLite :mod:`repro.warehouse` in sync as jobs complete.
+
+Layers:
+
+* :mod:`repro.service.jobs` — the asyncio :class:`JobManager`:
+  submission, two-level dedup (in-flight futures + result store),
+  events, executor bridging.
+* :mod:`repro.service.http` — a stdlib-only HTTP/1.1 server exposing
+  the manager and warehouse, plus :func:`start_in_thread` for embedding.
+* :mod:`repro.service.client` — a blocking client for scripts, benches
+  and CI smoke tests.
+"""
+
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobManager,
+    ServiceError,
+    ServiceJob,
+)
+from repro.service.http import ServiceServer, start_in_thread
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JobManager",
+    "ServiceError",
+    "ServiceJob",
+    "ServiceServer",
+    "ServiceClient",
+    "start_in_thread",
+]

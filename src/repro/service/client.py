@@ -1,0 +1,177 @@
+"""A small blocking client for the evaluation service.
+
+Used by the CI smoke test, the service bench and scripts; tests use it
+against in-process servers.  Stdlib only (:mod:`http.client`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request/response round trip; returns (status, document)."""
+        if query:
+            path = path + "?" + urllib.parse.urlencode(query, doseq=True)
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(
+                method,
+                path,
+                body=None if body is None else json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            document = json.loads(response.read().decode() or "{}")
+            return response.status, document
+        finally:
+            connection.close()
+
+    def _ok(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        status, document = self.request(
+            method, path, body=body, query=query, timeout=timeout
+        )
+        if status >= 400:
+            raise ServiceClientError(
+                status, str(document.get("error", document))
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._ok("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``."""
+        return self._ok("GET", "/stats")
+
+    def submit_evaluate(self, **request: Any) -> Dict[str, Any]:
+        """``POST /v1/evaluate``; returns the job document."""
+        return self._ok("POST", "/v1/evaluate", body=request)["job"]
+
+    def submit_suite(self, **request: Any) -> Dict[str, Any]:
+        """``POST /v1/suite``; returns the job document."""
+        return self._ok("POST", "/v1/suite", body=request)["job"]
+
+    def submit_campaign(self, **request: Any) -> Dict[str, Any]:
+        """``POST /v1/campaign``; returns the job document."""
+        return self._ok("POST", "/v1/campaign", body=request)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>``."""
+        return self._ok("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> Any:
+        """``GET /v1/jobs``."""
+        return self._ok("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 600.0) -> Dict[str, Any]:
+        """Long-poll ``GET /v1/jobs/<id>?wait=1`` until terminal.
+
+        Each poll blocks server-side up to 30s, so waiting costs one
+        request per half-minute rather than a tight loop.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")
+            poll = min(30.0, remaining)
+            document = self._ok(
+                "GET",
+                f"/v1/jobs/{job_id}",
+                query={"wait": "1", "timeout": f"{poll:.1f}"},
+                timeout=poll + self.timeout,
+            )["job"]
+            if document["status"] in ("done", "failed"):
+                return document
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/result``."""
+        return self._ok("GET", f"/v1/jobs/{job_id}/result")
+
+    def events(self, job_id: str, timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
+        """Stream ``GET /v1/jobs/<id>/events`` as parsed dicts."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                document = json.loads(response.read().decode() or "{}")
+                raise ServiceClientError(
+                    response.status, str(document.get("error", document))
+                )
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def query_best(self, **query: Any) -> Any:
+        """``GET /v1/query/best``."""
+        return self._ok("GET", "/v1/query/best", query=query)["best"]
+
+    def query_pareto(self, **query: Any) -> Any:
+        """``GET /v1/query/pareto``."""
+        return self._ok("GET", "/v1/query/pareto", query=query)["pareto"]
+
+    def query_diff(self, a: str, b: str, **query: Any) -> Dict[str, Any]:
+        """``GET /v1/query/diff``."""
+        return self._ok("GET", "/v1/query/diff", query={"a": a, "b": b, **query})
+
+    def query_campaigns(self) -> Any:
+        """``GET /v1/query/campaigns``."""
+        return self._ok("GET", "/v1/query/campaigns")["campaigns"]

@@ -1,0 +1,451 @@
+"""A stdlib-only asyncio HTTP/1.1 front-end for the job manager.
+
+No web framework exists in the target environment, and none is needed:
+the protocol surface is small (JSON in, JSON or an ndjson event stream
+out), so this module speaks just enough HTTP — request line, headers,
+``Content-Length`` bodies, close-delimited responses — over
+:func:`asyncio.start_server`.  One connection carries one request;
+every response closes the connection, which keeps the parser trivial
+and makes streaming endpoints natural (the stream *is* the body, the
+close is the terminator).
+
+Endpoints (see ``docs/service.md`` for the full contract):
+
+* ``GET  /healthz`` — liveness + job counts,
+* ``GET  /stats`` — dedup/executor counters + warehouse summary,
+* ``POST /v1/evaluate | /v1/suite | /v1/campaign`` — submit a job,
+* ``GET  /v1/jobs`` — list jobs,
+* ``GET  /v1/jobs/<id>[?wait=1]`` — job status (optionally long-poll),
+* ``GET  /v1/jobs/<id>/result`` — the result document,
+* ``GET  /v1/jobs/<id>/events`` — ndjson event stream until terminal,
+* ``GET  /v1/query/pareto | best | diff | campaigns`` — warehouse
+  queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.parse
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.jobs import JobManager, ServiceError
+from repro.warehouse.queries import best_points, pareto_frontier, regression_diff
+
+#: Largest accepted request body.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request line + headers block.
+MAX_HEADER_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _head(status: int, content_type: str, length: Optional[int]) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+def _json_response(status: int, body: Dict[str, Any]) -> bytes:
+    encoded = (json.dumps(body, sort_keys=True) + "\n").encode()
+    return _head(status, "application/json", len(encoded)) + encoded
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, Any], Optional[Dict[str, Any]]]:
+    """(method, path, query, body) of one request; raises ``_HttpError``."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError as error:
+        raise _HttpError(413, "header block too large") from error
+    except asyncio.IncompleteReadError as error:
+        raise _HttpError(400, "truncated request") from error
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "header block too large")
+    try:
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        method, target, _protocol = head.split(" ", 2)
+    except ValueError as error:
+        raise _HttpError(400, "malformed request line") from error
+    headers = {}
+    for line in header_lines:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    parsed = urllib.parse.urlsplit(target)
+    query = {
+        name: values
+        for name, values in urllib.parse.parse_qs(parsed.query).items()
+    }
+    body = None
+    try:
+        length = int(headers.get("content-length", 0) or 0)
+    except ValueError as error:
+        raise _HttpError(400, "malformed Content-Length") from error
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    if length:
+        try:
+            raw = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise _HttpError(400, "truncated body") from error
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"body is not valid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise _HttpError(400, "body must be a JSON object")
+    return method.upper(), parsed.path, query, body
+
+
+def _single(query: Dict[str, Any], name: str) -> Optional[str]:
+    values = query.get(name)
+    return values[0] if values else None
+
+
+class ServiceServer:
+    """Binds a :class:`JobManager` (and optional warehouse) to a socket."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._manager = manager
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` main loop)."""
+        assert self._server is not None, "server not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and shut the manager down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._manager.close()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, query, body = await _read_request(reader)
+                await self._route(writer, method, path, query, body)
+            except _HttpError as error:
+                writer.write(
+                    _json_response(error.status, {"error": error.message})
+                )
+            except ServiceError as error:
+                writer.write(_json_response(400, {"error": str(error)}))
+            except Exception as error:  # never kill the accept loop
+                writer.write(
+                    _json_response(500, {"error": f"internal error: {error!r}"})
+                )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, Any],
+        body: Optional[Dict[str, Any]],
+    ) -> None:
+        manager = self._manager
+        if path == "/healthz" and method == "GET":
+            jobs = manager.jobs()
+            writer.write(
+                _json_response(
+                    200,
+                    {
+                        "status": "ok",
+                        "jobs": len(jobs),
+                        "running": sum(
+                            1 for job in jobs if job.status == "running"
+                        ),
+                    },
+                )
+            )
+            return
+        if path == "/stats" and method == "GET":
+            stats: Dict[str, Any] = {"jobs": dict(manager.stats)}
+            if manager.warehouse is not None:
+                stats["warehouse"] = manager.warehouse.summary()
+            if manager.store is not None:
+                stats["store"] = {
+                    "root": str(manager.store.root),
+                    "entries": len(manager.store),
+                }
+            writer.write(_json_response(200, stats))
+            return
+        if path in ("/v1/evaluate", "/v1/suite", "/v1/campaign"):
+            if method != "POST":
+                raise _HttpError(405, f"{path} takes POST")
+            submit = {
+                "/v1/evaluate": manager.submit_evaluate,
+                "/v1/suite": manager.submit_suite,
+                "/v1/campaign": manager.submit_campaign,
+            }[path]
+            job = submit(body or {})
+            status = 200 if job.finished else 202
+            writer.write(_json_response(status, {"job": job.describe()}))
+            return
+        if path == "/v1/jobs" and method == "GET":
+            writer.write(
+                _json_response(
+                    200, {"jobs": [job.describe() for job in manager.jobs()]}
+                )
+            )
+            return
+        if path.startswith("/v1/jobs/"):
+            await self._route_job(writer, method, path, query)
+            return
+        if path.startswith("/v1/query/"):
+            self._route_query(writer, method, path, query)
+            return
+        raise _HttpError(404, f"no such endpoint: {method} {path}")
+
+    async def _route_job(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, Any],
+    ) -> None:
+        if method != "GET":
+            raise _HttpError(405, "job endpoints take GET")
+        parts = path[len("/v1/jobs/"):].split("/")
+        job = self._manager.job(parts[0])
+        if job is None:
+            raise _HttpError(404, f"no such job: {parts[0]}")
+        tail = parts[1] if len(parts) > 1 else ""
+        if tail == "":
+            if _single(query, "wait"):
+                timeout = _single(query, "timeout")
+                try:
+                    seconds = float(timeout) if timeout else None
+                except ValueError as error:
+                    raise _HttpError(400, "malformed timeout") from error
+                try:
+                    job = await self._manager.wait(job.id, seconds)
+                except asyncio.TimeoutError:
+                    pass  # report current state; the client re-polls
+            writer.write(_json_response(200, {"job": job.describe()}))
+            return
+        if tail == "result":
+            if not job.finished:
+                raise _HttpError(409, f"job {job.id} is {job.status}")
+            if job.status == "failed":
+                writer.write(
+                    _json_response(
+                        200, {"job": job.describe(), "result": None}
+                    )
+                )
+                return
+            writer.write(
+                _json_response(
+                    200, {"job": job.describe(), "result": job.result}
+                )
+            )
+            return
+        if tail == "events":
+            await self._stream_events(writer, job)
+            return
+        raise _HttpError(404, f"no such job endpoint: {path}")
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        """ndjson event stream: replay history, follow live, then close."""
+        writer.write(_head(200, "application/x-ndjson", None))
+        queue = job.subscribe()
+        try:
+            while True:
+                record = await queue.get()
+                if record is None:
+                    break
+                writer.write((json.dumps(record, sort_keys=True) + "\n").encode())
+                await writer.drain()
+        finally:
+            job.unsubscribe(queue)
+
+    def _route_query(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, Any],
+    ) -> None:
+        if method != "GET":
+            raise _HttpError(405, "query endpoints take GET")
+        warehouse = self._manager.warehouse
+        if warehouse is None:
+            raise _HttpError(404, "service is running without a warehouse")
+        op = path[len("/v1/query/"):]
+        selector = _single(query, "selector")
+        metric = _single(query, "metric") or "ed2_ratio"
+        try:
+            if op == "campaigns":
+                writer.write(
+                    _json_response(200, {"campaigns": warehouse.campaigns()})
+                )
+                return
+            if op == "best":
+                rows = best_points(
+                    warehouse,
+                    selector,
+                    benchmark=_single(query, "benchmark"),
+                    metric=metric,
+                )
+                writer.write(
+                    _json_response(200, {"best": [vars(row) for row in rows]})
+                )
+                return
+            if op == "pareto":
+                points = pareto_frontier(warehouse, selector)
+                writer.write(
+                    _json_response(
+                        200, {"pareto": [vars(point) for point in points]}
+                    )
+                )
+                return
+            if op == "diff":
+                a, b = _single(query, "a"), _single(query, "b")
+                if not a or not b:
+                    raise _HttpError(400, "diff needs ?a=<sel>&b=<sel>")
+                diffs = regression_diff(warehouse, a, b, metric=metric)
+                writer.write(
+                    _json_response(
+                        200,
+                        {
+                            "metric": metric,
+                            "regressed": sum(1 for d in diffs if d.regressed),
+                            "diff": [
+                                dict(
+                                    vars(diff),
+                                    delta=diff.delta,
+                                    regressed=diff.regressed,
+                                )
+                                for diff in diffs
+                            ],
+                        },
+                    )
+                )
+                return
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from error
+        raise _HttpError(404, f"no such query: {op}")
+
+
+# ----------------------------------------------------------------------
+# embedding helper (tests, benches, notebooks)
+# ----------------------------------------------------------------------
+class ThreadedService:
+    """A service running on a dedicated event-loop thread."""
+
+    def __init__(self, server: ServiceServer, thread: threading.Thread, loop):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+        self.host, self.port = server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the server down and join its thread."""
+        asyncio.run_coroutine_threadsafe(
+            self.server.close(), self._loop
+        ).result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ThreadedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    manager_factory,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_timeout: float = 10.0,
+) -> ThreadedService:
+    """Start a service on a fresh event-loop thread and wait for bind.
+
+    ``manager_factory`` is called *on the loop thread* (managers and
+    their asyncio primitives must be born on their loop) and must return
+    a :class:`JobManager`.
+    """
+    started = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ServiceServer(manager_factory(), host=host, port=port)
+        loop.run_until_complete(server.start())
+        box["server"], box["loop"] = server, loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(ready_timeout):
+        raise RuntimeError("service failed to start within timeout")
+    return ThreadedService(box["server"], thread, box["loop"])

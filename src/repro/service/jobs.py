@@ -1,0 +1,569 @@
+"""The async job manager: submission, dedup, events, executor bridging.
+
+A :class:`JobManager` lives on one asyncio event loop and turns incoming
+requests into *service jobs* (evaluate, suite, campaign).  Work dedupes
+at two levels, both content-addressed:
+
+* **service-job level** — a request's job id is the content key of its
+  canonical form (for ``evaluate`` it *is* the campaign subsystem's
+  :meth:`ExperimentJob.key`), so resubmitting an identical request —
+  concurrently or later — attaches to the existing job instead of
+  creating a new one;
+* **experiment level** — every underlying experiment (a bare evaluate,
+  or one point of a suite/campaign expansion) funnels through one
+  in-flight table keyed by :meth:`ExperimentJob.key`, backed by the
+  result store: concurrent *different* requests that share points (a
+  campaign overlapping a pending evaluate, say) still compute each
+  point exactly once.
+
+Heavy work never runs on the loop: experiment payloads execute on a
+:class:`concurrent.futures` executor — by default the same
+``ProcessPoolExecutor`` + ``execute_job_payload`` machinery campaigns
+use, initialized once per worker.  Tests and benches inject a
+counting/inline runner instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional
+
+from repro.campaign.executor import STATUS_OK, execute_job_payload
+from repro.campaign.job import ExperimentJob
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ReproError
+from repro.pipeline.experiment import ExperimentOptions
+from repro.pipeline.serialization import content_key, evaluation_ratios
+from repro.warehouse.db import Warehouse
+from repro.workloads.spec_profiles import SPEC2000_PROFILES
+
+#: Service-job lifecycle states.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+#: Sentinel closing an event subscription stream.
+_STREAM_END = None
+
+
+class ServiceError(ReproError):
+    """A malformed or unserviceable request."""
+
+
+@dataclass
+class ServiceJob:
+    """One submitted unit of service work and its event history."""
+
+    id: str
+    kind: str  # "evaluate" | "suite" | "campaign"
+    request: Dict[str, Any]
+    status: str = JOB_QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: How many submissions this job absorbed (1 = no dedup happened).
+    submissions: int = 1
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    _queues: List[asyncio.Queue] = field(default_factory=list, repr=False)
+    _done: Optional[asyncio.Event] = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status in (JOB_DONE, JOB_FAILED)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe public view (what ``GET /v1/jobs/<id>`` returns)."""
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "request": self.request,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "submissions": self.submissions,
+            "n_events": len(self.events),
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    # ------------------------------------------------------------------
+    def publish(self, event: str, **payload: Any) -> None:
+        """Record an event and fan it out to live subscribers."""
+        record = {"event": event, "job": self.id, "t": time.time(), **payload}
+        self.events.append(record)
+        for queue in list(self._queues):
+            queue.put_nowait(record)
+        if self.finished:
+            for queue in list(self._queues):
+                queue.put_nowait(_STREAM_END)
+            if self._done is not None:
+                self._done.set()
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue replaying past events, then streaming live ones.
+
+        The stream terminates with ``None`` once the job finishes.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        for record in self.events:
+            queue.put_nowait(record)
+        if self.finished:
+            queue.put_nowait(_STREAM_END)
+        else:
+            self._queues.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Detach a subscriber queue (no-op if already detached)."""
+        if queue in self._queues:
+            self._queues.remove(queue)
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+def _options_from_request(request: Dict[str, Any]) -> ExperimentOptions:
+    """Experiment options from a request's shorthand (or full) form."""
+    if "options" in request:  # power users post the canonical dict
+        return ExperimentOptions.from_dict(request["options"])
+    return ExperimentOptions(
+        n_buses=int(request.get("buses", 1)),
+        machine=str(request.get("machine", "paper")),
+        machine_file=request.get("machine_file"),
+        simulate=bool(request.get("simulate", True)),
+    )
+
+
+def _experiment_job(request: Dict[str, Any]) -> ExperimentJob:
+    if "benchmark" not in request:
+        raise ServiceError("evaluate request needs a 'benchmark'")
+    try:
+        return ExperimentJob(
+            benchmark=str(request["benchmark"]),
+            scale=float(request.get("scale", 0.05)),
+            options=_options_from_request(request),
+        )
+    except ReproError:
+        raise
+    except Exception as error:
+        raise ServiceError(f"malformed evaluate request: {error}") from error
+
+
+def _campaign_spec(request: Dict[str, Any]) -> CampaignSpec:
+    try:
+        spec = dict(request.get("spec", request))
+        spec.pop("label", None)
+        benchmarks = spec.get("benchmarks", "all")
+        if benchmarks == "all":
+            benchmarks = list(SPEC2000_PROFILES)
+        return CampaignSpec(
+            benchmarks=tuple(benchmarks),
+            scale=float(spec.get("scale", 0.05)),
+            buses_grid=tuple(spec.get("buses_grid", (1,))),
+            machine_grid=tuple(spec.get("machine_grid", ("paper",))),
+            machine_files=tuple(spec.get("machine_files", ())),
+            per_class_energy_grid=tuple(
+                spec.get("per_class_energy_grid", (True,))
+            ),
+            preplace_grid=tuple(spec.get("preplace_grid", (True,))),
+            ed2_refinement_grid=tuple(spec.get("ed2_refinement_grid", (True,))),
+            sync_penalties_grid=tuple(spec.get("sync_penalties_grid", (True,))),
+            simulate=bool(spec.get("simulate", True)),
+        )
+    except ReproError:
+        raise
+    except Exception as error:
+        raise ServiceError(f"malformed campaign request: {error}") from error
+
+
+def _evaluation_summary(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The headline numbers of one experiment payload."""
+    evaluation = payload.get("evaluation") or {}
+    summary: Dict[str, Any] = {"elapsed_s": payload.get("elapsed_s")}
+    if "heterogeneous_measured" in evaluation:
+        ed2, energy, time_ratio = evaluation_ratios(evaluation)
+        summary.update(
+            ed2_ratio=ed2, energy_ratio=energy, time_ratio=time_ratio
+        )
+    return summary
+
+
+# ----------------------------------------------------------------------
+class JobManager:
+    """Owns the service's jobs, dedup tables and executor bridge.
+
+    ``executor``/``run_payload`` define how experiment payloads execute:
+    the defaults build a lazily started :class:`ProcessPoolExecutor`
+    (``max_workers`` processes, campaign worker initialization) running
+    :func:`~repro.campaign.executor.execute_job_payload`.  Pass a
+    :class:`ThreadPoolExecutor` (``inline_executor``) and/or a counting
+    stub to embed the manager in tests.
+
+    All public methods must be called from the manager's event loop.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        warehouse: Optional[Warehouse] = None,
+        executor: Optional[Executor] = None,
+        run_payload: Callable[..., Dict[str, Any]] = execute_job_payload,
+        max_workers: int = 2,
+    ) -> None:
+        self._store = store
+        self._warehouse = warehouse
+        self._executor = executor
+        self._own_executor = executor is None
+        self._run_payload = run_payload
+        self._max_workers = max_workers
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._order: List[str] = []  # submission order for listings
+        self._inflight: Dict[str, asyncio.Task] = {}
+        #: Strong references to driver tasks (the loop only keeps weak
+        #: ones; an unreferenced running task may be collected mid-run).
+        self._drivers: set = set()
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "deduped": 0,
+            "computed": 0,
+            "store_hits": 0,
+            "inflight_hits": 0,
+            "failed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[ResultStore]:
+        """The backing result store (may be None)."""
+        return self._store
+
+    @property
+    def warehouse(self) -> Optional[Warehouse]:
+        """The warehouse kept in sync (may be None)."""
+        return self._warehouse
+
+    @classmethod
+    def inline_executor(cls, max_workers: int = 4) -> ThreadPoolExecutor:
+        """A thread executor for in-process embedding (tests, benches)."""
+        return ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-inline"
+        )
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            from repro.campaign.executor import _worker_init
+
+            stage_dir = (
+                None if self._store is None else str(self._store.stage_dir)
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_worker_init,
+                initargs=(stage_dir, ()),
+            )
+        return self._executor
+
+    async def close(self) -> None:
+        """Cancel in-flight work and release the executor."""
+        for task in list(self._inflight.values()):
+            task.cancel()
+        if self._inflight:
+            await asyncio.gather(
+                *self._inflight.values(), return_exceptions=True
+            )
+        self._inflight.clear()
+        if self._own_executor and self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[ServiceJob]:
+        """Look up a service job by id."""
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[ServiceJob]:
+        """All service jobs, in submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    async def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> ServiceJob:
+        """Block until a job finishes (or ``timeout`` elapses)."""
+        job = self._jobs[job_id]
+        if job.finished:
+            return job
+        if job._done is None:
+            job._done = asyncio.Event()
+        await asyncio.wait_for(job._done.wait(), timeout)
+        return job
+
+    def _admit(
+        self,
+        job_id: str,
+        kind: str,
+        request: Dict[str, Any],
+        runner: Callable[[ServiceJob], Awaitable[Dict[str, Any]]],
+    ) -> ServiceJob:
+        """Register (or dedup onto) a service job and start it."""
+        self.stats["submitted"] += 1
+        existing = self._jobs.get(job_id)
+        if existing is not None and existing.status != JOB_FAILED:
+            # In-flight or completed: attach, don't recompute.  Failed
+            # jobs fall through and retry — errors are not cached.
+            existing.submissions += 1
+            self.stats["deduped"] += 1
+            return existing
+        job = ServiceJob(id=job_id, kind=kind, request=request)
+        if existing is None:
+            self._order.append(job_id)
+        self._jobs[job_id] = job
+        job.publish("submitted", kind=kind)
+        task = asyncio.get_running_loop().create_task(self._drive(job, runner))
+        self._drivers.add(task)
+        task.add_done_callback(self._drivers.discard)
+        return job
+
+    async def _drive(
+        self,
+        job: ServiceJob,
+        runner: Callable[[ServiceJob], Awaitable[Dict[str, Any]]],
+    ) -> None:
+        job.status = JOB_RUNNING
+        job.started_at = time.time()
+        job.publish("started")
+        try:
+            job.result = await runner(job)
+            job.status = JOB_DONE
+            job.finished_at = time.time()
+            job.publish("completed", summary=job.result.get("summary"))
+        except asyncio.CancelledError:
+            job.status = JOB_FAILED
+            job.error = "cancelled: service shutting down"
+            job.finished_at = time.time()
+            self.stats["failed"] += 1
+            job.publish("failed", error=job.error)
+            raise
+        except Exception:
+            job.status = JOB_FAILED
+            job.error = traceback.format_exc()
+            job.finished_at = time.time()
+            self.stats["failed"] += 1
+            job.publish("failed", error=job.error)
+
+    def submit_evaluate(self, request: Dict[str, Any]) -> ServiceJob:
+        """Submit one experiment; job id == the experiment's cache key."""
+        experiment = _experiment_job(dict(request))
+        job_id = experiment.key()
+
+        async def run(job: ServiceJob) -> Dict[str, Any]:
+            payload = await self._run_experiment(experiment, source_job=job)
+            if payload.get("status") != STATUS_OK:
+                raise ServiceError(
+                    f"experiment failed:\n{payload.get('error')}"
+                )
+            return {
+                "kind": "evaluate",
+                "key": job_id,
+                "summary": _evaluation_summary(payload),
+                "evaluation": payload.get("evaluation"),
+            }
+
+        return self._admit(job_id, "evaluate", dict(request), run)
+
+    def submit_suite(self, request: Dict[str, Any]) -> ServiceJob:
+        """Submit all benchmarks at one configuration."""
+        request = dict(request)
+        options = _options_from_request(request)
+        scale = float(request.get("scale", 0.05))
+        experiments = [
+            ExperimentJob(benchmark=name, scale=scale, options=options)
+            for name in SPEC2000_PROFILES
+        ]
+        job_id = content_key(
+            {"kind": "suite", "points": [e.key() for e in experiments]}
+        )
+        return self._admit(
+            job_id,
+            "suite",
+            request,
+            lambda job: self._run_points(job, "suite", experiments),
+        )
+
+    def submit_campaign(self, request: Dict[str, Any]) -> ServiceJob:
+        """Submit a campaign grid; points dedupe against everything.
+
+        The warehouse label is part of the job identity: resubmitting
+        the same grid under a *new* label is a fresh (cheap — every
+        point answers from the store or in-flight table) job that
+        records the new campaign, rather than deduping onto the old one
+        and silently dropping the label.
+        """
+        request = dict(request)
+        spec = _campaign_spec(request)
+        experiments = spec.expand()
+        job_id = content_key(
+            {
+                "kind": "campaign",
+                "points": [e.key() for e in experiments],
+                "label": request.get("label"),
+            }
+        )
+        label = request.get("label") or f"service:{job_id}"
+        return self._admit(
+            job_id,
+            "campaign",
+            request,
+            lambda job: self._run_points(
+                job, "campaign", experiments, campaign=label
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # experiment-level execution and dedup
+    # ------------------------------------------------------------------
+    async def _run_experiment(
+        self,
+        experiment: ExperimentJob,
+        source_job: Optional[ServiceJob] = None,
+        campaign: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One experiment payload, computed at most once per key.
+
+        Resolution order: result store (completed history), in-flight
+        table (running right now, await the same task), fresh compute.
+        """
+        key = experiment.key()
+        if self._store is not None:
+            payload = self._store.get(key)
+            if payload is not None and payload.get("status") == STATUS_OK:
+                self.stats["store_hits"] += 1
+                self._record(key, payload, campaign)
+                return payload
+        task = self._inflight.get(key)
+        if task is not None:
+            self.stats["inflight_hits"] += 1
+            payload = await asyncio.shield(task)
+            self._record(key, payload, campaign)
+            return payload
+        task = asyncio.get_running_loop().create_task(
+            self._compute(experiment, key)
+        )
+        self._inflight[key] = task
+        try:
+            payload = await asyncio.shield(task)
+        finally:
+            self._inflight.pop(key, None)
+        self._record(key, payload, campaign)
+        return payload
+
+    async def _compute(
+        self, experiment: ExperimentJob, key: str
+    ) -> Dict[str, Any]:
+        self.stats["computed"] += 1
+        stage_dir = None if self._store is None else str(self._store.stage_dir)
+        payload = await asyncio.get_running_loop().run_in_executor(
+            self._ensure_executor(),
+            self._run_payload,
+            experiment.to_dict(),
+            stage_dir,
+        )
+        if self._store is not None and payload.get("status") == STATUS_OK:
+            self._store.save(key, dict(payload, key=key))
+        return payload
+
+    def _record(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        campaign: Optional[str],
+    ) -> None:
+        """Keep the warehouse in sync with a completed experiment."""
+        if self._warehouse is None or payload.get("status") != STATUS_OK:
+            return
+        mtime = None
+        if self._store is not None:
+            try:
+                mtime = self._store.path(key).stat().st_mtime
+            except OSError:
+                mtime = None
+        self._warehouse.record_payload(
+            dict(payload, key=key), campaign=campaign, source_mtime=mtime
+        )
+
+    async def _run_points(
+        self,
+        job: ServiceJob,
+        kind: str,
+        experiments: List[ExperimentJob],
+        campaign: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Fan a suite/campaign over its points, with progress events."""
+
+        async def one_point(experiment: ExperimentJob):
+            payload = await self._run_experiment(experiment, campaign=campaign)
+            return experiment, payload
+
+        points: List[Dict[str, Any]] = []
+        done = 0
+        failures = 0
+        tasks = [
+            asyncio.ensure_future(one_point(experiment))
+            for experiment in experiments
+        ]
+        try:
+            for future in asyncio.as_completed(tasks):
+                experiment, payload = await future
+                done += 1
+                ok = payload.get("status") == STATUS_OK
+                failures += 0 if ok else 1
+                point = {
+                    "key": experiment.key(),
+                    "benchmark": experiment.benchmark,
+                    "config": experiment.config_label(),
+                    "status": payload.get("status"),
+                    **(_evaluation_summary(payload) if ok else {}),
+                }
+                if not ok:
+                    point["error"] = payload.get("error")
+                points.append(point)
+                job.publish(
+                    "progress",
+                    completed=done,
+                    total=len(experiments),
+                    point=point,
+                )
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            raise
+        points.sort(key=lambda point: (point["benchmark"], point["key"]))
+        ok_points = [p for p in points if p["status"] == STATUS_OK]
+        summary: Dict[str, Any] = {
+            "points": len(points),
+            "failed": failures,
+        }
+        for metric in ("ed2_ratio", "energy_ratio", "time_ratio"):
+            values = [p[metric] for p in ok_points if metric in p]
+            if values:
+                summary[f"mean_{metric}"] = sum(values) / len(values)
+        result: Dict[str, Any] = {
+            "kind": kind,
+            "summary": summary,
+            "points": points,
+        }
+        if campaign is not None:
+            result["campaign"] = campaign
+        return result

@@ -1,0 +1,47 @@
+"""Queryable SQLite warehouse over campaign results.
+
+The JSON-per-job :class:`~repro.campaign.store.ResultStore` is the
+system of record — append-only, content-addressed, trivially mergeable —
+but answering any cross-campaign question against it means re-reading
+every file.  This package layers a SQLite *index* over one or many
+stores: :class:`Warehouse` ingests existing cache directories (and stays
+incrementally in sync as the evaluation service or a CLI campaign
+completes jobs), and :mod:`repro.warehouse.queries` answers the
+questions the paper's evaluation keeps asking — best points, the Pareto
+frontier over *all* recorded history, regression diffs between two
+campaigns or two machines — from the index alone, without touching the
+per-job JSON again.
+
+Front-ends: ``python -m repro query`` and the service's ``/v1/query/*``
+endpoints.
+"""
+
+from repro.warehouse.db import (
+    DEFAULT_WAREHOUSE_NAME,
+    IngestReport,
+    JobRow,
+    Warehouse,
+    WarehouseError,
+)
+from repro.warehouse.queries import (
+    DiffRow,
+    ParetoPoint,
+    best_points,
+    config_means,
+    pareto_frontier,
+    regression_diff,
+)
+
+__all__ = [
+    "DEFAULT_WAREHOUSE_NAME",
+    "IngestReport",
+    "JobRow",
+    "Warehouse",
+    "WarehouseError",
+    "DiffRow",
+    "ParetoPoint",
+    "best_points",
+    "config_means",
+    "pareto_frontier",
+    "regression_diff",
+]

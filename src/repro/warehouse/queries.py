@@ -1,0 +1,182 @@
+"""Cross-campaign queries over the warehouse index.
+
+Every function here consumes :class:`~repro.warehouse.db.Warehouse`
+rows only — no result-store JSON is opened — so queries over years of
+accumulated campaigns cost what a SQLite scan costs.  Selectors name
+the population: ``None`` (all history), a campaign label, or
+``machine:NAME``.
+
+The aggregate semantics intentionally mirror
+:mod:`repro.campaign.aggregate` (config means, best points, Pareto
+dominance), so a query over a freshly ingested store matches what the
+live campaign reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.warehouse.db import JobRow, Warehouse
+
+#: Job metrics a query may rank or diff on.
+METRICS = ("ed2_ratio", "energy_ratio", "time_ratio")
+
+
+def _check_metric(metric: str) -> None:
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; pick one of {METRICS}")
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated configuration (means over its benchmarks)."""
+
+    config: str
+    a: float
+    b: float
+    n_benchmarks: int
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One matched (benchmark, config) pair of a regression diff."""
+
+    benchmark: str
+    config: str
+    a_value: float
+    b_value: float
+
+    @property
+    def delta(self) -> float:
+        """``b - a``: positive means B is worse (ratios are minimized)."""
+        return self.b_value - self.a_value
+
+    @property
+    def regressed(self) -> bool:
+        """True when B is strictly worse than A on the diffed metric."""
+        return self.delta > 0
+
+
+# ----------------------------------------------------------------------
+def config_means(
+    warehouse: Warehouse, selector: Optional[str] = None
+) -> Dict[str, Dict[str, float]]:
+    """Suite means per configuration label (cf. ``campaign.aggregate``)."""
+    means: Dict[str, Dict[str, float]] = {}
+    groups: Dict[str, List[JobRow]] = {}
+    for row in warehouse.job_rows(selector):
+        groups.setdefault(row.config, []).append(row)
+    for config, rows in sorted(groups.items()):
+        count = len(rows)
+        means[config] = {
+            "n_benchmarks": count,
+            "mean_ed2_ratio": sum(r.ed2_ratio for r in rows) / count,
+            "mean_energy_ratio": sum(r.energy_ratio for r in rows) / count,
+            "mean_time_ratio": sum(r.time_ratio for r in rows) / count,
+        }
+    return means
+
+
+def best_points(
+    warehouse: Warehouse,
+    selector: Optional[str] = None,
+    benchmark: Optional[str] = None,
+    metric: str = "ed2_ratio",
+) -> List[JobRow]:
+    """Per benchmark, the job minimising ``metric`` over the selection."""
+    _check_metric(metric)
+    best: Dict[str, JobRow] = {}
+    for row in warehouse.job_rows(selector, benchmark=benchmark):
+        value = getattr(row, metric)
+        incumbent = best.get(row.benchmark)
+        if incumbent is None or value < getattr(incumbent, metric):
+            best[row.benchmark] = row
+    return [best[name] for name in sorted(best)]
+
+
+def pareto_frontier(
+    warehouse: Warehouse,
+    selector: Optional[str] = None,
+    objectives: Tuple[str, str] = ("energy_ratio", "time_ratio"),
+) -> List[ParetoPoint]:
+    """Non-dominated configurations over the selection's config means.
+
+    Both objectives are minimised; dominance matches
+    :func:`repro.campaign.aggregate.pareto_frontier`.  With the default
+    ``selector=None`` this is the frontier over *all* recorded history —
+    every campaign ever ingested competes.
+    """
+    for objective in objectives:
+        _check_metric(objective)
+    key_a, key_b = (f"mean_{objective}" for objective in objectives)
+    means = config_means(warehouse, selector)
+    points = [
+        (config, stats[key_a], stats[key_b], int(stats["n_benchmarks"]))
+        for config, stats in means.items()
+    ]
+    frontier = [
+        ParetoPoint(config=config, a=a, b=b, n_benchmarks=count)
+        for config, a, b, count in points
+        if not any(
+            (oa <= a and ob <= b) and (oa < a or ob < b)
+            for _, oa, ob, _ in points
+        )
+    ]
+    return sorted(frontier, key=lambda point: (point.a, point.b))
+
+
+def regression_diff(
+    warehouse: Warehouse,
+    selector_a: str,
+    selector_b: str,
+    metric: str = "ed2_ratio",
+) -> List[DiffRow]:
+    """Job-level diff of two selections, matched pairwise.
+
+    Campaign-vs-campaign comparisons match on the full ``(benchmark,
+    scale, config)`` identity; as soon as either side selects a machine
+    (``machine:NAME``) or the two sides disagree on machines, matching
+    falls back to the machine-stripped config — the question becomes
+    "same experiment, different machine".  Rows appear once per matched
+    pair; unmatched jobs are dropped (they have nothing to regress
+    against).
+    """
+    _check_metric(metric)
+    rows_a = warehouse.job_rows(selector_a)
+    rows_b = warehouse.job_rows(selector_b)
+    machines = {row.machine for row in rows_a} | {row.machine for row in rows_b}
+    by_machine = (
+        selector_a.startswith("machine:")
+        or selector_b.startswith("machine:")
+        or len(machines) > 1
+    )
+
+    def join_key(row: JobRow) -> Tuple:
+        config = row.config_rest if by_machine else row.config
+        return (row.benchmark, row.scale, config)
+
+    def index(rows: Sequence[JobRow]) -> Dict[Tuple, JobRow]:
+        indexed: Dict[Tuple, JobRow] = {}
+        for row in rows:
+            # Several jobs can share a machine-stripped key (e.g. two
+            # campaigns on the same machine): keep the best, the value
+            # a user comparing machines actually cares about.
+            incumbent = indexed.get(join_key(row))
+            if incumbent is None or getattr(row, metric) < getattr(
+                incumbent, metric
+            ):
+                indexed[join_key(row)] = row
+        return indexed
+
+    indexed_a, indexed_b = index(rows_a), index(rows_b)
+    diffs = [
+        DiffRow(
+            benchmark=key[0],
+            config=indexed_a[key].config_rest if by_machine else key[2],
+            a_value=getattr(indexed_a[key], metric),
+            b_value=getattr(indexed_b[key], metric),
+        )
+        for key in sorted(indexed_a.keys() & indexed_b.keys())
+    ]
+    return diffs

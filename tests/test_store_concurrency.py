@@ -1,0 +1,151 @@
+"""Concurrent-writer guarantees of the campaign ResultStore.
+
+The store's docstring promises atomic writes (temp file + rename): two
+processes sharing a cache directory must never observe a truncated or
+interleaved entry, and directory listings must never name in-flight
+temp files.  These tests exercise that claim with real processes — the
+scenario is a multi-worker campaign and the evaluation service sharing
+one cache dir.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.campaign import ResultStore
+
+#: Writes per worker process; large payloads make torn writes likely if
+#: the store ever wrote in place.
+N_WRITES = 150
+PAYLOAD_PAD = "x" * 4096
+
+
+def _hammer_shared_key(root: str, worker: int) -> None:
+    """Overwrite one shared key repeatedly with self-consistent bodies."""
+    store = ResultStore(root)
+    for sequence in range(N_WRITES):
+        store.save(
+            "shared", {"worker": worker, "seq": sequence, "pad": PAYLOAD_PAD}
+        )
+
+
+def _hammer_own_keys(root: str, worker: int) -> None:
+    """Write distinct keys, so listings race against creations."""
+    store = ResultStore(root)
+    for sequence in range(N_WRITES):
+        store.save(f"w{worker}k{sequence:03d}", {"worker": worker, "seq": sequence})
+
+
+def _run_workers(target, root, n_workers=2):
+    workers = [
+        multiprocessing.Process(target=target, args=(str(root), worker))
+        for worker in range(n_workers)
+    ]
+    for process in workers:
+        process.start()
+    return workers
+
+
+class TestConcurrentWriters:
+    def test_shared_key_never_reads_torn(self, tmp_path):
+        # Two writer processes + this reader on one key: every load must
+        # parse and be one writer's complete body (worker/seq/pad agree).
+        root = tmp_path / "cache"
+        ResultStore(root).save("shared", {"worker": -1, "seq": -1, "pad": PAYLOAD_PAD})
+        workers = _run_workers(_hammer_shared_key, root)
+        store = ResultStore(root)
+        observed = 0
+        try:
+            while any(process.is_alive() for process in workers):
+                payload = store.load("shared")  # raises StoreError if torn
+                assert set(payload) == {"worker", "seq", "pad"}
+                assert payload["pad"] == PAYLOAD_PAD
+                observed += 1
+        finally:
+            for process in workers:
+                process.join(60)
+        assert observed > 0  # the reader actually raced the writers
+        for process in workers:
+            assert process.exitcode == 0
+        final = store.load("shared")
+        assert final["seq"] == N_WRITES - 1
+
+    def test_listings_never_name_temp_files(self, tmp_path):
+        # keys()/len() race concurrent creations: they may miss entries
+        # still being written, but must never yield a temp name or a key
+        # whose entry cannot be loaded.
+        root = tmp_path / "cache"
+        store = ResultStore(root)
+        workers = _run_workers(_hammer_own_keys, root)
+        try:
+            while any(process.is_alive() for process in workers):
+                # (keys() and len() are separate scans, so their counts
+                # may legitimately differ by in-between creations — only
+                # the *contents* of one listing are checkable mid-churn.)
+                for key in store.keys():
+                    assert ".tmp" not in key
+                    assert not key.startswith(".")
+                    assert store.get(key) is not None
+        finally:
+            for process in workers:
+                process.join(60)
+        for process in workers:
+            assert process.exitcode == 0
+        assert len(store) == 2 * N_WRITES
+        assert len(list(store.keys())) == len(store)  # quiescent: scans agree
+
+    def test_stat_entries_matches_keys_under_churn(self, tmp_path):
+        root = tmp_path / "cache"
+        store = ResultStore(root)
+        workers = _run_workers(_hammer_own_keys, root, n_workers=1)
+        try:
+            while any(process.is_alive() for process in workers):
+                stats = list(store.stat_entries())
+                assert all(mtime > 0 for _key, mtime in stats)
+        finally:
+            for process in workers:
+                process.join(60)
+        assert [key for key, _ in store.stat_entries()] == list(store.keys())
+
+    def test_killed_writer_leaves_no_poisoned_entry(self, tmp_path):
+        # Simulate the failure the atomic rename exists for: a writer
+        # dying mid-write leaves at most a temp file, never a partial
+        # entry under the real name.
+        root = tmp_path / "cache"
+        store = ResultStore(root)
+        process = multiprocessing.Process(
+            target=_hammer_shared_key, args=(str(root), 0)
+        )
+        process.start()
+        process.kill()
+        process.join(60)
+        # Whatever survived must be absent or fully parseable.
+        if "shared" in store:
+            payload = store.load("shared")
+            assert payload["pad"] == PAYLOAD_PAD
+        assert all(not key.startswith(".") for key in store.keys())
+
+    def test_interleaved_writers_in_one_process_are_atomic(self, tmp_path):
+        # Thread-level sanity complementing the process tests: the same
+        # guarantees hold for the service's thread executor.
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = ResultStore(tmp_path / "cache")
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(
+                pool.map(
+                    lambda worker: _hammer_shared_key(
+                        str(store.root), worker
+                    ),
+                    range(4),
+                )
+            )
+        payload = store.load("shared")
+        assert json.dumps(payload)  # parseable, complete
+        assert payload["seq"] == N_WRITES - 1
+        # No temp litter: every file in the directory is a real entry.
+        assert [
+            name
+            for name in os.listdir(store.root)
+            if name.endswith(".tmp")
+        ] == []

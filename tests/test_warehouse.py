@@ -1,0 +1,421 @@
+"""Tests for the SQLite results warehouse (repro.warehouse)."""
+
+import json
+
+import pytest
+
+from repro.campaign import ExperimentJob, ResultStore
+from repro.pipeline import ExperimentOptions
+from repro.warehouse import (
+    Warehouse,
+    WarehouseError,
+    best_points,
+    config_means,
+    pareto_frontier,
+    regression_diff,
+)
+
+
+def make_payload(
+    benchmark="171.swim",
+    scale=0.01,
+    options=None,
+    energy_ratio=0.8,
+    time_ratio=1.1,
+    elapsed_s=0.5,
+    stage_cache=None,
+):
+    """A store payload with exactly the given headline ratios."""
+    job = ExperimentJob(
+        benchmark=benchmark,
+        scale=scale,
+        options=options or ExperimentOptions(simulate=False),
+    )
+    energy = {
+        "cluster_dynamic": 0.0,
+        "icn_dynamic": 0.0,
+        "cache_dynamic": 0.0,
+        "cluster_static": 0.0,
+        "icn_static": 0.0,
+        "cache_static": 0.0,
+    }
+    payload = {
+        "schema": 1,
+        "job": job.to_dict(),
+        "key": job.key(),
+        "status": "ok",
+        "elapsed_s": elapsed_s,
+        "evaluation": {
+            "heterogeneous_measured": {
+                "energy": dict(energy, cluster_dynamic=energy_ratio),
+                "exec_time_ns": time_ratio,
+            },
+            "baseline_measured": {
+                "energy": dict(energy, cluster_dynamic=1.0),
+                "exec_time_ns": 1.0,
+            },
+        },
+        "error": None,
+    }
+    if stage_cache is not None:
+        payload["stage_cache"] = stage_cache
+    return job, payload
+
+
+def fill_store(root, specs):
+    """Write one payload per (benchmark, kwargs) spec; returns the store."""
+    store = ResultStore(root)
+    for benchmark, kwargs in specs:
+        job, payload = make_payload(benchmark=benchmark, **kwargs)
+        store.save(job.key(), payload)
+    return store
+
+
+class TestRecordPayload:
+    def test_records_ratios_and_identity(self):
+        job, payload = make_payload(energy_ratio=0.5, time_ratio=2.0)
+        with Warehouse() as warehouse:
+            key = warehouse.record_payload(payload)
+            assert key == job.key()
+            (row,) = warehouse.job_rows()
+            assert row.benchmark == "171.swim"
+            assert row.machine == "paper"
+            assert row.machine_fingerprint == "name:paper"
+            assert row.workload_fingerprint == "builtin:171.swim"
+            assert row.energy_ratio == pytest.approx(0.5)
+            assert row.time_ratio == pytest.approx(2.0)
+            assert row.ed2_ratio == pytest.approx(0.5 * 2.0**2)
+
+    def test_matches_benchmark_evaluation_properties(self):
+        # The SQL-side ratio math must agree with the real object graph.
+        from repro.pipeline import evaluate_corpus
+        from repro.workloads import build_corpus, spec_profile
+
+        corpus = build_corpus(spec_profile("171.swim"), scale=0.01)
+        evaluation = evaluate_corpus(
+            corpus, ExperimentOptions(simulate=False)
+        )
+        job = ExperimentJob(
+            benchmark="171.swim",
+            scale=0.01,
+            options=ExperimentOptions(simulate=False),
+        )
+        payload = {
+            "job": job.to_dict(),
+            "key": job.key(),
+            "status": "ok",
+            "elapsed_s": 0.0,
+            "evaluation": evaluation.to_dict(),
+        }
+        with Warehouse() as warehouse:
+            warehouse.record_payload(payload)
+            (row,) = warehouse.job_rows()
+            assert row.ed2_ratio == pytest.approx(evaluation.ed2_ratio)
+            assert row.energy_ratio == pytest.approx(evaluation.energy_ratio)
+            assert row.time_ratio == pytest.approx(evaluation.time_ratio)
+
+    def test_rejects_incomplete_payloads(self):
+        with Warehouse() as warehouse:
+            assert warehouse.record_payload({}) is None
+            assert warehouse.record_payload({"job": {"nope": 1}}) is None
+            assert warehouse.job_count() == 0
+
+    def test_upsert_is_idempotent(self):
+        _job, payload = make_payload()
+        with Warehouse() as warehouse:
+            first = warehouse.record_payload(payload)
+            second = warehouse.record_payload(payload)
+            assert first == second
+            assert warehouse.job_count() == 1
+
+    def test_stage_stats_recorded(self):
+        job, payload = make_payload(stage_cache={"hits": 3, "misses": 1})
+        with Warehouse() as warehouse:
+            warehouse.record_payload(payload)
+            assert warehouse.stage_stats(job.key()) == {"hits": 3, "misses": 1}
+
+
+class TestIngest:
+    def test_ingests_store_and_links_campaign(self, tmp_path):
+        store = fill_store(
+            tmp_path / "cache",
+            [("171.swim", {}), ("172.mgrid", {"energy_ratio": 0.7})],
+        )
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            report = warehouse.ingest_store(store, campaign="run-a")
+            assert report.added == 2
+            assert report.unchanged == 0
+            assert warehouse.job_count() == 2
+            (campaign,) = warehouse.campaigns()
+            assert campaign["label"] == "run-a"
+            assert campaign["n_jobs"] == 2
+
+    def test_reingest_is_incremental(self, tmp_path):
+        store = fill_store(tmp_path / "cache", [("171.swim", {})])
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest_store(store)
+            report = warehouse.ingest_store(store)
+            assert report.added == 0
+            assert report.unchanged == 1
+
+    def test_reingest_under_second_label_links_existing_jobs(self, tmp_path):
+        store = fill_store(tmp_path / "cache", [("171.swim", {})])
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest_store(store, campaign="a")
+            warehouse.ingest_store(store, campaign="b")
+            assert warehouse.job_count() == 1
+            assert [c["n_jobs"] for c in warehouse.campaigns()] == [1, 1]
+
+    def test_corrupt_entries_are_skipped(self, tmp_path):
+        store = fill_store(tmp_path / "cache", [("171.swim", {})])
+        (store.root / "deadbeef00000000.json").write_text("{not json")
+        with Warehouse() as warehouse:
+            report = warehouse.ingest_store(store)
+            assert report.added == 1
+            assert report.skipped == 1
+
+    def test_queries_survive_json_deletion(self, tmp_path):
+        # The acceptance bar: the index answers without the JSON bodies.
+        store = fill_store(
+            tmp_path / "cache", [("171.swim", {}), ("172.mgrid", {})]
+        )
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest_store(store, campaign="only")
+            for key in list(store.keys()):
+                store.delete(key)
+            assert len(store) == 0
+            assert len(best_points(warehouse)) == 2
+            assert len(pareto_frontier(warehouse)) >= 1
+
+
+class TestQueries:
+    def test_best_points_minimise_metric(self, tmp_path):
+        with Warehouse() as warehouse:
+            for benchmark, energy in (("171.swim", 0.8), ("171.swim", 0.6)):
+                _job, payload = make_payload(
+                    benchmark=benchmark,
+                    energy_ratio=energy,
+                    scale=0.01 if energy == 0.8 else 0.02,
+                )
+                warehouse.record_payload(payload)
+            (best,) = best_points(warehouse, metric="energy_ratio")
+            assert best.energy_ratio == pytest.approx(0.6)
+
+    def test_unknown_campaign_raises(self):
+        with Warehouse() as warehouse:
+            with pytest.raises(WarehouseError):
+                warehouse.job_rows("no-such-campaign")
+
+    def test_unknown_metric_raises(self):
+        with Warehouse() as warehouse:
+            with pytest.raises(ValueError):
+                best_points(warehouse, metric="speed")
+
+    def test_pareto_across_all_history(self, tmp_path):
+        with Warehouse() as warehouse:
+            # Two configs: buses=1 dominates buses=2 on both axes.
+            for buses, energy, time in ((1, 0.8, 1.0), (2, 0.9, 1.1)):
+                _job, payload = make_payload(
+                    options=ExperimentOptions(n_buses=buses, simulate=False),
+                    energy_ratio=energy,
+                    time_ratio=time,
+                )
+                warehouse.record_payload(payload)
+            frontier = pareto_frontier(warehouse)
+            assert [point.config for point in frontier] == [
+                "buses=1,analytic"
+            ]
+
+    def test_config_means_average_over_benchmarks(self, tmp_path):
+        with Warehouse() as warehouse:
+            for benchmark, energy in (("171.swim", 0.8), ("172.mgrid", 0.6)):
+                _job, payload = make_payload(
+                    benchmark=benchmark, energy_ratio=energy
+                )
+                warehouse.record_payload(payload)
+            means = config_means(warehouse)
+            (stats,) = means.values()
+            assert stats["n_benchmarks"] == 2
+            assert stats["mean_energy_ratio"] == pytest.approx(0.7)
+
+    def test_campaign_regression_diff(self, tmp_path):
+        # Same jobs in both campaigns -> content-addressed keys collide,
+        # so the warehouse keeps one row per key; the *campaign links*
+        # still distinguish populations.  Regression detection needs the
+        # jobs to differ, which identical specs cannot (same key = same
+        # result).  Use two scales to model "the code changed".
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        old = fill_store(
+            tmp_path / "old",
+            [
+                ("171.swim", {"scale": 0.01, "energy_ratio": 0.8}),
+                ("172.mgrid", {"scale": 0.01, "energy_ratio": 0.9}),
+            ],
+        )
+        new = fill_store(
+            tmp_path / "new",
+            [
+                ("171.swim", {"scale": 0.02, "energy_ratio": 0.9}),
+                ("172.mgrid", {"scale": 0.02, "energy_ratio": 0.7}),
+            ],
+        )
+        warehouse.ingest_store(old, campaign="old")
+        warehouse.ingest_store(new, campaign="new")
+        # Scales differ, so campaign-vs-campaign join keys (benchmark,
+        # scale, config) never match: diff on the machine axis is empty
+        # and this documents that scale changes don't silently compare.
+        assert regression_diff(warehouse, "old", "new") == []
+        warehouse.close()
+
+    def test_campaign_diff_detects_regressions(self, tmp_path):
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        # Same spec, different machine *names*: join falls back to the
+        # machine-stripped config, pairing the campaigns point-by-point.
+        old = fill_store(
+            tmp_path / "old",
+            [
+                ("171.swim", {"energy_ratio": 0.8}),
+                (
+                    "172.mgrid",
+                    {
+                        "energy_ratio": 0.9,
+                        "options": ExperimentOptions(simulate=False),
+                    },
+                ),
+            ],
+        )
+        new = fill_store(
+            tmp_path / "new",
+            [
+                (
+                    "171.swim",
+                    {
+                        "energy_ratio": 0.9,
+                        "options": ExperimentOptions(
+                            simulate=False, machine="alt"
+                        ),
+                    },
+                ),
+                (
+                    "172.mgrid",
+                    {
+                        "energy_ratio": 0.7,
+                        "options": ExperimentOptions(
+                            simulate=False, machine="alt"
+                        ),
+                    },
+                ),
+            ],
+        )
+        warehouse.ingest_store(old, campaign="old")
+        warehouse.ingest_store(new, campaign="new")
+        diffs = regression_diff(
+            warehouse, "old", "new", metric="energy_ratio"
+        )
+        assert len(diffs) == 2
+        by_benchmark = {diff.benchmark: diff for diff in diffs}
+        assert by_benchmark["171.swim"].regressed
+        assert not by_benchmark["172.mgrid"].regressed
+        machine_diffs = regression_diff(
+            warehouse, "machine:paper", "machine:alt", metric="energy_ratio"
+        )
+        assert len(machine_diffs) == 2
+        warehouse.close()
+
+
+class TestReporting:
+    def test_tables_render(self, tmp_path):
+        from repro.reporting import (
+            warehouse_best_table,
+            warehouse_diff_table,
+            warehouse_jobs_table,
+            warehouse_pareto_table,
+            warehouse_summary_table,
+        )
+
+        store = fill_store(
+            tmp_path / "cache", [("171.swim", {}), ("172.mgrid", {})]
+        )
+        with Warehouse() as warehouse:
+            warehouse.ingest_store(store, campaign="a")
+            summary = warehouse_summary_table(warehouse)
+            assert "2 job(s)" in summary and "a" in summary
+            assert "171.swim" in warehouse_jobs_table(warehouse.job_rows())
+            assert "171.swim" in warehouse_best_table(warehouse)
+            assert "Pareto" in warehouse_pareto_table(warehouse)
+            diffs = regression_diff(warehouse, "a", "a")
+            table = warehouse_diff_table(diffs, "a", "a")
+            assert "0/2 regressed" in table
+
+
+class TestCLI:
+    def test_query_ingest_then_best_json(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        fill_store(tmp_path / "cache", [("171.swim", {}), ("172.mgrid", {})])
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                ["query", "ingest", "cache", "--label", "a", "--cache-dir", "cache"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", "best", "--cache-dir", "cache", "--output", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {row["benchmark"] for row in data["best"]} == {
+            "171.swim",
+            "172.mgrid",
+        }
+
+    def test_query_diff_exit_code_flags_regressions(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        fill_store(
+            tmp_path / "old", [("171.swim", {"energy_ratio": 0.8})]
+        )
+        fill_store(
+            tmp_path / "new",
+            [
+                (
+                    "171.swim",
+                    {
+                        "energy_ratio": 0.9,
+                        "options": ExperimentOptions(
+                            simulate=False, machine="alt"
+                        ),
+                    },
+                )
+            ],
+        )
+        assert main(["query", "ingest", "old", "--label", "old"]) == 0
+        assert main(["query", "ingest", "new", "--label", "new"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["query", "diff", "old", "new", "--metric", "energy_ratio"]
+        )
+        assert code == 1  # regression detected -> gate-style exit code
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_query_unknown_campaign_fails_cleanly(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["query", "best", "nope"]) == 2
+
+    def test_query_best_benchmark_filters_table_output(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        fill_store(tmp_path / "cache", [("171.swim", {}), ("172.mgrid", {})])
+        assert main(["query", "ingest", "cache"]) == 0
+        capsys.readouterr()
+        assert main(["query", "best", "--benchmark", "171.swim"]) == 0
+        output = capsys.readouterr().out
+        assert "171.swim" in output
+        assert "172.mgrid" not in output

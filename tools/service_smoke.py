@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""CI smoke test of the evaluation service, end to end over real pipes.
+
+Starts ``python -m repro serve`` as a subprocess, submits a scale-0.05
+evaluate over HTTP, polls it to completion, checks the dedup counters,
+shuts the server down, and finally asks ``python -m repro query`` for
+the warehouse's view of the freshly computed job — exercising exactly
+the path an operator would: server process, HTTP client, SQLite index.
+
+Exits non-zero (with the server log on stderr) on any failure.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{ROOT / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
+    port = free_port()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                str(port),
+                "--cache-dir",
+                cache_dir,
+                "--runner",
+                "inline",
+                "--jobs",
+                "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            sys.path.insert(0, str(ROOT / "src"))
+            from repro.service import ServiceClient
+
+            client = ServiceClient(port=port, timeout=30)
+            for _attempt in range(50):
+                if server.poll() is not None:
+                    raise RuntimeError("server exited before accepting")
+                try:
+                    client.health()
+                    break
+                except OSError:
+                    time.sleep(0.2)
+            else:
+                raise RuntimeError("server never became healthy")
+
+            job = client.submit_evaluate(
+                benchmark="171.swim", scale=0.05, simulate=False
+            )
+            print(f"submitted job {job['id']} ({job['status']})")
+            finished = client.wait(job["id"], timeout=600)
+            if finished["status"] != "done":
+                raise RuntimeError(f"job failed: {finished.get('error')}")
+            summary = client.result(job["id"])["result"]["summary"]
+            print(f"completed: {json.dumps(summary, sort_keys=True)}")
+
+            duplicate = client.submit_evaluate(
+                benchmark="171.swim", scale=0.05, simulate=False
+            )
+            if duplicate["id"] != job["id"]:
+                raise RuntimeError("identical request mapped to a new job")
+            stats = client.stats()["jobs"]
+            if stats["computed"] != 1 or stats["deduped"] < 1:
+                raise RuntimeError(f"unexpected dedup counters: {stats}")
+            print(f"dedup ok: {stats}")
+        except Exception:
+            server.terminate()
+            output, _ = server.communicate(timeout=30)
+            print("--- server log ---\n" + (output or ""), file=sys.stderr)
+            raise
+        else:
+            server.terminate()
+            server.communicate(timeout=30)
+
+        query = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "query",
+                "best",
+                "--cache-dir",
+                cache_dir,
+                "--output",
+                "json",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if query.returncode != 0:
+            print(query.stderr, file=sys.stderr)
+            raise RuntimeError("repro query best failed")
+        best = json.loads(query.stdout)["best"]
+        if not any(row["benchmark"] == "171.swim" for row in best):
+            raise RuntimeError(f"warehouse missing the computed job: {best}")
+        print("warehouse query ok:")
+        print(query.stdout)
+    print("service smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
