@@ -16,7 +16,6 @@ Writes ``BENCH_service.json`` at the repo root (next to
 """
 
 import json
-import statistics
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -26,6 +25,7 @@ from repro.campaign import ResultStore
 from repro.campaign.executor import execute_job_payload
 from repro.reporting import render_table
 from repro.service import JobManager, ServiceClient, start_in_thread
+from repro.telemetry import HistogramData
 from repro.warehouse import Warehouse
 
 from common import corpus_scale, publish
@@ -44,12 +44,12 @@ def _bench(client: ServiceClient) -> dict:
     client.wait(job["id"], timeout=600)
     cold_s = time.perf_counter() - started
 
-    latencies = []
+    samples = []
 
     def one_request(_index: int) -> str:
         t0 = time.perf_counter()
         submitted = client.submit_evaluate(**request)
-        latencies.append(time.perf_counter() - t0)
+        samples.append(time.perf_counter() - t0)  # list.append is atomic
         return submitted["id"]
 
     burst_started = time.perf_counter()
@@ -57,6 +57,12 @@ def _bench(client: ServiceClient) -> dict:
         ids = list(pool.map(one_request, range(BURST)))
     burst_s = time.perf_counter() - burst_started
     assert len(set(ids)) == 1, "identical requests must map to one job"
+
+    # Telemetry's merge-exact histogram: the recorded buckets let later
+    # tooling re-aggregate across bench runs without raw samples.
+    latencies = HistogramData()
+    for sample in samples:
+        latencies.observe(sample)
 
     stats = client.stats()["jobs"]
     submitted = stats["submitted"]
@@ -67,8 +73,11 @@ def _bench(client: ServiceClient) -> dict:
         "burst_requests": BURST,
         "burst_wall_s": burst_s,
         "burst_throughput_rps": BURST / burst_s,
-        "latency_mean_ms": 1e3 * statistics.fmean(latencies),
-        "latency_p95_ms": 1e3 * sorted(latencies)[int(0.95 * len(latencies))],
+        "latency_mean_ms": 1e3 * latencies.mean,
+        "latency_p50_ms": 1e3 * latencies.percentile(0.50),
+        "latency_p95_ms": 1e3 * latencies.percentile(0.95),
+        "latency_p99_ms": 1e3 * latencies.percentile(0.99),
+        "latency_histogram": latencies.to_dict(),
         "submitted": submitted,
         "deduped": deduped,
         "computed": stats["computed"],
@@ -106,7 +115,9 @@ def main() -> None:
             ),
             ("throughput", f"{data['burst_throughput_rps']:.0f} req/s"),
             ("latency mean", f"{data['latency_mean_ms']:.1f} ms"),
+            ("latency p50", f"{data['latency_p50_ms']:.1f} ms"),
             ("latency p95", f"{data['latency_p95_ms']:.1f} ms"),
+            ("latency p99", f"{data['latency_p99_ms']:.1f} ms"),
             (
                 "dedup",
                 f"{data['deduped']}/{data['submitted']} requests "

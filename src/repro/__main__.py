@@ -21,9 +21,16 @@ Commands:
   with the SQLite warehouse kept in sync (``--host``, ``--port``,
   ``--cache-dir``, ``--jobs``, ``--runner``),
 * ``query`` — ask the warehouse cross-campaign questions: ``ingest``,
-  ``summary``, ``jobs``, ``best``, ``pareto``, ``diff``, ``campaigns``
-  (``--db``, ``--campaign``, ``--metric``, ``--output json``),
+  ``summary``, ``jobs``, ``best``, ``pareto``, ``diff``, ``campaigns``,
+  ``spans`` (``--db``, ``--campaign``, ``--metric``, ``--output json``),
+* ``trace`` — run ``evaluate`` or ``suite`` with tracing enabled and
+  print the span tree showing where the wall time went
+  (``--output json`` for the raw tree),
 * ``list`` — list the available benchmarks.
+
+Top-level ``-v/--verbose`` and ``-q/--quiet`` (repeatable) configure
+structured logging for every command; ``REPRO_LOG=json`` switches the
+format.
 
 ``python -m repro --version`` prints the package version (installed
 distribution metadata when available, the source tree's fallback
@@ -75,6 +82,20 @@ def _parser() -> argparse.ArgumentParser:
         "--version",
         action="version",
         version=f"repro {_package_version()}",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging on stderr (-v INFO, -vv DEBUG; repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less logging on stderr (-q errors only; repeatable)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -297,6 +318,7 @@ def _parser() -> argparse.ArgumentParser:
             "best",
             "pareto",
             "diff",
+            "spans",
         ),
         help="what to ask (see docs/service.md#queries)",
     )
@@ -375,6 +397,31 @@ def _parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed normalized-total regression for --check (default 0.25)",
     )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run evaluate/suite with tracing on and print the span tree",
+    )
+    trace.add_argument(
+        "cmd",
+        choices=("evaluate", "suite"),
+        help="what to run under the tracer",
+    )
+    trace.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        help="benchmark name (required for evaluate, ignored for suite)",
+    )
+    trace.add_argument("--buses", type=int, default=1, choices=(1, 2))
+    trace.add_argument("--scale", type=float, default=0.05)
+    trace.add_argument(
+        "--output",
+        choices=("tree", "json"),
+        default="tree",
+        help="rendered span tree (default) or the raw tree as JSON",
+    )
+    add_stage_flags(trace)
 
     commands.add_parser("list", help="list the available benchmarks")
     return parser
@@ -696,6 +743,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         warehouse_diff_table,
         warehouse_jobs_table,
         warehouse_pareto_table,
+        warehouse_spans_table,
         warehouse_summary_table,
     )
     from repro.warehouse import (
@@ -705,6 +753,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         best_points,
         pareto_frontier,
         regression_diff,
+        span_breakdown,
     )
 
     cache_dir = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
@@ -766,6 +815,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     warehouse_best_table(
                         warehouse, selector, metric=args.metric, rows=rows
                     ),
+                )
+                return 0
+            if args.op == "spans":
+                rows = span_breakdown(warehouse, selector)
+                _emit(
+                    {"spans": [vars(row) for row in rows]},
+                    warehouse_spans_table(rows, selector=selector),
                 )
                 return 0
             if args.op == "pareto":
@@ -919,6 +975,38 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.reporting import render_trace
+    from repro.telemetry import enable_tracing, span
+
+    if args.cmd == "evaluate" and args.benchmark is None:
+        print("trace evaluate needs a benchmark", file=sys.stderr)
+        return 2
+    _load_workload_packs(args)
+    experiment = _experiment(args)
+    if _stage_plan(args, experiment):
+        return 0
+    enable_tracing()
+    with span(args.cmd, buses=args.buses, scale=args.scale) as root:
+        if args.cmd == "evaluate":
+            evaluation = _evaluate(args.benchmark, experiment, args.scale)
+            print(
+                f"{evaluation.benchmark}: {evaluation.ed2_ratio:.3f}",
+                file=sys.stderr,
+            )
+        else:
+            for name in SPEC2000_PROFILES:
+                evaluation = _evaluate(name, experiment, args.scale)
+                print(
+                    f"{name}: {evaluation.ed2_ratio:.3f}", file=sys.stderr
+                )
+    if args.output == "json":
+        print(json.dumps(root.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_trace(root))
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, spec in SPEC2000_PROFILES.items():
         print(
@@ -932,6 +1020,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _parser().parse_args(argv)
+    from repro.telemetry import configure_logging
+
+    configure_logging(verbosity=args.verbose - args.quiet)
     handlers = {
         "evaluate": _cmd_evaluate,
         "suite": _cmd_suite,
@@ -941,6 +1032,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table2": _cmd_table2,
         "bench": _cmd_bench,
         "scenarios": _cmd_scenarios,
+        "trace": _cmd_trace,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

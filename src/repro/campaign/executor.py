@@ -22,10 +22,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.campaign.job import ExperimentJob
 from repro.campaign.store import ResultStore
 from repro.pipeline.experiment import BenchmarkEvaluation
+from repro.telemetry import get_logger, span, tracing_enabled
 
 #: ``status`` values of a job payload.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+
+_log = get_logger("campaign")
 
 
 @dataclass
@@ -39,15 +42,31 @@ class JobResult:
     cached: bool
     evaluation: Optional[BenchmarkEvaluation] = None
     error: Optional[str] = None
-    #: Stage-cache counter deltas of this job's execution (``hits``,
-    #: ``misses``, ``disk_hits``); None for whole-job cache answers and
-    #: payloads written before stage-granular caching existed.
+    #: Stage-cache counter deltas of this job's execution: ``hits``
+    #: (memory LRU), ``misses`` and ``disk_hits`` — the two hit kinds
+    #: stay distinct so the disk layer's contribution is visible.  None
+    #: for whole-job cache answers and payloads written before
+    #: stage-granular caching existed.
     stage_cache: Optional[Dict[str, int]] = None
+    #: Serialized span tree of the job's execution (see
+    #: :mod:`repro.telemetry.trace`); None unless tracing was enabled
+    #: in the process — worker or inline — that ran the job.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         """True when the job produced an evaluation."""
         return self.status == STATUS_OK and self.evaluation is not None
+
+    @property
+    def stage_cache_memory_hits(self) -> int:
+        """Stage-cache hits answered from the in-memory LRU."""
+        return (self.stage_cache or {}).get("hits", 0)
+
+    @property
+    def stage_cache_disk_hits(self) -> int:
+        """Stage-cache hits answered from the on-disk layer."""
+        return (self.stage_cache or {}).get("disk_hits", 0)
 
 
 @dataclass
@@ -85,11 +104,17 @@ class CampaignResult:
     @property
     def stage_cache_hits(self) -> int:
         """Stage-level cache hits (memory + disk) across executed jobs."""
-        return sum(
-            r.stage_cache.get("hits", 0) + r.stage_cache.get("disk_hits", 0)
-            for r in self.results
-            if r.stage_cache is not None
-        )
+        return self.stage_cache_memory_hits + self.stage_cache_disk_hits
+
+    @property
+    def stage_cache_memory_hits(self) -> int:
+        """Stage-level memory-LRU hits across executed jobs."""
+        return sum(r.stage_cache_memory_hits for r in self.results)
+
+    @property
+    def stage_cache_disk_hits(self) -> int:
+        """Stage-level disk-layer hits across executed jobs."""
+        return sum(r.stage_cache_disk_hits for r in self.results)
 
 
 # ----------------------------------------------------------------------
@@ -125,18 +150,26 @@ def _corpus_for(benchmark: str, scale: float):
 
 
 def _worker_init(
-    stage_dir: Optional[str], workload_packs: Sequence[str] = ()
+    stage_dir: Optional[str],
+    workload_packs: Sequence[str] = (),
+    telemetry: bool = False,
 ) -> None:
     """One-time setup of a pool worker.
 
     Attaches the campaign's on-disk stage cache once per process (instead
     of per job), registers the campaign's workload packs (pack-declared
     benchmarks must resolve in *this* process — registration does not
-    survive the spawn/forkserver boundary), and warms the heavyweight
+    survive the spawn/forkserver boundary), mirrors the driver's tracing
+    switch (span state is process-local, so enablement must be carried
+    across the spawn boundary explicitly), and warms the heavyweight
     imports — machine registry, workload profiles, pipeline stages — so
     the first job of each worker doesn't pay them inside its measured
     time.
     """
+    if telemetry:
+        from repro.telemetry import enable_tracing
+
+        enable_tracing()
     if stage_dir is not None:
         from repro.pipeline.cache import STAGE_CACHE
 
@@ -185,8 +218,11 @@ def execute_job_payload(
             STAGE_CACHE.attach_store(stage_dir)
         try:
             stats_before = STAGE_CACHE.stats()
-            corpus = _corpus_for(job.benchmark, job.scale)
-            evaluation = evaluate_corpus(corpus, job.options)
+            with span(
+                "job", benchmark=job.benchmark, config=job.config_label()
+            ) as job_span:
+                corpus = _corpus_for(job.benchmark, job.scale)
+                evaluation = evaluate_corpus(corpus, job.options)
             stats_after = STAGE_CACHE.stats()
         finally:
             if needs_attach:
@@ -205,6 +241,9 @@ def execute_job_payload(
                 name: stats_after[name] - stats_before[name]
                 for name in stats_after
             },
+            # Serialized span tree: JSON-safe, so it crosses the worker
+            # boundary with the payload and lands in store + warehouse.
+            "trace": None if job_span is None else job_span.to_dict(),
         }
     except Exception:
         return {
@@ -244,6 +283,7 @@ def _result_from_payload(
         ),
         error=payload.get("error"),
         stage_cache=None if cached else payload.get("stage_cache"),
+        trace=None if cached else payload.get("trace"),
     )
 
 
@@ -315,6 +355,10 @@ def run_campaign(
         if sink is not None:
             sink(key, dict(payload, key=key), False)
         results[key] = _result_from_payload(job, key, payload, cached=False)
+        if results[key].status == STATUS_ERROR:
+            _log.warning(
+                "job failed", extra={"key": key, "benchmark": job.benchmark}
+            )
         if progress is not None:
             progress(results[key])
 
@@ -338,7 +382,7 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(stage_dir, tuple(workload_packs)),
+            initargs=(stage_dir, tuple(workload_packs), tracing_enabled()),
         ) as pool:
             futures = {
                 pool.submit(
@@ -359,6 +403,10 @@ def run_campaign(
                         # The worker died without returning (OOM kill,
                         # segfault, broken pool): record the chunk's jobs
                         # as failed instead of aborting the sweep.
+                        _log.error(
+                            "worker died",
+                            extra={"jobs": len(chunk), "cause": repr(error)},
+                        )
                         payloads = [
                             {
                                 "schema": 1,

@@ -34,6 +34,16 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from repro.telemetry import counter
+
+#: Cache events by stage: ``event`` is ``hits`` (memory LRU), ``misses``,
+#: ``disk_hits`` or ``evictions`` — the per-stage hit/miss attribution
+#: ROADMAP item 2 (per-loop caching) needs to decide what to key next.
+_CACHE_EVENTS = counter(
+    "repro_stage_cache_events_total",
+    "Stage-cache lookups and evictions, by stage and event",
+)
+
 #: Entries kept in memory before the least recently used one is dropped.
 #: A full ten-benchmark sweep needs 20 profile entries (two calibration
 #: passes per benchmark) plus the matching calibration artifacts.
@@ -99,11 +109,13 @@ class StageCache:
         return key.rsplit("-", 1)[0]
 
     def _count(self, key: str, event: str) -> None:
+        stage = self._stage_of(key)
         bucket = self._by_stage.setdefault(
-            self._stage_of(key),
+            stage,
             {"hits": 0, "misses": 0, "disk_hits": 0},
         )
         bucket[event] += 1
+        _CACHE_EVENTS.inc(stage=stage, event=event)
 
     def lookup(
         self,
@@ -153,8 +165,9 @@ class StageCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
+            evicted, _value = self._entries.popitem(last=False)
             self.evictions += 1
+            _CACHE_EVENTS.inc(stage=self._stage_of(evicted), event="evictions")
         self._entries[key] = value
 
     @staticmethod

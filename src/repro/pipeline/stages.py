@@ -31,6 +31,7 @@ machines, selectors and schedulers plug in through the registries in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -45,8 +46,17 @@ from repro.power.profile import ProgramProfile
 from repro.scheduler.context import PartitionEnergyWeights
 from repro.scheduler.homogeneous import HomogeneousModuloScheduler
 from repro.sim.power_meter import MeasuredExecution, PowerMeter
+from repro.telemetry import histogram, span
 from repro.vfs.homogeneous import optimum_homogeneous
 from repro.workloads.corpus import Corpus
+
+#: Wall time per stage execution; labelled by stage name and outcome
+#: (computed / cached / disk), so a scrape distinguishes "profile is
+#: slow" from "profile always recomputes".
+_STAGE_SECONDS = histogram(
+    "repro_stage_seconds",
+    "Wall time of pipeline stage executions, by stage and cache outcome",
+)
 
 
 # ----------------------------------------------------------------------
@@ -205,27 +215,34 @@ class Stage:
     # -- driver --------------------------------------------------------
     def run(self, context: ExperimentContext) -> ExperimentContext:
         """Check prerequisites, consult the cache, produce artifacts."""
+        started = time.perf_counter()
+        with span(self.name) as sp:
+            outcome = self._execute(context)
+            if sp is not None:
+                sp.annotate(outcome=outcome)
+        _STAGE_SECONDS.observe(
+            time.perf_counter() - started, stage=self.name, outcome=outcome
+        )
+        context.record(self.name, outcome)
+        return context
+
+    def _execute(self, context: ExperimentContext) -> str:
+        """The cache-or-compute body of :meth:`run`; returns the outcome."""
         for artifact in self.requires:
             context.require(artifact)
         key = self.cache_key(context) if self.cacheable else None
         if key is None:
             self.compute(context)
-            context.record(self.name, "computed")
-            return context
+            return "computed"
         disk_before = STAGE_CACHE.disk_hits
         value = STAGE_CACHE.lookup(key, decode=self.decode)
         if not StageCache.is_miss(value):
             self.apply(context, value)
-            context.record(
-                self.name,
-                "disk" if STAGE_CACHE.disk_hits > disk_before else "cached",
-            )
-            return context
+            return "disk" if STAGE_CACHE.disk_hits > disk_before else "cached"
         value = self.compute_value(context)
         STAGE_CACHE.store(key, value, payload=self.encode(value))
         self.apply(context, value)
-        context.record(self.name, "computed")
-        return context
+        return "computed"
 
     def describe(self) -> Dict[str, Any]:
         """Introspection row: name, requires, provides, cacheability."""

@@ -12,6 +12,7 @@ from repro.reporting.campaign import (
     campaign_summary,
 )
 from repro.reporting.scenarios import scenario_detail, scenario_list_table
+from repro.reporting.telemetry import render_trace, warehouse_spans_table
 from repro.reporting.warehouse import (
     warehouse_best_table,
     warehouse_diff_table,
@@ -36,8 +37,10 @@ __all__ = [
     "campaign_pareto_table",
     "campaign_results_table",
     "campaign_summary",
+    "render_trace",
     "scenario_detail",
     "scenario_list_table",
+    "warehouse_spans_table",
     "warehouse_best_table",
     "warehouse_diff_table",
     "warehouse_jobs_table",

@@ -91,6 +91,10 @@ def campaign_summary(result: CampaignResult) -> str:
         parts.append(f"{n_failed} FAILED")
     stage_hits = result.stage_cache_hits
     if stage_hits:
-        parts.append(f"{stage_hits} stage-cache hit(s)")
+        parts.append(
+            f"{stage_hits} stage-cache hit(s) "
+            f"({result.stage_cache_memory_hits} memory + "
+            f"{result.stage_cache_disk_hits} disk)"
+        )
     parts.append(f"{result.total_elapsed_s:.1f}s compute")
     return ", ".join(parts)

@@ -29,6 +29,28 @@ from repro.scheduler.mii import minimum_initiation_time
 from repro.scheduler.options import SchedulerOptions
 from repro.scheduler.partition import build_partition
 from repro.scheduler.schedule import Schedule
+from repro.telemetry import counter, span
+
+#: IT-search effort: candidates are (IT, assignment) attempts, retries
+#: are attempts that failed (labelled by the failing phase), loops are
+#: completed searches (labelled by final status).
+_IT_CANDIDATES = counter(
+    "repro_scheduler_it_candidates_total",
+    "IT candidates tried by the heterogeneous modulo scheduler",
+)
+_IT_RETRIES = counter(
+    "repro_scheduler_it_retries_total",
+    "IT candidates rejected, by failure reason",
+)
+_LOOPS = counter(
+    "repro_scheduler_loops_total",
+    "Completed IT searches, by outcome (ok or infeasible)",
+)
+
+
+def _retry_reason(why: str) -> str:
+    """The coarse phase label of one recorded failure."""
+    return why.split(":", 1)[0].replace(" ", "_")
 
 
 class HeterogeneousModuloScheduler:
@@ -64,6 +86,16 @@ class HeterogeneousModuloScheduler:
         Raises :class:`InfeasibleITError` when no IT within the search
         budget admits a legal schedule.
         """
+        with span("schedule_loop", loop=loop.ddg.name) as sp:
+            return self._schedule(loop, point, weights, sp)
+
+    def _schedule(
+        self,
+        loop: Loop,
+        point: OperatingPoint,
+        weights: Optional[PartitionEnergyWeights],
+        sp,
+    ) -> Schedule:
         machine = self._machine
         options = self._options
         ddg = loop.ddg
@@ -80,9 +112,11 @@ class HeterogeneousModuloScheduler:
         mit = minimum_initiation_time(ddg, machine, point.speeds)
         candidates = iter_it_candidates(point, options.palette, start=mit)
         failures = []
+        attempts = 0
         for attempt, it in enumerate(candidates):
             if attempt >= options.max_it_candidates:
                 break
+            attempts = attempt + 1
             assignments = select_assignments(it, point, options.palette)
             if assignments is None:
                 failures.append((it, "synchronisation"))
@@ -125,13 +159,26 @@ class HeterogeneousModuloScheduler:
             ):
                 failures.append((it, "register pressure"))
                 continue
+            self._flush_search(sp, attempts, failures, "ok")
             return schedule
 
+        self._flush_search(sp, attempts, failures, "infeasible")
         detail = "; ".join(f"IT={it}: {why}" for it, why in failures[-3:])
         raise InfeasibleITError(
             f"loop {ddg.name!r}: no feasible IT within "
             f"{options.max_it_candidates} candidates (last failures: {detail})"
         )
+
+    @staticmethod
+    def _flush_search(sp, attempts: int, failures, status: str) -> None:
+        """Record one completed IT search on the registry (and span)."""
+        _IT_CANDIDATES.inc(attempts)
+        _LOOPS.inc(status=status)
+        for _it, why in failures:
+            _IT_RETRIES.inc(reason=_retry_reason(why))
+        if sp is not None:
+            sp.count("it_candidates", attempts)
+            sp.count("it_retries", len(failures))
 
     # ------------------------------------------------------------------
     def _over_register_budget(self, schedule: Schedule) -> bool:

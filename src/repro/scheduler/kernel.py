@@ -35,7 +35,17 @@ from repro.scheduler.mrt import BUS, ModuloReservationTable, bus_mrt, cluster_mr
 from repro.scheduler.partition.partition import Partition
 from repro.scheduler.priorities import priority_key
 from repro.scheduler.schedule import PlacedCopy, PlacedOp
+from repro.telemetry import span_count
+from repro.telemetry import counter as _metric_counter
 from repro.units import ceil_div, floor_div
+
+#: Reservation-table slot probes (cycles scanned for a free FU slot).
+#: Counted locally per placement run and flushed once — the per-cycle
+#: ``is_free`` path is far too hot to touch the registry directly.
+_MRT_PROBES = _metric_counter(
+    "repro_scheduler_mrt_probes_total",
+    "Modulo-reservation-table cycles scanned during placement",
+)
 
 
 class KernelScheduler:
@@ -48,6 +58,7 @@ class KernelScheduler:
         self._copies: Dict[Dependence, PlacedCopy] = {}
         self._prev_cycle: Dict[Operation, int] = {}
         self._keys = priority_key(ctx)
+        self._probes = 0
 
         self._tables: List[Optional[ModuloReservationTable]] = []
         for index in range(ctx.n_clusters):
@@ -275,8 +286,10 @@ class KernelScheduler:
             copy_slots = self._collect_copies(op, cycle)
             if copy_slots is None:
                 continue
+            self._probes += cycle - start + 1
             self._commit(op, cycle, copy_slots)
             return True
+        self._probes += ii
         return False
 
     def _force_place(self, op: Operation) -> List[Operation]:
@@ -355,19 +368,27 @@ class KernelScheduler:
             heapq.heappush(heap, (self._keys[op], counter, op))
             counter += 1
 
-        while heap:
-            _key, _seq, op = heapq.heappop(heap)
-            if op in self._placements:
-                continue  # stale entry
-            if budget <= 0:
-                raise SchedulingError(
-                    f"placement budget exhausted for {ctx.ddg.name!r} at IT={ctx.it}"
-                )
-            budget -= 1
-            if self._try_window(op):
-                continue
-            for evicted in self._force_place(op):
-                heapq.heappush(heap, (self._keys[evicted], counter, evicted))
-                counter += 1
+        try:
+            while heap:
+                _key, _seq, op = heapq.heappop(heap)
+                if op in self._placements:
+                    continue  # stale entry
+                if budget <= 0:
+                    raise SchedulingError(
+                        f"placement budget exhausted for {ctx.ddg.name!r}"
+                        f" at IT={ctx.it}"
+                    )
+                budget -= 1
+                if self._try_window(op):
+                    continue
+                for evicted in self._force_place(op):
+                    heapq.heappush(heap, (self._keys[evicted], counter, evicted))
+                    counter += 1
+        finally:
+            # One flush per placement run, success or not (the driver
+            # retries failed runs at a larger IT; their work still counts).
+            _MRT_PROBES.inc(self._probes)
+            span_count("mrt_probes", self._probes)
+            self._probes = 0
 
         return dict(self._placements), dict(self._copies)

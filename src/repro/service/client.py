@@ -86,6 +86,21 @@ class ServiceClient:
         """``GET /stats``."""
         return self._ok("GET", "/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode()
+            if response.status >= 400:
+                raise ServiceClientError(response.status, text.strip())
+            return text
+        finally:
+            connection.close()
+
     def submit_evaluate(self, **request: Any) -> Dict[str, Any]:
         """``POST /v1/evaluate``; returns the job document."""
         return self._ok("POST", "/v1/evaluate", body=request)["job"]
@@ -175,3 +190,7 @@ class ServiceClient:
     def query_campaigns(self) -> Any:
         """``GET /v1/query/campaigns``."""
         return self._ok("GET", "/v1/query/campaigns")["campaigns"]
+
+    def query_spans(self, **query: Any) -> Any:
+        """``GET /v1/query/spans``."""
+        return self._ok("GET", "/v1/query/spans", query=query)["spans"]

@@ -18,8 +18,10 @@ Endpoints (see ``docs/service.md`` for the full contract):
 * ``GET  /v1/jobs/<id>[?wait=1]`` — job status (optionally long-poll),
 * ``GET  /v1/jobs/<id>/result`` — the result document,
 * ``GET  /v1/jobs/<id>/events`` — ndjson event stream until terminal,
-* ``GET  /v1/query/pareto | best | diff | campaigns`` — warehouse
-  queries.
+* ``GET  /v1/query/pareto | best | diff | campaigns | spans`` —
+  warehouse queries,
+* ``GET  /metrics`` — Prometheus text exposition of the process-wide
+  metrics registry.
 """
 
 from __future__ import annotations
@@ -27,11 +29,58 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from repro.service.jobs import JobManager, ServiceError
-from repro.warehouse.queries import best_points, pareto_frontier, regression_diff
+from repro.telemetry import counter, histogram, render_prometheus
+from repro.warehouse.queries import (
+    best_points,
+    pareto_frontier,
+    regression_diff,
+    span_breakdown,
+)
+
+#: Per-request accounting, labelled by the *normalized* endpoint (job
+#: ids and query ops collapse to templates, so label cardinality stays
+#: bounded no matter what clients request).
+_REQUESTS = counter(
+    "repro_service_requests_total",
+    "HTTP requests served, by endpoint",
+)
+_REQUEST_SECONDS = histogram(
+    "repro_service_request_seconds",
+    "HTTP request handling time, by endpoint",
+)
+
+#: Content type Prometheus expects from a text-format scrape.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality endpoint label."""
+    fixed = {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/v1/evaluate",
+        "/v1/suite",
+        "/v1/campaign",
+        "/v1/jobs",
+    }
+    if path in fixed:
+        return path
+    if path.startswith("/v1/jobs/"):
+        tail = path[len("/v1/jobs/"):].split("/")
+        if len(tail) > 1 and tail[1] in ("result", "events"):
+            return f"/v1/jobs/{{id}}/{tail[1]}"
+        return "/v1/jobs/{id}"
+    if path.startswith("/v1/query/"):
+        op = path[len("/v1/query/"):]
+        if op in ("pareto", "best", "diff", "campaigns", "spans"):
+            return f"/v1/query/{op}"
+    return "other"
 
 #: Largest accepted request body.
 MAX_BODY_BYTES = 1 << 20
@@ -177,7 +226,15 @@ class ServiceServer:
         try:
             try:
                 method, path, query, body = await _read_request(reader)
-                await self._route(writer, method, path, query, body)
+                endpoint = _endpoint_label(path)
+                started = time.perf_counter()
+                try:
+                    await self._route(writer, method, path, query, body)
+                finally:
+                    _REQUESTS.inc(endpoint=endpoint)
+                    _REQUEST_SECONDS.observe(
+                        time.perf_counter() - started, endpoint=endpoint
+                    )
             except _HttpError as error:
                 writer.write(
                     _json_response(error.status, {"error": error.message})
@@ -220,6 +277,12 @@ class ServiceServer:
                         ),
                     },
                 )
+            )
+            return
+        if path == "/metrics" and method == "GET":
+            encoded = render_prometheus().encode()
+            writer.write(
+                _head(200, METRICS_CONTENT_TYPE, len(encoded)) + encoded
             )
             return
         if path == "/stats" and method == "GET":
@@ -352,6 +415,12 @@ class ServiceServer:
                 )
                 writer.write(
                     _json_response(200, {"best": [vars(row) for row in rows]})
+                )
+                return
+            if op == "spans":
+                rows = span_breakdown(warehouse, selector)
+                writer.write(
+                    _json_response(200, {"spans": [vars(row) for row in rows]})
                 )
                 return
             if op == "pareto":

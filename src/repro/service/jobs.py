@@ -39,8 +39,28 @@ from repro.campaign.store import ResultStore
 from repro.errors import ReproError
 from repro.pipeline.experiment import ExperimentOptions
 from repro.pipeline.serialization import content_key, evaluation_ratios
+from repro.telemetry import counter, gauge, get_logger
 from repro.warehouse.db import Warehouse
 from repro.workloads.spec_profiles import SPEC2000_PROFILES
+
+_log = get_logger("service")
+
+#: Registry twins of ``JobManager.stats``: the dict stays the precise
+#: per-manager introspection surface (and API response), the metrics are
+#: what /metrics scrapes across the process.
+_DEDUP_HITS = counter(
+    "repro_service_dedup_hits_total",
+    "Work answered without recomputing, by dedup level "
+    "(job, store, inflight)",
+)
+_JOBS = counter(
+    "repro_service_jobs_total",
+    "Service jobs reaching a terminal state, by kind and status",
+)
+_QUEUE_DEPTH = gauge(
+    "repro_service_queue_depth",
+    "Service jobs currently queued or running",
+)
 
 #: Service-job lifecycle states.
 JOB_QUEUED = "queued"
@@ -325,11 +345,14 @@ class JobManager:
             # jobs fall through and retry — errors are not cached.
             existing.submissions += 1
             self.stats["deduped"] += 1
+            _DEDUP_HITS.inc(level="job")
             return existing
         job = ServiceJob(id=job_id, kind=kind, request=request)
         if existing is None:
             self._order.append(job_id)
         self._jobs[job_id] = job
+        _QUEUE_DEPTH.inc()
+        _log.info("job submitted", extra={"job": job_id, "kind": kind})
         job.publish("submitted", kind=kind)
         task = asyncio.get_running_loop().create_task(self._drive(job, runner))
         self._drivers.add(task)
@@ -361,7 +384,13 @@ class JobManager:
             job.error = traceback.format_exc()
             job.finished_at = time.time()
             self.stats["failed"] += 1
+            _log.warning(
+                "job failed", extra={"job": job.id, "kind": job.kind}
+            )
             job.publish("failed", error=job.error)
+        finally:
+            _QUEUE_DEPTH.dec()
+            _JOBS.inc(kind=job.kind, status=job.status)
 
     def submit_evaluate(self, request: Dict[str, Any]) -> ServiceJob:
         """Submit one experiment; job id == the experiment's cache key."""
@@ -450,11 +479,13 @@ class JobManager:
             payload = self._store.get(key)
             if payload is not None and payload.get("status") == STATUS_OK:
                 self.stats["store_hits"] += 1
+                _DEDUP_HITS.inc(level="store")
                 self._record(key, payload, campaign)
                 return payload
         task = self._inflight.get(key)
         if task is not None:
             self.stats["inflight_hits"] += 1
+            _DEDUP_HITS.inc(level="inflight")
             payload = await asyncio.shield(task)
             self._record(key, payload, campaign)
             return payload

@@ -1,0 +1,85 @@
+"""Cross-cutting telemetry: tracing, metrics, structured logging.
+
+Three independent layers, all stdlib-only:
+
+* :mod:`repro.telemetry.trace` — opt-in timed span trees
+  (``with span("schedule_loop", loop=name): ...``), serialized across
+  the campaign's worker-process boundary, rendered by ``repro trace``;
+* :mod:`repro.telemetry.metrics` — always-on counters/gauges/histograms
+  in a process-wide registry, served as Prometheus text on the
+  service's ``GET /metrics``;
+* :mod:`repro.telemetry.logs` — opt-in per-subsystem loggers configured
+  by the CLI's ``-v``/``-q`` flags and ``REPRO_LOG=json|text``.
+
+See ``docs/observability.md`` for naming conventions and walkthroughs.
+"""
+
+from repro.telemetry.logs import (
+    LOG_ENV,
+    JsonFormatter,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+    level_for,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsError,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    render_prometheus,
+)
+from repro.telemetry.trace import (
+    TRACE_ENV,
+    Span,
+    attribution,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    env_tracing_requested,
+    merge_summaries,
+    span,
+    span_count,
+    summarize_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "TRACE_ENV",
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "JsonFormatter",
+    "MetricsError",
+    "MetricsRegistry",
+    "Span",
+    "TextFormatter",
+    "attribution",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "env_tracing_requested",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "level_for",
+    "merge_summaries",
+    "render_prometheus",
+    "span",
+    "span_count",
+    "summarize_trace",
+    "tracing_enabled",
+]

@@ -1,0 +1,141 @@
+"""Opt-in structured logging: one logger per subsystem, two formats.
+
+Every subsystem logs through ``repro.<subsystem>`` (pipeline, scheduler,
+campaign, scenarios, service, warehouse), obtained via
+:func:`get_logger`.  Nothing is emitted until :func:`configure_logging`
+runs — library use stays silent — and the CLI calls it on every
+invocation, mapping ``-v``/``-q`` counts onto levels:
+
+====================  =========
+verbosity             level
+====================  =========
+``-qq`` (or lower)    CRITICAL
+``-q``                ERROR
+default               WARNING
+``-v``                INFO
+``-vv`` (or higher)   DEBUG
+====================  =========
+
+``REPRO_LOG=json`` switches the handler to one-JSON-object-per-line
+(``{"t": ..., "level": ..., "logger": ..., "msg": ...}`` plus any
+``extra={...}`` fields); ``REPRO_LOG=text`` (the default) keeps a
+conventional ``LEVEL logger: message`` line.  Everything goes to
+stderr, never stdout — machine-readable command output stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import IO, Optional
+
+#: Environment variable choosing the log format: ``json`` or ``text``.
+LOG_ENV = "REPRO_LOG"
+
+#: The root of every repro logger.
+ROOT_LOGGER = "repro"
+
+#: Attributes of a LogRecord that are plumbing, not user data; anything
+#: else on the record (from ``extra=``) lands in the JSON document.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord(
+        "x", logging.INFO, __file__, 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, ``extra`` fields included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "t": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for name, value in record.__dict__.items():
+            if name not in _RECORD_FIELDS:
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                document[name] = value
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message`` — terse, greppable."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{clock} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The logger for ``subsystem`` (e.g. ``"campaign"``).
+
+    Accepts bare subsystem names or already-prefixed dotted names.
+    """
+    name = (
+        subsystem
+        if subsystem == ROOT_LOGGER or subsystem.startswith(ROOT_LOGGER + ".")
+        else f"{ROOT_LOGGER}.{subsystem}"
+    )
+    return logging.getLogger(name)
+
+
+def level_for(verbosity: int) -> int:
+    """The logging level a ``-v``/``-q`` count maps to (see module doc)."""
+    if verbosity <= -2:
+        return logging.CRITICAL
+    return {
+        -1: logging.ERROR,
+        0: logging.WARNING,
+        1: logging.INFO,
+    }.get(verbosity, logging.DEBUG)
+
+
+_handler: Optional[logging.Handler] = None
+
+
+def configure_logging(
+    verbosity: int = 0,
+    mode: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or reconfigure) the repro log handler; returns the root.
+
+    ``mode`` is ``"json"`` or ``"text"``; None reads :data:`LOG_ENV` and
+    falls back to text.  Idempotent: repeated calls replace the handler
+    instead of stacking duplicates.
+    """
+    global _handler
+    if mode is None:
+        mode = os.environ.get(LOG_ENV, "").strip().lower() or "text"
+    if mode not in ("json", "text"):
+        raise ValueError(f"{LOG_ENV} must be 'json' or 'text', got {mode!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    _handler.setFormatter(
+        JsonFormatter() if mode == "json" else TextFormatter()
+    )
+    root.addHandler(_handler)
+    root.setLevel(level_for(verbosity))
+    root.propagate = False
+    return root

@@ -26,10 +26,12 @@ from repro.warehouse.db import (
 from repro.warehouse.queries import (
     DiffRow,
     ParetoPoint,
+    SpanRow,
     best_points,
     config_means,
     pareto_frontier,
     regression_diff,
+    span_breakdown,
 )
 
 __all__ = [
@@ -40,8 +42,10 @@ __all__ = [
     "WarehouseError",
     "DiffRow",
     "ParetoPoint",
+    "SpanRow",
     "best_points",
     "config_means",
     "pareto_frontier",
     "regression_diff",
+    "span_breakdown",
 ]

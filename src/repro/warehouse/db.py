@@ -6,7 +6,7 @@ One :class:`Warehouse` wraps one SQLite database (by convention
 payloads, so the database is a disposable index: deleting it and
 re-ingesting the store rebuilds it exactly.
 
-Schema (version 1):
+Schema (version 2):
 
 * ``jobs`` — one row per content-addressed job key: identity columns
   (benchmark, scale, config label, machine, machine/workload
@@ -18,6 +18,10 @@ Schema (version 1):
   several campaigns link to each of them.
 * ``stage_stats`` — per-job stage-cache counters (hits, misses,
   disk hits) for jobs that recorded them.
+* ``span_stats`` — per-job span summaries (count and total seconds per
+  span name, flattened from the payload's serialized trace) for jobs
+  executed with tracing enabled; answers "where did campaign X spend
+  its time".
 * ``warehouse_meta`` — schema version.
 """
 
@@ -38,7 +42,7 @@ DEFAULT_WAREHOUSE_NAME = "warehouse.sqlite"
 
 #: Bumped on incompatible schema changes; a mismatching database is
 #: rebuilt from scratch (it is only an index over the JSON store).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS warehouse_meta (
@@ -81,6 +85,13 @@ CREATE TABLE IF NOT EXISTS stage_stats (
     counter TEXT NOT NULL,
     value   INTEGER NOT NULL,
     PRIMARY KEY (job_key, counter)
+);
+CREATE TABLE IF NOT EXISTS span_stats (
+    job_key TEXT NOT NULL REFERENCES jobs(key),
+    span    TEXT NOT NULL,
+    n       INTEGER NOT NULL,
+    total_s REAL NOT NULL,
+    PRIMARY KEY (job_key, span)
 );
 """
 
@@ -241,7 +252,13 @@ class Warehouse:
             self._conn.commit()
         elif int(row["value"]) != SCHEMA_VERSION:
             # The warehouse is only an index — rebuild instead of migrating.
-            for table in ("stage_stats", "campaign_jobs", "campaigns", "jobs"):
+            for table in (
+                "span_stats",
+                "stage_stats",
+                "campaign_jobs",
+                "campaigns",
+                "jobs",
+            ):
                 self._conn.execute(f"DELETE FROM {table}")
             self._conn.execute(
                 "UPDATE warehouse_meta SET value = ? WHERE key = 'schema_version'",
@@ -330,6 +347,28 @@ class Warehouse:
                     for counter, value in sorted(stage_cache.items())
                 ],
             )
+        trace = payload.get("trace")
+        if isinstance(trace, dict):
+            from repro.telemetry import summarize_trace
+
+            try:
+                summary = summarize_trace(trace)
+            except Exception:
+                summary = {}
+            if summary:
+                # Replace wholesale: a recomputed job's trace supersedes
+                # the old one, including spans that no longer appear.
+                self._conn.execute(
+                    "DELETE FROM span_stats WHERE job_key = ?", (key,)
+                )
+                self._conn.executemany(
+                    "INSERT INTO span_stats (job_key, span, n, total_s)"
+                    " VALUES (?, ?, ?, ?)",
+                    [
+                        (key, name, int(stats["n"]), float(stats["total_s"]))
+                        for name, stats in sorted(summary.items())
+                    ],
+                )
         if campaign is not None:
             campaign_id = self._campaign_id(campaign, create=True)
             self._conn.execute(
@@ -483,6 +522,39 @@ class Warehouse:
                 (key,),
             )
         }
+
+    def span_stats(self, key: str) -> Dict[str, Dict[str, Any]]:
+        """Span summaries recorded for a job (may be empty)."""
+        return {
+            row["span"]: {"n": row["n"], "total_s": row["total_s"]}
+            for row in self._conn.execute(
+                "SELECT span, n, total_s FROM span_stats WHERE job_key = ?"
+                " ORDER BY span",
+                (key,),
+            )
+        }
+
+    def span_rows(
+        self, selector: Optional[str] = None
+    ) -> List[Tuple[str, int, float, int]]:
+        """Aggregated ``(span, n, total_s, jobs)`` rows over a selector.
+
+        Ordered by total time descending — the "where did the time go"
+        answer for a campaign, a machine, or the whole warehouse.
+        """
+        where, params = self._selector_sql(selector)
+        sql = (
+            "SELECT s.span AS span, SUM(s.n) AS n,"
+            " SUM(s.total_s) AS total_s,"
+            " COUNT(DISTINCT s.job_key) AS jobs"
+            " FROM span_stats s JOIN jobs ON jobs.key = s.job_key"
+            " WHERE " + where + " GROUP BY s.span"
+            " ORDER BY total_s DESC, span"
+        )
+        return [
+            (row["span"], row["n"], row["total_s"], row["jobs"])
+            for row in self._conn.execute(sql, params).fetchall()
+        ]
 
     def summary(self) -> Dict[str, Any]:
         """Headline counts for health endpoints and the CLI."""

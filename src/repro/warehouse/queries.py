@@ -39,6 +39,16 @@ class ParetoPoint:
 
 
 @dataclass(frozen=True)
+class SpanRow:
+    """One span name's aggregate over a selection of jobs."""
+
+    span: str
+    n: int
+    total_s: float
+    jobs: int
+
+
+@dataclass(frozen=True)
 class DiffRow:
     """One matched (benchmark, config) pair of a regression diff."""
 
@@ -124,6 +134,21 @@ def pareto_frontier(
         )
     ]
     return sorted(frontier, key=lambda point: (point.a, point.b))
+
+
+def span_breakdown(
+    warehouse: Warehouse, selector: Optional[str] = None
+) -> List[SpanRow]:
+    """Where the selection's compute time went, by span name.
+
+    Rows come from the ``span_stats`` table — populated only for jobs
+    executed with tracing enabled (``REPRO_TRACE=1`` or ``repro trace``)
+    — ordered by total seconds descending.
+    """
+    return [
+        SpanRow(span=span, n=n, total_s=total_s, jobs=jobs)
+        for span, n, total_s, jobs in warehouse.span_rows(selector)
+    ]
 
 
 def regression_diff(

@@ -122,6 +122,17 @@ def build_corpus(
     execution time* (trip count times MII cycles, the dominant term of a
     software-pipelined loop) match the Table 2 targets.
     """
+    from repro.telemetry import span
+
+    with span("corpus", benchmark=spec.name):
+        return _build_corpus(spec, scale, machine)
+
+
+def _build_corpus(
+    spec: BenchmarkSpec,
+    scale: Optional[float],
+    machine: Optional[MachineDescription],
+) -> Corpus:
     scale = scale if scale is not None else default_scale()
     machine = machine if machine is not None else paper_machine()
     generator = LoopGenerator(machine)

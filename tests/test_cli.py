@@ -93,6 +93,55 @@ class TestTable2:
         assert "171.swim" in output
 
 
+class TestTrace:
+    def test_trace_evaluate_prints_span_tree(self, capsys):
+        from repro.telemetry import disable_tracing
+
+        try:
+            assert main(
+                ["trace", "evaluate", "swim", "--scale", "0.02"]
+            ) == 0
+        finally:
+            disable_tracing()
+        captured = capsys.readouterr()
+        assert "evaluate" in captured.out
+        assert "schedule" in captured.out
+        assert "attributed to named spans:" in captured.out
+        assert "171.swim:" in captured.err  # the ed2 line -> stderr
+
+    def test_trace_json_output_is_a_span_tree(self, capsys):
+        from repro.telemetry import disable_tracing
+
+        try:
+            assert main(
+                [
+                    "trace", "evaluate", "swim",
+                    "--scale", "0.02", "--output", "json",
+                ]
+            ) == 0
+        finally:
+            disable_tracing()
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["name"] == "evaluate"
+        assert {child["name"] for child in tree["children"]} >= {
+            "profile", "schedule",
+        }
+
+    def test_trace_evaluate_requires_benchmark(self, capsys):
+        assert main(["trace", "evaluate"]) == 2
+        assert "benchmark" in capsys.readouterr().err
+
+
+class TestVerbosityFlags:
+    def test_verbose_flag_accepted_before_command(self, capsys):
+        assert main(["-v", "list"]) == 0
+        assert "200.sixtrack" in capsys.readouterr().out
+
+    def test_quiet_flag_accepted(self, capsys):
+        assert main(["-q", "list"]) == 0
+        assert "200.sixtrack" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -377,6 +377,47 @@ class TestHttpService:
         assert client.query_pareto()
         assert client.query_campaigns() == []
 
+    def test_metrics_scrape(self, service):
+        client, _ = service
+        request = {
+            "benchmark": "178.galgel", "scale": 0.029, "simulate": False
+        }
+        job = client.submit_evaluate(**request)
+        client.wait(job["id"], timeout=30)
+        duplicate = client.submit_evaluate(**request)
+        assert duplicate["id"] == job["id"]
+        text = client.metrics()
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert 'endpoint="/v1/evaluate"' in text
+        assert "# TYPE repro_service_request_seconds histogram" in text
+        assert 'repro_service_request_seconds_bucket{endpoint=' in text
+        assert "repro_service_dedup_hits_total" in text
+        assert "repro_service_jobs_total" in text
+
+    def test_metrics_content_type(self, service):
+        client, _ = service
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            client.host, client.port, timeout=10
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            response.read()
+        finally:
+            connection.close()
+
+    def test_query_spans_endpoint(self, service):
+        client, _ = service
+        # The counting runner returns no trace, so the span table is
+        # empty — but the endpoint must round-trip cleanly.
+        assert client.query_spans() == []
+
     def test_http_errors(self, service):
         client, _ = service
         status, document = client.request("GET", "/v1/jobs/ffffffffffffffff")

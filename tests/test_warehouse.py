@@ -134,6 +134,63 @@ class TestRecordPayload:
             warehouse.record_payload(payload)
             assert warehouse.stage_stats(job.key()) == {"hits": 3, "misses": 1}
 
+    def test_span_stats_recorded_and_aggregated(self):
+        from repro.warehouse import span_breakdown
+
+        trace = {
+            "name": "job",
+            "elapsed_s": 1.0,
+            "children": [
+                {"name": "profile", "elapsed_s": 0.3},
+                {"name": "profile", "elapsed_s": 0.2},
+                {"name": "schedule", "elapsed_s": 0.4},
+            ],
+        }
+        job, payload = make_payload()
+        payload["trace"] = trace
+        other_job, other = make_payload(benchmark="172.mgrid")
+        other["trace"] = trace
+        with Warehouse() as warehouse:
+            warehouse.record_payload(payload)
+            warehouse.record_payload(other)
+            stats = warehouse.span_stats(job.key())
+            assert stats["profile"] == {"n": 2, "total_s": pytest.approx(0.5)}
+            rows = span_breakdown(warehouse)
+            by_name = {row.span: row for row in rows}
+            # Root + both children, aggregated across the two jobs.
+            assert by_name["job"].jobs == 2
+            assert by_name["profile"].n == 4
+            assert by_name["profile"].total_s == pytest.approx(1.0)
+            assert rows[0].total_s == max(r.total_s for r in rows)
+            # The machine selector scopes the aggregation like any
+            # other warehouse query.
+            machine_rows = span_breakdown(warehouse, "machine:paper")
+            assert {r.span for r in machine_rows} == set(by_name)
+            assert span_breakdown(warehouse, "machine:nope") == []
+
+    def test_span_stats_replaced_on_reingest(self):
+        job, payload = make_payload()
+        payload["trace"] = {
+            "name": "job",
+            "elapsed_s": 1.0,
+            "children": [{"name": "profile", "elapsed_s": 0.5}],
+        }
+        with Warehouse() as warehouse:
+            warehouse.record_payload(payload)
+            payload["trace"] = {"name": "job", "elapsed_s": 2.0}
+            warehouse.record_payload(payload)
+            stats = warehouse.span_stats(job.key())
+            assert "profile" not in stats
+            assert stats["job"]["total_s"] == pytest.approx(2.0)
+
+    def test_traceless_payloads_leave_no_span_rows(self):
+        from repro.warehouse import span_breakdown
+
+        _job, payload = make_payload()
+        with Warehouse() as warehouse:
+            warehouse.record_payload(payload)
+            assert span_breakdown(warehouse) == []
+
 
 class TestIngest:
     def test_ingests_store_and_links_campaign(self, tmp_path):

@@ -3,9 +3,11 @@
 
 Starts ``python -m repro serve`` as a subprocess, submits a scale-0.05
 evaluate over HTTP, polls it to completion, checks the dedup counters,
-shuts the server down, and finally asks ``python -m repro query`` for
-the warehouse's view of the freshly computed job — exercising exactly
-the path an operator would: server process, HTTP client, SQLite index.
+scrapes ``/metrics`` and asserts the dedup/latency/stage-cache series
+are live, shuts the server down, and finally asks ``python -m repro
+query`` for the warehouse's view of the freshly computed job —
+exercising exactly the path an operator would: server process, HTTP
+client, Prometheus scrape, SQLite index.
 
 Exits non-zero (with the server log on stderr) on any failure.
 """
@@ -26,6 +28,42 @@ def free_port() -> int:
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))
         return sock.getsockname()[1]
+
+
+def metric_total(text: str, name: str) -> float:
+    """Sum of every sample of one metric family in a Prometheus scrape."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest[:1] not in ("{", " "):
+            continue  # a different family sharing the prefix
+        total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def check_metrics(scrape: str) -> None:
+    """Assert the requests left live dedup, latency and cache series."""
+    dedup = metric_total(scrape, "repro_service_dedup_hits_total")
+    if dedup < 1:
+        raise RuntimeError(f"/metrics dedup hits not recorded: {dedup}")
+    requests = metric_total(scrape, "repro_service_request_seconds_count")
+    if requests < 1:
+        raise RuntimeError(
+            f"/metrics request latency histogram empty: {requests}"
+        )
+    # The inline runner computes in-process, so the pipeline's stage
+    # cache counters must also surface in the same scrape.
+    cache_events = metric_total(scrape, "repro_stage_cache_events_total")
+    if cache_events < 1:
+        raise RuntimeError(
+            f"/metrics stage-cache series missing: {cache_events}"
+        )
+    print(
+        f"metrics ok: dedup={dedup:g} requests={requests:g} "
+        f"cache_events={cache_events:g}"
+    )
 
 
 def main() -> int:
@@ -88,6 +126,8 @@ def main() -> int:
             if stats["computed"] != 1 or stats["deduped"] < 1:
                 raise RuntimeError(f"unexpected dedup counters: {stats}")
             print(f"dedup ok: {stats}")
+
+            check_metrics(client.metrics())
         except Exception:
             server.terminate()
             output, _ = server.communicate(timeout=30)
