@@ -289,7 +289,30 @@ def _parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=2,
-        help="worker processes for the evaluation pool (default 2)",
+        help="worker processes for the in-process evaluation pool "
+        "(default 2; 0 disables local execution so only fleet workers "
+        "connected via `repro worker` run jobs)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="fleet lease TTL in seconds: a worker silent this long "
+        "forfeits its job back to the queue (default 60)",
+    )
+    serve.add_argument(
+        "--fleet-retries",
+        type=int,
+        default=3,
+        help="how many lease attempts a job gets before an expiry "
+        "records it as failed (default 3)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="on SIGINT/SIGTERM: stop granting leases, then wait up to "
+        "this many seconds for in-flight leases before exiting",
     )
     serve.add_argument(
         "--runner",
@@ -302,6 +325,73 @@ def _parser() -> argparse.ArgumentParser:
         "--no-ingest",
         action="store_true",
         help="skip the startup warehouse sync of the existing cache dir",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a service's fleet: lease jobs, execute them locally, "
+        "post results back",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="service base URL (http://host:port) or host:port",
+    )
+    worker.add_argument(
+        "--id",
+        default=None,
+        help="worker id shown in the service's /stats "
+        "(default <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="local stage-cache directory; point it at the server's "
+        "cache dir on a shared filesystem to reuse warm profiling/"
+        "calibration artifacts (results always flow back over HTTP)",
+    )
+    worker.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        help="lease TTL to request; the worker heartbeats at ttl/3 "
+        "(default 60)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        help="idle sleep between empty lease attempts (default 1.0s)",
+    )
+    worker.add_argument(
+        "--workloads",
+        action="append",
+        default=[],
+        metavar="PACK",
+        help="scenario pack (bundled name or path) whose workloads this "
+        "worker registers at startup; repeatable",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after leasing this many jobs (default: run until "
+        "drained or signalled)",
+    )
+    worker.add_argument(
+        "--stay-on-drain",
+        action="store_true",
+        help="keep polling while the service drains instead of exiting",
+    )
+    worker.add_argument(
+        "--bench-sleep",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="replace job execution with a fixed sleep returning a "
+        "synthetic OK payload — benchmarks the fleet protocol itself "
+        "(lease/complete/requeue), not the pipeline",
     )
 
     query = commands.add_parser(
@@ -703,36 +793,156 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(report.describe(), file=sys.stderr)
 
     async def _serve() -> None:
-        if args.runner == "inline":
+        if args.runner == "inline" and args.jobs > 0:
             manager = JobManager(
                 store=store,
                 warehouse=warehouse,
                 executor=JobManager.inline_executor(max_workers=args.jobs),
+                lease_ttl=args.lease_ttl,
+                fleet_retries=args.fleet_retries,
             )
         else:
             manager = JobManager(
-                store=store, warehouse=warehouse, max_workers=args.jobs
+                store=store,
+                warehouse=warehouse,
+                max_workers=args.jobs,
+                lease_ttl=args.lease_ttl,
+                fleet_retries=args.fleet_retries,
             )
         server = ServiceServer(manager, host=args.host, port=args.port)
         host, port = await server.start()
+        pool = (
+            f"runner {args.runner} x{args.jobs}"
+            if args.jobs > 0
+            else "fleet workers only"
+        )
         print(
             f"repro service listening on http://{host}:{port} "
-            f"(store {store.root}, warehouse {warehouse.path}, "
-            f"runner {args.runner} x{args.jobs})",
+            f"(store {store.root}, warehouse {warehouse.path}, {pool}, "
+            f"lease ttl {args.lease_ttl:g}s)",
             file=sys.stderr,
             flush=True,
         )
+        # Graceful drain: the first SIGINT/SIGTERM stops granting fleet
+        # leases and gives in-flight ones a grace window to complete;
+        # a second signal exits immediately.
+        import signal as _signal
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            if not manager.fleet.draining:
+                print(
+                    "repro service draining (signal again to force exit)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                manager.drain()
+            stop.set()
+
         try:
-            await server.serve_forever()
+            for signum in (_signal.SIGINT, _signal.SIGTERM):
+                loop.add_signal_handler(signum, _on_signal)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without loop signal handlers
+        try:
+            await stop.wait()
+            deadline = loop.time() + args.drain_grace
+            while loop.time() < deadline:
+                if manager.fleet.queue.stats()["leased"] == 0:
+                    break
+                await asyncio.sleep(0.2)
         finally:
             await server.close()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print("repro service stopped", file=sys.stderr)
+        pass
     finally:
+        print("repro service stopped", file=sys.stderr)
         warehouse.close()
+    return 0
+
+
+def _parse_connect(url: str):
+    """(host, port) from ``http://host:port``, ``host:port`` or ``:port``."""
+    import urllib.parse
+
+    if "//" not in url:
+        url = "//" + url
+    parsed = urllib.parse.urlsplit(url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port
+    if port is None:
+        raise SystemExit(f"--connect needs an explicit port, got {url!r}")
+    return host, port
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import time
+
+    from repro.fleet import FleetWorker
+    from repro.service import ServiceClient
+
+    host, port = _parse_connect(args.connect)
+    client = ServiceClient(host=host, port=port)
+
+    execute = None
+    if args.bench_sleep is not None:
+        # Fixed-cost synthetic execution: measures the fleet protocol
+        # (lease latency, queue scaling, recovery) independently of the
+        # pipeline and of how many cores this host has.
+        def execute(job_data):
+            time.sleep(args.bench_sleep)
+            return {
+                "schema": 1,
+                "job": job_data,
+                "status": "ok",
+                "elapsed_s": args.bench_sleep,
+                "evaluation": None,
+                "error": None,
+            }
+
+    worker = FleetWorker(
+        client,
+        worker_id=args.id,
+        cache_dir=args.cache_dir,
+        ttl=args.ttl,
+        poll=args.poll,
+        workload_packs=tuple(args.workloads),
+        execute=execute,
+        exit_on_drain=not args.stay_on_drain,
+        max_jobs=args.max_jobs,
+    )
+
+    # First signal: finish the lease in hand, then exit.  Second signal:
+    # release the lease back to the queue and exit right away.
+    def _on_signal(signum, frame) -> None:
+        if worker._stop.is_set():
+            worker.request_abort()
+        else:
+            print(
+                f"{worker.worker_id}: finishing current lease "
+                "(signal again to release and exit)",
+                file=sys.stderr,
+                flush=True,
+            )
+            worker.request_stop()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _on_signal)
+
+    print(
+        f"{worker.worker_id}: joining fleet at http://{host}:{port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    stats = worker.run()
+    print(json.dumps(stats.describe(), sort_keys=True), flush=True)
     return 0
 
 
@@ -1028,6 +1238,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _cmd_suite,
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
         "query": _cmd_query,
         "table2": _cmd_table2,
         "bench": _cmd_bench,

@@ -6,6 +6,16 @@ parallelism), consults the :class:`~repro.campaign.store.ResultStore`
 before scheduling anything, times every job, and captures failures as
 data instead of letting one bad configuration kill a whole sweep.
 
+Dispatch runs through the fleet's :class:`~repro.fleet.queue.LeaseQueue`
+— the driver leases chunks to its own pool exactly the way remote
+``repro worker`` processes lease jobs from the service — so the
+pending/leased/done bookkeeping, duplicate suppression and
+failure-capture semantics live in one place.  Here the queue runs in
+single-attempt mode: pool workers can't silently vanish without the
+future surfacing it, so a died worker's jobs complete as captured
+failures rather than retrying (retries are the *service* fleet's
+policy, where hosts genuinely disappear).
+
 Workers receive the job in its canonical dict form and return a
 JSON-safe payload, so exactly what crosses the process boundary is what
 lands in the cache — no pickling of live pipeline objects.
@@ -321,11 +331,34 @@ def run_campaign(
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    from repro.fleet.queue import LeaseQueue, error_payload
+
     stage_dir = None if store is None else str(store.stage_dir)
     keyed = [(job, job.key()) for job in jobs]
     results: Dict[str, JobResult] = {}
+    by_key: Dict[str, ExperimentJob] = {}
 
-    pending = []
+    def _finish(entry) -> None:
+        key = entry.key
+        job = by_key[key]
+        payload = entry.result_payload()
+        if store is not None and payload.get("status") == STATUS_OK:
+            store.save(key, dict(payload, key=key))
+        if sink is not None:
+            sink(key, dict(payload, key=key), False)
+        results[key] = _result_from_payload(job, key, payload, cached=False)
+        if results[key].status == STATUS_ERROR:
+            _log.warning(
+                "job failed", extra={"key": key, "benchmark": job.benchmark}
+            )
+        if progress is not None:
+            progress(results[key])
+
+    # Single-attempt queue: the pool below cannot lose a job silently
+    # (a dying worker surfaces as the chunk future's exception and the
+    # driver completes those jobs as failures), so expiry/retry stays
+    # off and the queue contributes dedup + dispatch + settlement.
+    fleet = LeaseQueue(ttl=1e9, max_attempts=1)
     seen = set()
     for job, key in keyed:
         if key in seen:  # duplicate job in the sequence
@@ -346,79 +379,70 @@ def run_campaign(
                 sink(key, dict(payload, key=key), True)
             if progress is not None:
                 progress(cached_result)
-        else:
-            pending.append((job, key))
+            continue
+        by_key[key] = job
+        fleet.submit(key, job.to_dict(), on_done=_finish)
+    n_pending = len(by_key)
 
-    def _finish(job: ExperimentJob, key: str, payload: Dict[str, Any]) -> None:
-        if store is not None and payload.get("status") == STATUS_OK:
-            store.save(key, dict(payload, key=key))
-        if sink is not None:
-            sink(key, dict(payload, key=key), False)
-        results[key] = _result_from_payload(job, key, payload, cached=False)
-        if results[key].status == STATUS_ERROR:
-            _log.warning(
-                "job failed", extra={"key": key, "benchmark": job.benchmark}
+    if n_jobs == 1 or n_pending <= 1:
+        while True:
+            grants = fleet.lease("driver-inline", max_jobs=1)
+            if not grants:
+                break
+            grant = grants[0]
+            fleet.complete(
+                "driver-inline",
+                grant.token,
+                execute_job_payload(grant.job, stage_dir),
             )
-        if progress is not None:
-            progress(results[key])
-
-    if n_jobs == 1 or len(pending) <= 1:
-        for job, key in pending:
-            _finish(job, key, execute_job_payload(job.to_dict(), stage_dir))
-    else:
-        workers = min(n_jobs, len(pending))
-        # Chunked submission: several jobs per worker round-trip cuts the
+    elif n_pending:
+        workers = min(n_jobs, n_pending)
+        # Chunked leases: several jobs per worker round-trip cuts the
         # per-job pickle/IPC overhead while keeping enough chunks in
         # flight (~4 per worker) for load balancing.  The cap bounds the
         # blast radius of a dying worker (a chunk's unreturned results
-        # are re-marked as failures); re-runs are cheap because the
-        # workers persist stage artifacts to the store's disk layer as
-        # they go, so only the final assembly of lost jobs repeats.
-        chunk_size = max(1, min(4, len(pending) // (workers * 4)))
-        chunks = [
-            pending[start : start + chunk_size]
-            for start in range(0, len(pending), chunk_size)
-        ]
+        # complete as failures); re-runs are cheap because the workers
+        # persist stage artifacts to the store's disk layer as they go,
+        # so only the final assembly of lost jobs repeats.
+        chunk_size = max(1, min(4, n_pending // (workers * 4)))
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
             initargs=(stage_dir, tuple(workload_packs), tracing_enabled()),
         ) as pool:
-            futures = {
-                pool.submit(
+            futures = {}
+            while True:
+                grants = fleet.lease("driver-pool", max_jobs=chunk_size)
+                if not grants:
+                    break
+                future = pool.submit(
                     _execute_chunk,
-                    [job.to_dict() for job, _key in chunk],
+                    [grant.job for grant in grants],
                     stage_dir,
-                ): chunk
-                for chunk in chunks
-            }
+                )
+                futures[future] = grants
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    chunk = futures[future]
+                    grants = futures[future]
                     try:
                         payloads = future.result()
                     except Exception as error:
                         # The worker died without returning (OOM kill,
-                        # segfault, broken pool): record the chunk's jobs
-                        # as failed instead of aborting the sweep.
+                        # segfault, broken pool): complete the chunk's
+                        # jobs as failed instead of aborting the sweep.
                         _log.error(
                             "worker died",
-                            extra={"jobs": len(chunk), "cause": repr(error)},
+                            extra={"jobs": len(grants), "cause": repr(error)},
                         )
                         payloads = [
-                            {
-                                "schema": 1,
-                                "job": job.to_dict(),
-                                "status": STATUS_ERROR,
-                                "elapsed_s": 0.0,
-                                "evaluation": None,
-                                "error": f"worker died: {error!r}",
-                            }
-                            for job, _key in chunk
+                            error_payload(
+                                grant.job, f"worker died: {error!r}"
+                            )
+                            for grant in grants
                         ]
-                    for (job, key), payload in zip(chunk, payloads):
-                        _finish(job, key, payload)
+                    for grant, payload in zip(grants, payloads):
+                        fleet.complete("driver-pool", grant.token, payload)
 
     return CampaignResult(results=[results[key] for _, key in keyed])

@@ -1,0 +1,47 @@
+"""Distributed worker fleet: lease-based job queue and worker protocol.
+
+The fleet layer scales job execution past one host.  Its core is the
+transport-agnostic :class:`~repro.fleet.queue.LeaseQueue` (pending →
+leased → done/failed with TTL expiry, work stealing and bounded retry);
+:class:`~repro.fleet.coordinator.FleetCoordinator` runs one inside the
+HTTP service (worker registry, metrics, store write-through), and
+:class:`~repro.fleet.worker.FleetWorker` is the pull-execute-complete
+loop behind ``python -m repro worker``.  See ``docs/fleet.md``.
+"""
+
+from repro.fleet.coordinator import (
+    LOCAL_WORKER,
+    FleetCoordinator,
+    LocalWorkerPump,
+    WorkerInfo,
+    default_worker_id,
+)
+from repro.fleet.queue import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    FleetError,
+    LeaseGrant,
+    LeaseQueue,
+    error_payload,
+)
+from repro.fleet.worker import FleetWorker, WorkerStats
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "LEASED",
+    "LOCAL_WORKER",
+    "PENDING",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetWorker",
+    "LeaseGrant",
+    "LeaseQueue",
+    "LocalWorkerPump",
+    "WorkerInfo",
+    "WorkerStats",
+    "default_worker_id",
+    "error_payload",
+]

@@ -1,0 +1,400 @@
+"""The service-side fleet brain: queue + workers + metrics + local pump.
+
+A :class:`FleetCoordinator` wraps one :class:`~repro.fleet.queue.LeaseQueue`
+with everything the HTTP service needs around it: an asyncio-friendly
+``submit`` returning a future, the idempotent :class:`ResultStore`
+write-through on accepted OK completions, a worker registry (who leased
+what, when last seen) surfaced in ``/stats``, fleet metrics surfaced at
+``/metrics``, and a background sweeper task that expires dead leases so
+work gets stolen even while no worker is polling.
+
+:class:`LocalWorkerPump` is the migration bridge: it makes the server's
+own executor behave as just another fleet worker (id ``local``), leasing
+from the same queue remote ``python -m repro worker`` processes pull
+from.  One dispatch path, N transports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+import traceback
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.fleet.queue import LeaseGrant, LeaseQueue, error_payload
+from repro.telemetry import counter, gauge, get_logger, histogram
+
+_log = get_logger("fleet")
+
+#: Registry twins of ``FleetCoordinator.stats()`` — what /metrics scrapes.
+_WORKERS = gauge(
+    "repro_fleet_workers",
+    "Fleet workers seen within the liveness window",
+)
+_LEASES = counter(
+    "repro_fleet_leases_total",
+    "Fleet lease protocol events "
+    "(granted, renewed, expired, completed, failed, ...)",
+)
+_LEASE_SECONDS = histogram(
+    "repro_fleet_lease_seconds",
+    "Grant-to-completion latency of accepted fleet leases",
+)
+
+#: Queue events that double as lease-protocol counter labels.
+_COUNTED_EVENTS = frozenset(
+    {
+        "granted",
+        "renewed",
+        "expired",
+        "completed",
+        "failed",
+        "released",
+        "requeued",
+        "rejected",
+    }
+)
+
+#: The in-process pump's worker id and its lease TTL.  The pump cannot
+#: silently die while the server lives, so its leases are effectively
+#: unexpirable — the TTL exists only so a crashed *server* restart
+#: would requeue cleanly if queue state ever became durable.
+LOCAL_WORKER = "local"
+LOCAL_LEASE_TTL = 3600.0
+
+_STATUS_OK = "ok"
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique enough per host, greppable in logs."""
+    import os
+
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerInfo:
+    """One fleet worker as the coordinator has observed it."""
+
+    id: str
+    first_seen: float
+    last_seen: float
+    leases: int = 0
+    completed: int = 0
+    failed: int = 0
+    active: Set[str] = field(default_factory=set)
+
+    def describe(self, now: float) -> Dict[str, Any]:
+        """JSON-safe view for ``/stats``."""
+        return {
+            "id": self.id,
+            "leases": self.leases,
+            "completed": self.completed,
+            "failed": self.failed,
+            "active": len(self.active),
+            "last_seen_s_ago": round(max(0.0, now - self.last_seen), 3),
+        }
+
+
+class FleetCoordinator:
+    """Owns the service's lease queue, worker registry and fleet metrics.
+
+    Construct off-loop freely; ``submit`` and :meth:`ensure_sweeper`
+    must run on the event loop.  The worker-protocol methods
+    (:meth:`lease` / :meth:`renew` / :meth:`release` / :meth:`complete`)
+    are plain synchronous calls — the HTTP layer invokes them on the
+    loop, tests from anywhere.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        ttl: float = 60.0,
+        max_attempts: int = 3,
+    ) -> None:
+        self._store = store
+        self.queue = LeaseQueue(ttl=ttl, max_attempts=max_attempts)
+        self.queue.add_observer(self._on_queue_event)
+        self._workers: Dict[str, WorkerInfo] = {}
+        self._sweeper: Optional[asyncio.Task] = None
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _on_queue_event(
+        self, event: str, key: str, info: Dict[str, Any]
+    ) -> None:
+        if event in _COUNTED_EVENTS:
+            _LEASES.inc(event=event)
+            self.counters[event] = self.counters.get(event, 0) + 1
+        if event == "completed" and "duration" in info:
+            _LEASE_SECONDS.observe(info["duration"])
+
+    def _touch(self, worker: str) -> WorkerInfo:
+        now = time.time()
+        known = self._workers.get(worker)
+        if known is None:
+            known = self._workers[worker] = WorkerInfo(
+                id=worker, first_seen=now, last_seen=now
+            )
+            _log.info("fleet worker joined", extra={"worker": worker})
+        known.last_seen = now
+        self._refresh_gauge(now)
+        return known
+
+    def _refresh_gauge(self, now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        window = max(30.0, 3.0 * self.queue.ttl)
+        live = sum(
+            1
+            for info in self._workers.values()
+            if now - info.last_seen <= window
+        )
+        _WORKERS.set(live)
+
+    # ------------------------------------------------------------------
+    # submission (loop side)
+    # ------------------------------------------------------------------
+    def submit(self, key: str, job_data: Dict[str, Any]) -> "asyncio.Future":
+        """Enqueue one job; the future resolves with its payload.
+
+        Terminal entries are evicted as their future resolves, so a
+        later resubmission of the same key runs fresh — the store, not
+        the queue, is the cache.  Must run on the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(entry) -> None:
+            payload = entry.result_payload()
+            self.queue.forget(key)
+
+            def resolve() -> None:
+                if not future.done():
+                    future.set_result(payload)
+
+            loop.call_soon_threadsafe(resolve)
+
+        self.queue.submit(key, job_data, on_done=on_done)
+        return future
+
+    # ------------------------------------------------------------------
+    # the worker protocol (transport-agnostic)
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        worker: str,
+        max_jobs: int = 1,
+        ttl: Optional[float] = None,
+    ) -> List[LeaseGrant]:
+        """Grant pending jobs to a worker and register its liveness."""
+        info = self._touch(worker)
+        grants = self.queue.lease(worker, max_jobs=max_jobs, ttl=ttl)
+        info.leases += len(grants)
+        info.active.update(grant.token for grant in grants)
+        return grants
+
+    def renew(
+        self,
+        worker: str,
+        tokens: List[str],
+        ttl: Optional[float] = None,
+    ) -> Dict[str, List[str]]:
+        """Heartbeat: extend a worker's leases; report lost ones."""
+        info = self._touch(worker)
+        outcome = self.queue.renew(worker, tokens, ttl=ttl)
+        for token in outcome["lost"]:
+            info.active.discard(token)
+        return outcome
+
+    def release(self, worker: str, token: str) -> bool:
+        """Voluntarily hand a leased job back (graceful shutdown)."""
+        info = self._touch(worker)
+        info.active.discard(token)
+        return self.queue.release(worker, token)
+
+    def complete(self, worker: str, token: str, payload: Dict[str, Any]):
+        """Finish a lease, writing accepted OK payloads through to the
+        result store *before* any waiter's future resolves.
+
+        Returns ``(accepted, reason)``.  The store write is keyed by
+        the leased job's content key, so completion is idempotent —
+        a re-run of the same job overwrites the entry with an
+        equivalent one, never duplicating results.
+        """
+        info = self._touch(worker)
+        key = self.queue.key_for_token(token, worker=worker)
+        if (
+            key is not None
+            and self._store is not None
+            and payload.get("status") == _STATUS_OK
+        ):
+            self._store.save(key, dict(payload, key=key))
+        accepted, reason = self.queue.complete(worker, token, payload)
+        info.active.discard(token)
+        if accepted:
+            if payload.get("status") == _STATUS_OK:
+                info.completed += 1
+            else:
+                info.failed += 1
+        return accepted, reason
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def ensure_sweeper(self) -> None:
+        """Start the lease-expiry sweeper task (idempotent, loop side)."""
+        if self._sweeper is None or self._sweeper.done():
+            self._sweeper = asyncio.get_running_loop().create_task(
+                self._sweep_forever()
+            )
+
+    async def _sweep_forever(self) -> None:
+        interval = max(0.05, min(0.5, self.queue.ttl / 4.0))
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self.queue.expire()
+                self._refresh_gauge()
+            except Exception:  # the sweeper must outlive any hiccup
+                _log.warning("fleet sweeper iteration failed")
+
+    def drain(self) -> None:
+        """Stop granting new leases (completions stay accepted)."""
+        if not self.queue.draining:
+            _log.info("fleet draining: no new leases will be granted")
+        self.queue.drain()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` was called."""
+        return self.queue.draining
+
+    async def close(self) -> None:
+        """Cancel the sweeper."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._sweeper = None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` fleet section."""
+        now = time.time()
+        return {
+            "draining": self.queue.draining,
+            "queue": self.queue.stats(),
+            "leases": dict(sorted(self.counters.items())),
+            "workers": [
+                info.describe(now)
+                for info in sorted(
+                    self._workers.values(), key=lambda w: w.first_seen
+                )
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+class LocalWorkerPump:
+    """The server's own executor, dressed as a fleet worker.
+
+    Leases up to ``slots`` jobs from the coordinator under the id
+    ``local`` and runs each payload on the given executor, completing
+    back through the same protocol remote workers use.  Wakes on
+    submission (via a queue observer), on a slot freeing up, and on a
+    one-second safety tick.
+    """
+
+    def __init__(
+        self,
+        coordinator: FleetCoordinator,
+        executor_factory: Callable[[], Executor],
+        run_payload: Callable[..., Dict[str, Any]],
+        stage_dir: Optional[str],
+        slots: int,
+    ) -> None:
+        self._coordinator = coordinator
+        self._executor_factory = executor_factory
+        self._run_payload = run_payload
+        self._stage_dir = stage_dir
+        self._slots = max(1, slots)
+        self._active: Set[asyncio.Task] = set()
+        self._wake: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+
+    def ensure_started(self) -> None:
+        """Start the pump loop (idempotent, loop side)."""
+        if self._task is None or self._task.done():
+            loop = asyncio.get_running_loop()
+            self._wake = asyncio.Event()
+            self._coordinator.queue.add_observer(self._on_queue_event(loop))
+            self._task = loop.create_task(self._run())
+
+    def _on_queue_event(self, loop: asyncio.AbstractEventLoop):
+        def observer(event: str, key: str, info: Dict[str, Any]) -> None:
+            if event in ("submitted", "requeued") and self._wake is not None:
+                loop.call_soon_threadsafe(self._wake.set)
+
+        return observer
+
+    async def _run(self) -> None:
+        assert self._wake is not None
+        while True:
+            free = self._slots - len(self._active)
+            if free > 0:
+                grants = self._coordinator.lease(
+                    LOCAL_WORKER, max_jobs=free, ttl=LOCAL_LEASE_TTL
+                )
+                for grant in grants:
+                    task = asyncio.get_running_loop().create_task(
+                        self._execute(grant)
+                    )
+                    self._active.add(task)
+                    task.add_done_callback(self._job_finished)
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+
+    def _job_finished(self, task: asyncio.Task) -> None:
+        self._active.discard(task)
+        if self._wake is not None:
+            self._wake.set()
+
+    async def _execute(self, grant: LeaseGrant) -> None:
+        try:
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._executor_factory(),
+                self._run_payload,
+                grant.job,
+                self._stage_dir,
+            )
+        except asyncio.CancelledError:
+            self._coordinator.release(LOCAL_WORKER, grant.token)
+            raise
+        except Exception:
+            # A broken pool (worker process killed) surfaces here; turn
+            # it into a captured per-job failure like the campaign does.
+            payload = error_payload(
+                grant.job, f"local worker died:\n{traceback.format_exc()}"
+            )
+        self._coordinator.complete(LOCAL_WORKER, grant.token, payload)
+
+    async def close(self) -> None:
+        """Cancel the pump loop and any in-flight local jobs."""
+        tasks = [self._task] if self._task is not None else []
+        tasks.extend(self._active)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._task = None
+        self._active.clear()

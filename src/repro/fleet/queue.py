@@ -1,0 +1,538 @@
+"""The lease-based job queue: the fleet's state machine.
+
+One :class:`LeaseQueue` tracks content-addressed jobs through
+``pending -> leased -> done | failed``.  Workers *pull*: a lease grants
+one job to one worker for a bounded TTL; the worker either completes it
+(an OK or error payload), renews the lease while still computing,
+releases it (graceful abort), or silently dies — in which case the
+lease expires and the job returns to ``pending`` for any other worker
+to steal.  Every grant carries a fresh token, so a late completion from
+an expired lease is detected and rejected ("late writer loses"), and a
+job can never be leased twice concurrently.
+
+The queue is deliberately transport- and execution-agnostic: the
+campaign executor drives it with an in-process pool, the service's
+:class:`~repro.fleet.coordinator.FleetCoordinator` exposes it over
+HTTP to ``python -m repro worker`` processes, and tests drive it
+directly.  Jobs are plain dicts (the canonical
+:meth:`~repro.campaign.job.ExperimentJob.to_dict` form) keyed by
+:meth:`~repro.campaign.job.ExperimentJob.key`, so completion is
+idempotent by construction — the same key always means the same work.
+
+Thread-safe; completion callbacks and observer events fire outside the
+internal lock, in the thread that triggered the transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.telemetry import get_logger
+
+_log = get_logger("fleet")
+
+#: Job states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+#: ``status`` of a job payload (mirrors the campaign executor's).
+_STATUS_OK = "ok"
+
+
+class FleetError(ReproError):
+    """A fleet operation was malformed (bad TTL, unknown job...)."""
+
+
+def error_payload(job_data: Dict[str, Any], error: str) -> Dict[str, Any]:
+    """A synthetic error payload for jobs that died without one."""
+    return {
+        "schema": 1,
+        "job": job_data,
+        "status": "error",
+        "elapsed_s": 0.0,
+        "evaluation": None,
+        "error": error,
+    }
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One granted lease: the worker's license to compute one job."""
+
+    key: str
+    token: str
+    worker: str
+    job: Dict[str, Any]
+    ttl: float
+    attempt: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the ``/v1/fleet/lease`` response item)."""
+        return {
+            "key": self.key,
+            "token": self.token,
+            "job": self.job,
+            "ttl": self.ttl,
+            "attempt": self.attempt,
+        }
+
+
+@dataclass
+class _Entry:
+    """Internal per-job record."""
+
+    key: str
+    job: Dict[str, Any]
+    state: str = PENDING
+    attempts: int = 0
+    token: Optional[str] = None
+    worker: Optional[str] = None
+    deadline: Optional[float] = None
+    leased_at: Optional[float] = None
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    callbacks: List[Callable[["_Entry"], None]] = field(default_factory=list)
+
+    def result_payload(self) -> Dict[str, Any]:
+        """The payload consumers see: the real one, or a synthesized
+        error payload for jobs that failed without ever completing
+        (retry cap hit through lease expiry)."""
+        if self.payload is not None:
+            return self.payload
+        return error_payload(self.job, self.error or "job failed")
+
+
+class LeaseQueue:
+    """Pending/leased/done job tracking with TTL leases and retries.
+
+    ``ttl`` is the default lease lifetime; ``max_attempts`` caps how
+    many times a job may be leased before an expiry marks it failed
+    (the bounded-retry guarantee: a job whose workers keep dying does
+    not circulate forever).  ``retry_errors`` additionally requeues
+    jobs whose workers *returned* an error payload, up to the same
+    attempt cap — off by default, because pipeline failures are
+    deterministic and retrying them only wastes fleet time.
+
+    ``observer`` (or :meth:`add_observer`) receives
+    ``(event, key, info)`` tuples for telemetry: events are
+    ``submitted``, ``granted``, ``renewed``, ``released``,
+    ``completed``, ``rejected``, ``expired``, ``requeued``, ``failed``.
+    """
+
+    def __init__(
+        self,
+        ttl: float = 60.0,
+        max_attempts: int = 3,
+        retry_errors: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl <= 0:
+            raise FleetError(f"lease ttl must be positive, got {ttl}")
+        if max_attempts < 1:
+            raise FleetError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.ttl = float(ttl)
+        self.max_attempts = int(max_attempts)
+        self.retry_errors = bool(retry_errors)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self._pending: Deque[str] = deque()
+        self._by_token: Dict[str, str] = {}
+        self._token_counter = itertools.count(1)
+        self._draining = False
+        self._observers: List[Callable[[str, str, Dict[str, Any]], None]] = []
+
+    # ------------------------------------------------------------------
+    # observers and notification plumbing
+    # ------------------------------------------------------------------
+    def add_observer(
+        self, observer: Callable[[str, str, Dict[str, Any]], None]
+    ) -> None:
+        """Register a telemetry observer for queue events."""
+        self._observers.append(observer)
+
+    def _emit(
+        self, events: Sequence[Tuple[str, str, Dict[str, Any]]]
+    ) -> None:
+        for event, key, info in events:
+            for observer in self._observers:
+                try:
+                    observer(event, key, info)
+                except Exception:  # telemetry must never break the queue
+                    pass
+
+    def _fire(self, fired: Sequence[Tuple[Callable, _Entry]]) -> None:
+        for callback, entry in fired:
+            try:
+                callback(entry)
+            except Exception:
+                _log.warning(
+                    "queue callback raised", extra={"key": entry.key}
+                )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        key: str,
+        job_data: Dict[str, Any],
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> bool:
+        """Enqueue one job; idempotent by key.
+
+        Returns True when the job was newly added.  ``on_done`` is
+        called exactly once with the entry when the job reaches a
+        terminal state — immediately, if it already has.
+        """
+        fire_now: Optional[_Entry] = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry(key=key, job=job_data)
+                if on_done is not None:
+                    entry.callbacks.append(on_done)
+                self._entries[key] = entry
+                self._pending.append(key)
+                added = True
+            else:
+                added = False
+                if on_done is not None:
+                    if entry.state in (DONE, FAILED):
+                        fire_now = entry
+                    else:
+                        entry.callbacks.append(on_done)
+        if added:
+            self._emit([("submitted", key, {})])
+        if fire_now is not None and on_done is not None:
+            self._fire([(on_done, fire_now)])
+        return added
+
+    # ------------------------------------------------------------------
+    # the worker-facing protocol
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        worker: str,
+        max_jobs: int = 1,
+        ttl: Optional[float] = None,
+    ) -> List[LeaseGrant]:
+        """Grant up to ``max_jobs`` pending jobs to ``worker``.
+
+        Expired leases are swept first, so an actively polling fleet
+        performs its own work stealing even without a background
+        sweeper.  While draining, no new leases are granted.
+        """
+        if not worker:
+            raise FleetError("lease needs a non-empty worker id")
+        lease_ttl = self.ttl if ttl is None else float(ttl)
+        if lease_ttl <= 0:
+            raise FleetError(f"lease ttl must be positive, got {ttl}")
+        now = self._clock()
+        grants: List[LeaseGrant] = []
+        with self._lock:
+            events, fired = self._expire_locked(now)
+            if not self._draining:
+                while self._pending and len(grants) < max_jobs:
+                    key = self._pending.popleft()
+                    entry = self._entries[key]
+                    if entry.state != PENDING:  # defensive; should not happen
+                        continue
+                    entry.state = LEASED
+                    entry.attempts += 1
+                    entry.worker = worker
+                    entry.token = f"{key}#{next(self._token_counter)}"
+                    entry.deadline = now + lease_ttl
+                    entry.leased_at = now
+                    self._by_token[entry.token] = key
+                    grants.append(
+                        LeaseGrant(
+                            key=key,
+                            token=entry.token,
+                            worker=worker,
+                            job=entry.job,
+                            ttl=lease_ttl,
+                            attempt=entry.attempts,
+                        )
+                    )
+        events = list(events) + [
+            ("granted", grant.key, {"worker": worker}) for grant in grants
+        ]
+        self._emit(events)
+        self._fire(fired)
+        return grants
+
+    def renew(
+        self,
+        worker: str,
+        tokens: Sequence[str],
+        ttl: Optional[float] = None,
+    ) -> Dict[str, List[str]]:
+        """Extend leases; returns which tokens renewed and which are lost.
+
+        A token is lost when its lease expired (and was requeued or
+        re-leased) or was never granted — the worker should abandon
+        that job, because its eventual completion will be rejected.
+        """
+        lease_ttl = self.ttl if ttl is None else float(ttl)
+        now = self._clock()
+        renewed: List[str] = []
+        lost: List[str] = []
+        with self._lock:
+            events, fired = self._expire_locked(now)
+            for token in tokens:
+                key = self._by_token.get(token)
+                entry = self._entries.get(key) if key is not None else None
+                if (
+                    entry is not None
+                    and entry.state == LEASED
+                    and entry.token == token
+                    and entry.worker == worker
+                ):
+                    entry.deadline = now + lease_ttl
+                    renewed.append(token)
+                else:
+                    lost.append(token)
+        self._emit(
+            list(events)
+            + [("renewed", self._by_token.get(t, "?"), {}) for t in renewed]
+        )
+        self._fire(fired)
+        return {"renewed": renewed, "lost": lost}
+
+    def release(self, worker: str, token: str) -> bool:
+        """Voluntarily return a leased job to pending (graceful abort).
+
+        The released attempt is un-counted — a worker politely handing
+        work back should not burn the job's retry budget.
+        """
+        with self._lock:
+            key = self._by_token.get(token)
+            entry = self._entries.get(key) if key is not None else None
+            if (
+                entry is None
+                or entry.state != LEASED
+                or entry.token != token
+                or entry.worker != worker
+            ):
+                return False
+            entry.attempts -= 1
+            self._requeue_locked(entry)
+        self._emit([("released", entry.key, {"worker": worker})])
+        return True
+
+    def complete(
+        self, worker: str, token: str, payload: Dict[str, Any]
+    ) -> Tuple[bool, Optional[str]]:
+        """Finish a leased job with its result payload.
+
+        Returns ``(accepted, reason)``.  A completion is rejected when
+        its token is no longer the job's current lease — the lease
+        expired and the job was requeued or completed by another
+        worker — or when the worker id does not match the grant.  An
+        accepted error payload either requeues the job
+        (``retry_errors``, attempts remaining) or records the failure.
+        """
+        events: List[Tuple[str, str, Dict[str, Any]]] = []
+        fired: List[Tuple[Callable, _Entry]] = []
+        with self._lock:
+            key = self._by_token.get(token)
+            entry = self._entries.get(key) if key is not None else None
+            if entry is None or entry.state != LEASED or entry.token != token:
+                self._emit([("rejected", key or "?", {"worker": worker})])
+                return False, "unknown or superseded lease"
+            if entry.worker != worker:
+                self._emit([("rejected", entry.key, {"worker": worker})])
+                return False, f"lease is held by {entry.worker!r}"
+            duration = self._clock() - (entry.leased_at or self._clock())
+            if payload.get("status") == _STATUS_OK:
+                fired = self._settle_locked(entry, DONE, payload=payload)
+                events.append(
+                    ("completed", entry.key, {
+                        "worker": worker, "duration": duration,
+                    })
+                )
+            elif self.retry_errors and entry.attempts < self.max_attempts:
+                entry.payload = None
+                self._requeue_locked(entry)
+                events.append(("requeued", entry.key, {"worker": worker}))
+            else:
+                fired = self._settle_locked(
+                    entry, FAILED, payload=payload,
+                    error=str(payload.get("error") or "job failed"),
+                )
+                events.append(
+                    ("failed", entry.key, {
+                        "worker": worker, "duration": duration,
+                    })
+                )
+        self._emit(events)
+        self._fire(fired)
+        return True, None
+
+    # ------------------------------------------------------------------
+    # expiry / drain
+    # ------------------------------------------------------------------
+    def expire(self, now: Optional[float] = None) -> List[str]:
+        """Sweep expired leases; returns the affected job keys.
+
+        Each expired job is requeued for stealing, or — at the attempt
+        cap — marked failed with a captured explanation.
+        """
+        with self._lock:
+            events, fired = self._expire_locked(
+                self._clock() if now is None else now
+            )
+        self._emit(events)
+        self._fire(fired)
+        return [key for event, key, _info in events if event == "expired"]
+
+    def _expire_locked(self, now: float):
+        events: List[Tuple[str, str, Dict[str, Any]]] = []
+        fired: List[Tuple[Callable, _Entry]] = []
+        for entry in self._entries.values():
+            if (
+                entry.state == LEASED
+                and entry.deadline is not None
+                and entry.deadline < now
+            ):
+                worker = entry.worker
+                events.append(("expired", entry.key, {"worker": worker}))
+                if entry.attempts >= self.max_attempts:
+                    fired.extend(
+                        self._settle_locked(
+                            entry,
+                            FAILED,
+                            error=(
+                                f"lease expired {entry.attempts} time(s) "
+                                f"(last worker {worker!r} presumed dead); "
+                                f"retry cap {self.max_attempts} reached"
+                            ),
+                        )
+                    )
+                    events.append(("failed", entry.key, {"worker": worker}))
+                else:
+                    self._requeue_locked(entry)
+                    events.append(("requeued", entry.key, {"worker": worker}))
+        return events, fired
+
+    def drain(self) -> None:
+        """Stop granting new leases (in-flight leases stay honoured)."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` was called."""
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # state transitions (call with the lock held)
+    # ------------------------------------------------------------------
+    def _requeue_locked(self, entry: _Entry) -> None:
+        if entry.token is not None:
+            self._by_token.pop(entry.token, None)
+        entry.state = PENDING
+        entry.token = None
+        entry.worker = None
+        entry.deadline = None
+        entry.leased_at = None
+        self._pending.append(entry.key)
+
+    def _settle_locked(
+        self,
+        entry: _Entry,
+        state: str,
+        payload: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> List[Tuple[Callable, _Entry]]:
+        if entry.token is not None:
+            self._by_token.pop(entry.token, None)
+        entry.state = state
+        entry.token = None
+        entry.worker = None
+        entry.deadline = None
+        entry.payload = payload
+        entry.error = error if error is not None else (
+            None if payload is None else payload.get("error")
+        )
+        fired = [(callback, entry) for callback in entry.callbacks]
+        entry.callbacks = []
+        return fired
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def key_for_token(
+        self, token: str, worker: Optional[str] = None
+    ) -> Optional[str]:
+        """The job key a token currently leases, or None.
+
+        With ``worker`` given, the token must also be held by that
+        worker — the write-through path uses this to refuse saving a
+        payload posted under somebody else's lease.
+        """
+        with self._lock:
+            key = self._by_token.get(token)
+            if key is None:
+                return None
+            entry = self._entries.get(key)
+            if entry is None or entry.token != token:
+                return None
+            if worker is not None and entry.worker != worker:
+                return None
+            return key
+
+    def forget(self, key: str) -> bool:
+        """Drop a *terminal* entry (keeps a long-lived queue bounded).
+
+        The service coordinator evicts each job once its waiter has the
+        payload: the result store is the durable record, and evicting
+        means a later resubmission of the same key re-runs — which is
+        exactly the "failures are never cached" contract.  Returns True
+        when an entry was removed; pending/leased entries are kept.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state not in (DONE, FAILED):
+                return False
+            del self._entries[key]
+            return True
+
+    def entry_state(self, key: str) -> Optional[str]:
+        """The state of one job (None when unknown)."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry.state
+
+    def result(self, key: str) -> Optional[Dict[str, Any]]:
+        """The terminal payload of one job (None until settled)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.state not in (DONE, FAILED):
+            return None
+        return entry.result_payload()
+
+    def stats(self) -> Dict[str, int]:
+        """Job counts by state, plus the total."""
+        with self._lock:
+            counts = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+            for entry in self._entries.values():
+                counts[entry.state] += 1
+            counts["total"] = len(self._entries)
+            return counts
+
+    @property
+    def settled(self) -> bool:
+        """True when every submitted job reached a terminal state."""
+        with self._lock:
+            return all(
+                entry.state in (DONE, FAILED)
+                for entry in self._entries.values()
+            )

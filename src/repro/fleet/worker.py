@@ -1,0 +1,254 @@
+"""The remote fleet worker: lease, execute, heartbeat, complete.
+
+One :class:`FleetWorker` is the client half of the worker-pull protocol
+— what ``python -m repro worker --connect <url>`` runs.  It polls the
+service for leases, executes each job locally through the same
+:func:`~repro.campaign.executor.execute_job_payload` path campaign pool
+workers use (with :func:`_worker_init`'s warm registries and, when a
+cache dir is given, the shared on-disk stage cache), renews the lease
+while computing, and posts the payload back.
+
+Results are *only* written server-side: the coordinator saves accepted
+OK payloads into its result store, so workers need no shared
+filesystem — a host joins the fleet with nothing but the service URL.
+Campaign resume semantics follow for free: the service answers
+store-cached keys before they ever reach the queue, so workers only
+see genuinely uncomputed jobs.
+
+Shutdown is graceful by default: :meth:`request_stop` (the CLI's first
+SIGINT/SIGTERM) finishes the in-flight lease before exiting, while
+:meth:`request_abort` (a second signal) releases the lease back to the
+queue so another worker picks it up immediately instead of waiting for
+expiry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.fleet.coordinator import default_worker_id
+from repro.fleet.queue import error_payload
+from repro.telemetry import get_logger
+
+_log = get_logger("fleet")
+
+#: How many consecutive connection failures before the worker gives up
+#: (the service is gone, not just busy).
+_MAX_CONNECT_FAILURES = 30
+
+
+@dataclass
+class WorkerStats:
+    """What one worker run did, for logs and tests."""
+
+    leased: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    released: int = 0
+    lost: int = 0
+    errors: int = 0
+    stopped_by: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary."""
+        return {
+            "leased": self.leased,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "released": self.released,
+            "lost": self.lost,
+            "errors": self.errors,
+            "stopped_by": self.stopped_by,
+        }
+
+
+class FleetWorker:
+    """Pull-execute-complete loop against one service.
+
+    ``client`` is a :class:`~repro.service.client.ServiceClient` (or
+    anything with its ``fleet_*`` methods).  ``execute`` runs one job
+    dict to a payload dict and is injectable for tests and the
+    fixed-cost bench mode; the default is the real pipeline.
+
+    ``ttl`` is the lease TTL requested from the server; the worker
+    heartbeats at ``ttl / 3``.  ``poll`` is the idle sleep between
+    empty lease attempts.  ``exit_on_drain`` ends the loop once the
+    server reports it is draining and no lease is held.
+    """
+
+    def __init__(
+        self,
+        client,
+        worker_id: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        ttl: float = 60.0,
+        poll: float = 1.0,
+        workload_packs: Sequence[str] = (),
+        execute: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        exit_on_drain: bool = True,
+        max_jobs: Optional[int] = None,
+    ) -> None:
+        self.client = client
+        self.worker_id = worker_id or default_worker_id()
+        self.ttl = float(ttl)
+        self.poll = float(poll)
+        self.workload_packs = tuple(workload_packs)
+        self.exit_on_drain = exit_on_drain
+        self.max_jobs = max_jobs  # None = run until drain/stop
+        self.stats = WorkerStats()
+        self._stage_dir: Optional[str] = None
+        if cache_dir is not None:
+            from repro.campaign.store import ResultStore
+
+            self._stage_dir = str(ResultStore(cache_dir).stage_dir)
+        if execute is None:
+            from repro.campaign.executor import execute_job_payload
+
+            execute = lambda job: execute_job_payload(  # noqa: E731
+                job, self._stage_dir
+            )
+        self._execute = execute
+        self._stop = threading.Event()
+        self._abort = threading.Event()
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Finish the current lease, then exit (first SIGINT/SIGTERM)."""
+        self._stop.set()
+
+    def request_abort(self) -> None:
+        """Release the current lease and exit now (second signal)."""
+        self._stop.set()
+        self._abort.set()
+
+    # ------------------------------------------------------------------
+    def _warm(self) -> None:
+        """Campaign-worker startup: stage cache + registries, once."""
+        from repro.campaign.executor import _worker_init
+
+        _worker_init(self._stage_dir, self.workload_packs)
+
+    def run(self) -> WorkerStats:
+        """The worker loop; returns once stopped, drained or cut off."""
+        self._warm()
+        _log.info(
+            "fleet worker starting",
+            extra={"worker": self.worker_id, "ttl": self.ttl},
+        )
+        connect_failures = 0
+        while not self._stop.is_set():
+            if (
+                self.max_jobs is not None
+                and self.stats.leased >= self.max_jobs
+            ):
+                self.stats.stopped_by = "max_jobs"
+                break
+            try:
+                response = self.client.fleet_lease(
+                    self.worker_id, max_jobs=1, ttl=self.ttl
+                )
+            except Exception:
+                connect_failures += 1
+                if connect_failures >= _MAX_CONNECT_FAILURES:
+                    self.stats.stopped_by = "server unreachable"
+                    break
+                self._stop.wait(self.poll)
+                continue
+            connect_failures = 0
+            leases = response.get("leases", ())
+            if not leases:
+                if response.get("draining") and self.exit_on_drain:
+                    self.stats.stopped_by = "drain"
+                    break
+                self._stop.wait(self.poll)
+                continue
+            for grant in leases:
+                self.stats.leased += 1
+                self._run_lease(grant)
+        if self.stats.stopped_by is None:
+            self.stats.stopped_by = "stop requested"
+        _log.info(
+            "fleet worker exiting",
+            extra={"worker": self.worker_id, **self.stats.describe()},
+        )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _run_lease(self, grant: Dict[str, Any]) -> None:
+        """Execute one granted job with heartbeats; post the outcome."""
+        token = grant["token"]
+        job_data = grant["job"]
+        outcome: Dict[str, Any] = {}
+        done = threading.Event()
+
+        def compute() -> None:
+            try:
+                outcome["payload"] = self._execute(job_data)
+            except Exception as error:  # execute_job_payload never raises,
+                # but injected runners (and the bench mode) might.
+                outcome["payload"] = error_payload(
+                    job_data, f"worker execution raised: {error!r}"
+                )
+            finally:
+                done.set()
+
+        # Daemon thread: an abort abandons the computation rather than
+        # blocking exit on it (the released job re-runs elsewhere).
+        thread = threading.Thread(target=compute, daemon=True)
+        thread.start()
+        next_renew = time.monotonic() + self.ttl / 3.0
+        lease_lost = False
+        while not done.wait(0.1):
+            if self._abort.is_set():
+                try:
+                    self.client.fleet_release(self.worker_id, token)
+                    self.stats.released += 1
+                except Exception:
+                    self.stats.errors += 1
+                return
+            now = time.monotonic()
+            if now >= next_renew:
+                next_renew = now + self.ttl / 3.0
+                try:
+                    renewal = self.client.fleet_renew(
+                        self.worker_id, [token], ttl=self.ttl
+                    )
+                except Exception:
+                    self.stats.errors += 1  # transient; retry next beat
+                    continue
+                if token in renewal.get("lost", ()):
+                    # The lease expired under us and the job was given
+                    # away: our eventual result would be rejected, so
+                    # stop wasting compute on it.
+                    lease_lost = True
+                    break
+        if lease_lost:
+            self.stats.lost += 1
+            return
+        payload = outcome["payload"]
+        accepted = False
+        for attempt in range(3):
+            try:
+                reply = self.client.fleet_complete(
+                    self.worker_id, token, payload
+                )
+            except Exception:
+                self.stats.errors += 1
+                time.sleep(0.2 * (attempt + 1))
+                continue
+            accepted = bool(reply.get("accepted"))
+            break
+        else:
+            return  # completion never reached the server
+        if not accepted:
+            self.stats.rejected += 1
+        elif payload.get("status") == "ok":
+            self.stats.completed += 1
+        else:
+            self.stats.failed += 1

@@ -12,11 +12,17 @@ Layers:
 
 * :mod:`repro.service.jobs` — the asyncio :class:`JobManager`:
   submission, two-level dedup (in-flight futures + result store),
-  events, executor bridging.
+  events, and dispatch through the :mod:`repro.fleet` coordinator.
 * :mod:`repro.service.http` — a stdlib-only HTTP/1.1 server exposing
-  the manager and warehouse, plus :func:`start_in_thread` for embedding.
-* :mod:`repro.service.client` — a blocking client for scripts, benches
-  and CI smoke tests.
+  the manager, warehouse and fleet worker protocol, plus
+  :func:`start_in_thread` for embedding.
+* :mod:`repro.service.client` — a blocking client for scripts, benches,
+  CI smoke tests and ``repro worker``.
+
+Execution scales horizontally: jobs queue on the manager's
+:class:`~repro.fleet.coordinator.FleetCoordinator` and are pulled by
+the in-process worker pump and/or remote ``python -m repro worker``
+processes (see ``docs/fleet.md``).
 """
 
 from repro.service.jobs import (

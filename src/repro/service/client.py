@@ -175,6 +175,55 @@ class ServiceClient:
             connection.close()
 
     # ------------------------------------------------------------------
+    # the fleet worker protocol
+    # ------------------------------------------------------------------
+    def fleet_lease(
+        self,
+        worker: str,
+        max_jobs: int = 1,
+        ttl: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/fleet/lease``: pull up to ``max_jobs`` jobs."""
+        body: Dict[str, Any] = {"worker": worker, "max_jobs": max_jobs}
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self._ok("POST", "/v1/fleet/lease", body=body)
+
+    def fleet_complete(
+        self, worker: str, token: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """``POST /v1/fleet/complete``: post a finished job's payload."""
+        return self._ok(
+            "POST",
+            "/v1/fleet/complete",
+            body={"worker": worker, "token": token, "payload": payload},
+        )
+
+    def fleet_renew(
+        self,
+        worker: str,
+        tokens: list,
+        ttl: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/fleet/renew``: heartbeat held leases."""
+        body: Dict[str, Any] = {"worker": worker, "tokens": tokens}
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self._ok("POST", "/v1/fleet/renew", body=body)
+
+    def fleet_release(self, worker: str, token: str) -> Dict[str, Any]:
+        """``POST /v1/fleet/release``: hand a leased job back."""
+        return self._ok(
+            "POST",
+            "/v1/fleet/release",
+            body={"worker": worker, "token": token},
+        )
+
+    def fleet_drain(self) -> Dict[str, Any]:
+        """``POST /v1/fleet/drain``: stop granting new leases."""
+        return self._ok("POST", "/v1/fleet/drain")
+
+    # ------------------------------------------------------------------
     def query_best(self, **query: Any) -> Any:
         """``GET /v1/query/best``."""
         return self._ok("GET", "/v1/query/best", query=query)["best"]

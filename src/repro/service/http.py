@@ -20,6 +20,8 @@ Endpoints (see ``docs/service.md`` for the full contract):
 * ``GET  /v1/jobs/<id>/events`` — ndjson event stream until terminal,
 * ``GET  /v1/query/pareto | best | diff | campaigns | spans`` —
   warehouse queries,
+* ``POST /v1/fleet/lease | complete | renew | release | drain`` — the
+  worker-pull fleet protocol (see ``docs/fleet.md``),
 * ``GET  /metrics`` — Prometheus text exposition of the process-wide
   metrics registry.
 """
@@ -33,6 +35,7 @@ import time
 import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
+from repro.fleet.queue import FleetError
 from repro.service.jobs import JobManager, ServiceError
 from repro.telemetry import counter, histogram, render_prometheus
 from repro.warehouse.queries import (
@@ -80,6 +83,10 @@ def _endpoint_label(path: str) -> str:
         op = path[len("/v1/query/"):]
         if op in ("pareto", "best", "diff", "campaigns", "spans"):
             return f"/v1/query/{op}"
+    if path.startswith("/v1/fleet/"):
+        op = path[len("/v1/fleet/"):]
+        if op in ("lease", "complete", "renew", "release", "drain"):
+            return f"/v1/fleet/{op}"
     return "other"
 
 #: Largest accepted request body.
@@ -239,7 +246,7 @@ class ServiceServer:
                 writer.write(
                     _json_response(error.status, {"error": error.message})
                 )
-            except ServiceError as error:
+            except (ServiceError, FleetError) as error:
                 writer.write(_json_response(400, {"error": str(error)}))
             except Exception as error:  # never kill the accept loop
                 writer.write(
@@ -287,6 +294,7 @@ class ServiceServer:
             return
         if path == "/stats" and method == "GET":
             stats: Dict[str, Any] = {"jobs": dict(manager.stats)}
+            stats["fleet"] = manager.fleet.stats()
             if manager.warehouse is not None:
                 stats["warehouse"] = manager.warehouse.summary()
             if manager.store is not None:
@@ -321,7 +329,103 @@ class ServiceServer:
         if path.startswith("/v1/query/"):
             self._route_query(writer, method, path, query)
             return
+        if path.startswith("/v1/fleet/"):
+            self._route_fleet(writer, method, path, body)
+            return
         raise _HttpError(404, f"no such endpoint: {method} {path}")
+
+    # ------------------------------------------------------------------
+    # the worker-pull fleet protocol
+    # ------------------------------------------------------------------
+    #: Accepted lease TTL range: long enough to be renewable over a slow
+    #: link, short enough that a dead worker's jobs requeue promptly.
+    _FLEET_TTL_RANGE = (1.0, 900.0)
+
+    def _route_fleet(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+    ) -> None:
+        if method != "POST":
+            raise _HttpError(405, "fleet endpoints take POST")
+        fleet = self._manager.fleet
+        op = path[len("/v1/fleet/"):]
+        body = body or {}
+
+        def ttl_of() -> Optional[float]:
+            raw = body.get("ttl")
+            if raw is None:
+                return None
+            try:
+                ttl = float(raw)
+            except (TypeError, ValueError) as error:
+                raise _HttpError(400, "malformed ttl") from error
+            low, high = self._FLEET_TTL_RANGE
+            return min(high, max(low, ttl))
+
+        def worker_of() -> str:
+            worker = body.get("worker")
+            if not worker or not isinstance(worker, str):
+                raise _HttpError(400, "fleet requests need a 'worker' id")
+            return worker
+
+        if op == "drain":
+            self._manager.drain()
+            writer.write(_json_response(200, {"draining": True}))
+            return
+        if op == "lease":
+            fleet.ensure_sweeper()
+            try:
+                max_jobs = int(body.get("max_jobs", 1))
+            except (TypeError, ValueError) as error:
+                raise _HttpError(400, "malformed max_jobs") from error
+            grants = fleet.lease(
+                worker_of(), max_jobs=max(1, min(64, max_jobs)), ttl=ttl_of()
+            )
+            writer.write(
+                _json_response(
+                    200,
+                    {
+                        "leases": [grant.to_dict() for grant in grants],
+                        "draining": fleet.draining,
+                        "pending": fleet.queue.stats()["pending"],
+                    },
+                )
+            )
+            return
+        if op == "complete":
+            token = body.get("token")
+            payload = body.get("payload")
+            if not token or not isinstance(token, str):
+                raise _HttpError(400, "complete needs the lease 'token'")
+            if not isinstance(payload, dict) or "status" not in payload:
+                raise _HttpError(
+                    400, "complete needs a job 'payload' with a status"
+                )
+            accepted, reason = fleet.complete(worker_of(), token, payload)
+            writer.write(
+                _json_response(200, {"accepted": accepted, "reason": reason})
+            )
+            return
+        if op == "renew":
+            tokens = body.get("tokens")
+            if not isinstance(tokens, list):
+                raise _HttpError(400, "renew needs a 'tokens' list")
+            outcome = fleet.renew(worker_of(), tokens, ttl=ttl_of())
+            writer.write(
+                _json_response(200, {**outcome, "draining": fleet.draining})
+            )
+            return
+        if op == "release":
+            token = body.get("token")
+            if not token or not isinstance(token, str):
+                raise _HttpError(400, "release needs the lease 'token'")
+            released = fleet.release(worker_of(), token)
+            writer.write(_json_response(200, {"released": released}))
+            return
+        raise _HttpError(404, f"no such fleet endpoint: {path}")
 
     async def _route_job(
         self,

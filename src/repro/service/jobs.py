@@ -16,11 +16,16 @@ at two levels, both content-addressed:
   campaign overlapping a pending evaluate, say) still compute each
   point exactly once.
 
-Heavy work never runs on the loop: experiment payloads execute on a
-:class:`concurrent.futures` executor — by default the same
-``ProcessPoolExecutor`` + ``execute_job_payload`` machinery campaigns
-use, initialized once per worker.  Tests and benches inject a
-counting/inline runner instead.
+Heavy work never runs on the loop: every experiment is submitted to the
+manager's :class:`~repro.fleet.coordinator.FleetCoordinator`, whose
+lease queue is drained by whichever workers exist — the in-process
+:class:`~repro.fleet.coordinator.LocalWorkerPump` (the server's own
+executor, by default the same ``ProcessPoolExecutor`` +
+``execute_job_payload`` machinery campaigns use) and/or remote
+``python -m repro worker`` processes pulling over HTTP.  With
+``max_workers=0`` the pump is disabled and the service relies entirely
+on remote workers.  Tests and benches inject a counting/inline runner
+instead.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.campaign.job import ExperimentJob
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.errors import ReproError
+from repro.fleet.coordinator import FleetCoordinator, LocalWorkerPump
 from repro.pipeline.experiment import ExperimentOptions
 from repro.pipeline.serialization import content_key, evaluation_ratios
 from repro.telemetry import counter, gauge, get_logger
@@ -240,6 +246,8 @@ class JobManager:
         executor: Optional[Executor] = None,
         run_payload: Callable[..., Dict[str, Any]] = execute_job_payload,
         max_workers: int = 2,
+        lease_ttl: float = 60.0,
+        fleet_retries: int = 3,
     ) -> None:
         self._store = store
         self._warehouse = warehouse
@@ -247,6 +255,13 @@ class JobManager:
         self._own_executor = executor is None
         self._run_payload = run_payload
         self._max_workers = max_workers
+        #: All experiment execution dispatches through the fleet: the
+        #: coordinator's queue feeds the local pump and remote workers
+        #: alike, and owns the store write-through on completion.
+        self.fleet = FleetCoordinator(
+            store=store, ttl=lease_ttl, max_attempts=fleet_retries
+        )
+        self._pump: Optional[LocalWorkerPump] = None
         self._jobs: Dict[str, ServiceJob] = {}
         self._order: List[str] = []  # submission order for listings
         self._inflight: Dict[str, asyncio.Task] = {}
@@ -294,6 +309,34 @@ class JobManager:
             )
         return self._executor
 
+    def _ensure_pump(self) -> None:
+        """Start the in-process fleet worker (loop side, idempotent).
+
+        Slots mirror the executor's parallelism so the pump keeps it as
+        busy as direct submission used to.  With ``max_workers=0`` the
+        service runs pump-less: only remote workers drain the queue.
+        """
+        if self._max_workers <= 0:
+            return
+        if self._pump is None:
+            executor = self._executor
+            slots = getattr(executor, "_max_workers", None) or self._max_workers
+            stage_dir = (
+                None if self._store is None else str(self._store.stage_dir)
+            )
+            self._pump = LocalWorkerPump(
+                self.fleet,
+                self._ensure_executor,
+                self._run_payload,
+                stage_dir,
+                slots=slots,
+            )
+        self._pump.ensure_started()
+
+    def drain(self) -> None:
+        """Stop granting fleet leases (graceful shutdown's first step)."""
+        self.fleet.drain()
+
     async def close(self) -> None:
         """Cancel in-flight work and release the executor."""
         for task in list(self._inflight.values()):
@@ -303,6 +346,10 @@ class JobManager:
                 *self._inflight.values(), return_exceptions=True
             )
         self._inflight.clear()
+        if self._pump is not None:
+            await self._pump.close()
+            self._pump = None
+        await self.fleet.close()
         if self._own_executor and self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -504,16 +551,11 @@ class JobManager:
         self, experiment: ExperimentJob, key: str
     ) -> Dict[str, Any]:
         self.stats["computed"] += 1
-        stage_dir = None if self._store is None else str(self._store.stage_dir)
-        payload = await asyncio.get_running_loop().run_in_executor(
-            self._ensure_executor(),
-            self._run_payload,
-            experiment.to_dict(),
-            stage_dir,
-        )
-        if self._store is not None and payload.get("status") == STATUS_OK:
-            self._store.save(key, dict(payload, key=key))
-        return payload
+        self.fleet.ensure_sweeper()
+        self._ensure_pump()
+        # The coordinator saves accepted OK payloads to the store before
+        # resolving this future, so downstream _record sees a fresh file.
+        return await self.fleet.submit(key, experiment.to_dict())
 
     def _record(
         self,

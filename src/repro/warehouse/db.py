@@ -211,13 +211,55 @@ class Warehouse:
     on that same thread; CLI use is single-threaded).
     """
 
+    #: How long SQLite itself blocks on a held write lock before raising.
+    BUSY_TIMEOUT_S = 10.0
+
+    #: Application-level retries on top of the busy timeout (a writer
+    #: pinned under sustained contention backs off and re-runs).
+    _RETRY_ATTEMPTS = 5
+
     def __init__(self, path: Union[str, Path] = ":memory:") -> None:
         self._path = str(path)
         if self._path != ":memory:":
             Path(self._path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._conn = sqlite3.connect(
+            self._path, check_same_thread=False, timeout=self.BUSY_TIMEOUT_S
+        )
         self._conn.row_factory = sqlite3.Row
+        # Fleet ingest is multi-process: several workers' completions and
+        # `repro query` readers hit one database file.  WAL lets readers
+        # proceed under a writer (no more SQLITE_BUSY on queries during
+        # ingest); NORMAL sync is durable enough for a disposable index.
+        # In-memory databases have a single connection — nothing to tune.
+        if self._path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            f"PRAGMA busy_timeout={int(self.BUSY_TIMEOUT_S * 1000)}"
+        )
         self._ensure_schema()
+
+    def _with_retry(self, operation):
+        """Run a write transaction, retrying on lock contention.
+
+        SQLite's busy timeout handles most contention; this catches the
+        rest (e.g. a writer starved past the timeout): roll back and
+        re-run the whole operation — every write here is an idempotent
+        upsert, so a re-run is safe.
+        """
+        for attempt in range(self._RETRY_ATTEMPTS):
+            try:
+                return operation()
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                retryable = "locked" in message or "busy" in message
+                if not retryable or attempt == self._RETRY_ATTEMPTS - 1:
+                    raise
+                try:
+                    self._conn.rollback()
+                except sqlite3.OperationalError:
+                    pass
+                time.sleep(0.05 * (2**attempt))
 
     @classmethod
     def for_store(cls, store: ResultStore) -> "Warehouse":
@@ -282,8 +324,19 @@ class Warehouse:
         so callers can sweep a store without pre-validating it.  Safe to
         call repeatedly with the same payload: rows are upserted by job
         key, and ``campaign`` (when given) links the job to that
-        campaign, creating the campaign row on first use.
+        campaign, creating the campaign row on first use.  Retries on
+        cross-process lock contention (concurrent fleet ingest).
         """
+        return self._with_retry(
+            lambda: self._record_payload(payload, campaign, source_mtime)
+        )
+
+    def _record_payload(
+        self,
+        payload: Dict[str, Any],
+        campaign: Optional[str],
+        source_mtime: Optional[float],
+    ) -> Optional[str]:
         from repro.campaign.job import ExperimentJob
 
         job_data = payload.get("job")

@@ -380,6 +380,75 @@ class TestQueries:
         warehouse.close()
 
 
+class TestConcurrentAccess:
+    def test_wal_mode_and_busy_timeout_configured(self, tmp_path):
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            connection = warehouse._conn
+            assert (
+                connection.execute("PRAGMA journal_mode").fetchone()[0]
+                == "wal"
+            )
+            assert (
+                connection.execute("PRAGMA busy_timeout").fetchone()[0]
+                == 10_000
+            )
+
+    def test_concurrent_ingest_and_query_connections(self, tmp_path):
+        # The fleet scenario: the serving process ingests results while
+        # other connections (CLI queries, a second server) read the same
+        # database file.  WAL + busy-timeout must keep both sides green.
+        import threading
+
+        path = tmp_path / "wh.sqlite"
+        n_payloads = 30
+        errors = []
+        writer_done = threading.Event()
+
+        def writer():
+            try:
+                with Warehouse(path) as warehouse:
+                    for index in range(n_payloads):
+                        _job, payload = make_payload(
+                            benchmark="171.swim",
+                            scale=0.01 + index * 0.001,
+                        )
+                        warehouse.record_payload(payload, campaign="fleet")
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+            finally:
+                writer_done.set()
+
+        def reader():
+            try:
+                with Warehouse(path) as warehouse:
+                    while not writer_done.is_set():
+                        warehouse.job_count()
+                        best_points(warehouse)
+                    # One final read sees the writer's full output.
+                    assert warehouse.job_count() == n_payloads
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+
+        # The writer's first record creates the schema before the reader
+        # opens its own connection.
+        with Warehouse(path):
+            pass
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+            assert not thread.is_alive()
+        assert errors == []
+        with Warehouse(path) as warehouse:
+            assert warehouse.job_count() == n_payloads
+            (campaign,) = warehouse.campaigns()
+            assert campaign["n_jobs"] == n_payloads
+
+
 class TestReporting:
     def test_tables_render(self, tmp_path):
         from repro.reporting import (

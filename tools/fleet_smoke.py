@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""CI smoke test of the worker fleet, end to end over real processes.
+
+Starts ``python -m repro serve --jobs 0`` (no local execution) and two
+``python -m repro worker`` subprocesses, submits a small campaign over
+HTTP, SIGKILLs one worker while it holds a lease, and asserts that the
+campaign still completes with every point present exactly once — the
+lease-expiry work-stealing path exercised with real pipes, real
+processes and a real ``kill -9``.  Finishes by checking the fleet
+series in ``/metrics`` (granted/completed counters, the expired lease
+from the kill) and the worker registry in ``/stats``.
+
+Exits non-zero (with the server log on stderr) on any failure.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Short TTL so the killed worker's lease expires within the smoke
+#: test's patience; long enough that healthy scale-0.05 jobs renew.
+LEASE_TTL = 3.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def metric_total(text: str, name: str) -> float:
+    """Sum of every sample of one metric family in a Prometheus scrape."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest[:1] not in ("{", " "):
+            continue  # a different family sharing the prefix
+        total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def start_worker(env, port, worker_id):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--id",
+            worker_id,
+            "--ttl",
+            str(LEASE_TTL),
+            "--poll",
+            "0.2",
+            "--stay-on-drain",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{ROOT / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
+    port = free_port()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                str(port),
+                "--cache-dir",
+                cache_dir,
+                "--jobs",
+                "0",
+                "--lease-ttl",
+                str(LEASE_TTL),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        workers = {}
+        try:
+            sys.path.insert(0, str(ROOT / "src"))
+            from repro.service import ServiceClient
+
+            client = ServiceClient(port=port, timeout=30)
+            for _attempt in range(50):
+                if server.poll() is not None:
+                    raise RuntimeError("server exited before accepting")
+                try:
+                    client.health()
+                    break
+                except OSError:
+                    time.sleep(0.2)
+            else:
+                raise RuntimeError("server never became healthy")
+
+            workers["w1"] = start_worker(env, port, "w1")
+            workers["w2"] = start_worker(env, port, "w2")
+
+            # 2 benchmarks x 2 bus counts x 2 ED2 switches = 8 points.
+            total = 8
+            job = client.submit_campaign(
+                spec={
+                    "benchmarks": ["171.swim", "172.mgrid"],
+                    "scale": 0.05,
+                    "buses_grid": [1, 2],
+                    "ed2_refinement_grid": [True, False],
+                    "simulate": False,
+                },
+                label="fleet-smoke",
+            )
+            print(f"submitted campaign {job['id']} ({total} points)")
+
+            # Wait for a worker to actually hold a lease, then SIGKILL
+            # it -- the job it held must be stolen and recomputed.
+            victim = None
+            deadline = time.monotonic() + 120
+            while victim is None and time.monotonic() < deadline:
+                for info in client.stats()["fleet"]["workers"]:
+                    if info["active"] > 0 and info["id"] in workers:
+                        victim = info["id"]
+                        break
+                time.sleep(0.1)
+            if victim is None:
+                raise RuntimeError("no worker ever held a lease")
+            workers[victim].send_signal(signal.SIGKILL)
+            workers[victim].wait(timeout=30)
+            print(f"killed {victim} while it held a lease")
+
+            finished = client.wait(job["id"], timeout=600)
+            if finished["status"] != "done":
+                raise RuntimeError(f"campaign failed: {finished.get('error')}")
+            points = client.result(job["id"])["result"]["points"]
+            if len(points) != total:
+                raise RuntimeError(
+                    f"expected {total} points, got {len(points)}"
+                )
+            keys = [point["key"] for point in points]
+            if len(set(keys)) != total:
+                raise RuntimeError(f"duplicate result keys: {sorted(keys)}")
+            failed = [p for p in points if p.get("status") != "ok"]
+            if failed:
+                raise RuntimeError(f"failed points: {failed}")
+            print(f"campaign done: {total} points, all ok, no duplicates")
+
+            scrape = client.metrics()
+            granted = metric_total(
+                scrape, 'repro_fleet_leases_total{event="granted"}'
+            )
+            completed = metric_total(
+                scrape, 'repro_fleet_leases_total{event="completed"}'
+            )
+            expired = metric_total(
+                scrape, 'repro_fleet_leases_total{event="expired"}'
+            )
+            if completed < total:
+                raise RuntimeError(
+                    f"expected >= {total} completed leases, got {completed}"
+                )
+            if expired < 1:
+                raise RuntimeError(
+                    "the killed worker's lease never expired "
+                    f"(expired={expired})"
+                )
+            if metric_total(scrape, "repro_fleet_lease_seconds_count") < 1:
+                raise RuntimeError("/metrics lease latency histogram empty")
+            print(
+                f"metrics ok: granted={granted:g} completed={completed:g} "
+                f"expired={expired:g}"
+            )
+
+            survivor = [w for w in workers if w != victim][0]
+            ids = [w["id"] for w in client.stats()["fleet"]["workers"]]
+            if survivor not in ids:
+                raise RuntimeError(f"{survivor} missing from registry: {ids}")
+        except Exception:
+            server.terminate()
+            output, _ = server.communicate(timeout=30)
+            print("--- server log ---\n" + (output or ""), file=sys.stderr)
+            for worker_id, process in workers.items():
+                if process.poll() is None:
+                    process.kill()
+                output, _ = process.communicate(timeout=30)
+                print(
+                    f"--- {worker_id} log ---\n" + (output or ""),
+                    file=sys.stderr,
+                )
+            raise
+        else:
+            for process in workers.values():
+                if process.poll() is None:
+                    process.terminate()
+            for worker_id, process in workers.items():
+                output, _ = process.communicate(timeout=30)
+                if worker_id != victim and output:
+                    print(f"{worker_id}: {output.strip().splitlines()[-1]}")
+            server.terminate()
+            server.communicate(timeout=30)
+    print("fleet smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
