@@ -11,10 +11,16 @@ service:
   numbers are the service's own request overhead (HTTP parse, dedup
   lookup, JSON response).
 
+A third regime — **sustained** — drives the self-hosted service with
+the :mod:`repro.loadgen` open-loop Poisson harness (mixed traffic,
+synthetic runner) and records latency percentiles, goodput and
+rejection rate under continuous load.
+
 Writes ``BENCH_service.json`` at the repo root (next to
 ``BENCH_pipeline.json``) plus the usual ``benchmarks/results/`` twin.
 """
 
+import asyncio
 import json
 import tempfile
 import time
@@ -23,6 +29,7 @@ from pathlib import Path
 
 from repro.campaign import ResultStore
 from repro.campaign.executor import execute_job_payload
+from repro.loadgen import run_load, self_hosted_service
 from repro.reporting import render_table
 from repro.service import JobManager, ServiceClient, start_in_thread
 from repro.telemetry import HistogramData
@@ -33,6 +40,27 @@ from common import corpus_scale, publish
 #: Concurrent identical requests of the hot burst (the acceptance bar
 #: for dedup is 64; measure a little beyond it).
 BURST = 96
+
+#: The sustained-load window: offered rate (req/s) and duration.
+LOAD_RPS = 150.0
+LOAD_DURATION_S = 8.0
+
+
+def _bench_sustained() -> dict:
+    """The loadgen window against a self-hosted synthetic service."""
+    with self_hosted_service(compute_s=0.01, workers=8) as handle:
+        report = asyncio.run(
+            run_load(
+                handle.host,
+                handle.port,
+                rate=LOAD_RPS,
+                duration=LOAD_DURATION_S,
+                profile="mixed",
+                seed=0,
+                drain_timeout=120.0,
+            )
+        )
+    return report
 
 
 def _bench(client: ServiceClient) -> dict:
@@ -103,6 +131,8 @@ def main() -> None:
             )
             data = _bench(client)
 
+    data["sustained_load"] = sustained = _bench_sustained()
+
     text = render_table(
         ["metric", "value"],
         [
@@ -123,6 +153,25 @@ def main() -> None:
                 f"{data['deduped']}/{data['submitted']} requests "
                 f"({data['dedup_hit_rate']:.0%}), "
                 f"{data['computed']} computation(s)",
+            ),
+            (
+                "sustained load",
+                f"{sustained['counts']['arrivals']} arrivals @ "
+                f"{LOAD_RPS:g} req/s for {LOAD_DURATION_S:g}s (mixed)",
+            ),
+            (
+                "sustained p50/p99",
+                f"{sustained['latency']['p50_ms']:.1f} / "
+                f"{sustained['latency']['p99_ms']:.1f} ms",
+            ),
+            (
+                "sustained healthz p99",
+                f"{sustained['healthz']['p99_ms']:.1f} ms",
+            ),
+            (
+                "sustained goodput",
+                f"{sustained['goodput_jobs_per_s']:.2f} jobs/s done, "
+                f"{sustained['rejection_rate']:.1%} rejected",
             ),
         ],
         title="Evaluation service: request throughput / latency / dedup",

@@ -326,6 +326,47 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the startup warehouse sync of the existing cache dir",
     )
+    serve.add_argument(
+        "--max-interactive",
+        type=int,
+        default=128,
+        metavar="N",
+        help="admission limit for in-flight interactive jobs (evaluate); "
+        "beyond it submissions get 429 + Retry-After (default 128, "
+        "0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission limit for in-flight batch jobs (suite/campaign) "
+        "(default 16, 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint attached to 429 responses (default 1.0)",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline budget applied to submissions that don't set "
+        "deadline_s themselves; expired jobs are cancelled, queued "
+        "fleet work included (default: none)",
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="install a fault-injection plan, e.g. "
+        "'http_error_p=0.01,sqlite_busy_p=0.05,seed=7' "
+        "(overrides the REPRO_CHAOS environment variable)",
+    )
 
     worker = commands.add_parser(
         "worker",
@@ -392,6 +433,138 @@ def _parser() -> argparse.ArgumentParser:
         help="replace job execution with a fixed sleep returning a "
         "synthetic OK payload — benchmarks the fleet protocol itself "
         "(lease/complete/requeue), not the pipeline",
+    )
+    worker.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="install a fault-injection plan in this worker, e.g. "
+        "'worker_crash_p=0.02,complete_delay_p=0.1,complete_delay_s=5' "
+        "(overrides the REPRO_CHAOS environment variable)",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a service with open-loop Poisson load and measure "
+        "sustained latency/goodput/rejection against SLOs",
+    )
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="URL",
+        help="service base URL (http://host:port or host:port); omit to "
+        "self-host an in-process service with a synthetic runner",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="offered arrival rate in requests/second (default 50)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="generation window in seconds (default 10)",
+    )
+    loadgen.add_argument(
+        "--profile",
+        choices=("mixed", "evaluate"),
+        default="mixed",
+        help="traffic mix: 'mixed' = evaluate/suite/campaign/query "
+        "(default), 'evaluate' = submissions only",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="profile scale for submitted experiments (default 0.01)",
+    )
+    loadgen.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="attach this deadline_s to every submission",
+    )
+    loadgen.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=2000,
+        help="client-side cap on concurrent requests (default 2000)",
+    )
+    loadgen.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=120.0,
+        help="post-window wait for submitted jobs to settle (default 120)",
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="self-hosted mode: synthetic worker threads (default 8)",
+    )
+    loadgen.add_argument(
+        "--compute-s",
+        type=float,
+        default=0.02,
+        help="self-hosted mode: synthetic per-job compute cost "
+        "(default 0.02s)",
+    )
+    loadgen.add_argument(
+        "--self-chaos",
+        default=None,
+        metavar="SPEC",
+        help="self-hosted mode: install this chaos plan in-process",
+    )
+    loadgen.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="merge the report into this JSON file (e.g. "
+        "BENCH_service.json) instead of printing it",
+    )
+    loadgen.add_argument(
+        "--section",
+        default="sustained_load",
+        help="JSON key to merge the report under (default sustained_load)",
+    )
+    loadgen.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on SLO thresholds; non-zero exit on violation",
+    )
+    loadgen.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=2000.0,
+        help="--check: request latency p99 ceiling (default 2000ms)",
+    )
+    loadgen.add_argument(
+        "--slo-healthz-p99-ms",
+        type=float,
+        default=100.0,
+        help="--check: /healthz latency p99 ceiling (default 100ms)",
+    )
+    loadgen.add_argument(
+        "--slo-reject-max",
+        type=float,
+        default=None,
+        help="--check: max tolerated rejection rate (default: no limit "
+        "— shedding under overload is correct behavior)",
+    )
+    loadgen.add_argument(
+        "--slo-error-max",
+        type=float,
+        default=0.01,
+        help="--check: max tolerated error rate (default 0.01)",
+    )
+    loadgen.add_argument(
+        "--slo-goodput-min",
+        type=float,
+        default=None,
+        help="--check: minimum completed jobs/second (default: no limit)",
     )
 
     query = commands.add_parser(
@@ -781,9 +954,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.campaign import DEFAULT_CACHE_DIR, ResultStore
-    from repro.service import JobManager, ServiceServer
+    from repro.service import AdmissionPolicy, JobManager, ServiceServer
     from repro.warehouse import Warehouse
 
+    _install_chaos(args.chaos)
+    admission = AdmissionPolicy(
+        max_interactive=args.max_interactive if args.max_interactive else None,
+        max_batch=args.max_batch if args.max_batch else None,
+        retry_after_s=args.retry_after,
+    )
     store = ResultStore(
         args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
     )
@@ -800,6 +979,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 executor=JobManager.inline_executor(max_workers=args.jobs),
                 lease_ttl=args.lease_ttl,
                 fleet_retries=args.fleet_retries,
+                admission=admission,
+                default_deadline=args.default_deadline,
             )
         else:
             manager = JobManager(
@@ -808,6 +989,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_workers=args.jobs,
                 lease_ttl=args.lease_ttl,
                 fleet_retries=args.fleet_retries,
+                admission=admission,
+                default_deadline=args.default_deadline,
             )
         server = ServiceServer(manager, host=args.host, port=args.port)
         host, port = await server.start()
@@ -866,6 +1049,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_chaos(spec: Optional[str]) -> None:
+    """Install a CLI-supplied chaos plan (outranks ``REPRO_CHAOS``)."""
+    if spec is None:
+        return
+    from repro import chaos
+
+    plan = chaos.parse_plan(spec)
+    chaos.install(plan)
+    print(
+        f"chaos plan installed: {plan.to_spec() or '(inert)'}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def _parse_connect(url: str):
     """(host, port) from ``http://host:port``, ``host:port`` or ``:port``."""
     import urllib.parse
@@ -888,6 +1086,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.fleet import FleetWorker
     from repro.service import ServiceClient
 
+    _install_chaos(args.chaos)
     host, port = _parse_connect(args.connect)
     client = ServiceClient(host=host, port=port)
 
@@ -943,6 +1142,91 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     stats = worker.run()
     print(json.dumps(stats.describe(), sort_keys=True), flush=True)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import json
+    from pathlib import Path
+
+    from repro.loadgen import (
+        check_slos,
+        merge_report,
+        run_load,
+        self_hosted_service,
+    )
+
+    with contextlib.ExitStack() as stack:
+        if args.connect is not None:
+            host, port = _parse_connect(args.connect)
+        else:
+            _install_chaos(args.self_chaos)
+            handle = stack.enter_context(
+                self_hosted_service(
+                    compute_s=args.compute_s,
+                    workers=args.workers,
+                    default_deadline=args.deadline_s,
+                )
+            )
+            host, port = handle.host, handle.port
+            print(
+                f"loadgen: self-hosted service on http://{host}:{port} "
+                f"({args.workers} synthetic workers, "
+                f"{args.compute_s:g}s/job)",
+                file=sys.stderr,
+                flush=True,
+            )
+        report = asyncio.run(
+            run_load(
+                host,
+                port,
+                rate=args.rate,
+                duration=args.duration,
+                profile=args.profile,
+                seed=args.seed,
+                scale=args.scale,
+                deadline_s=args.deadline_s,
+                max_in_flight=args.max_in_flight,
+                drain_timeout=args.drain_timeout,
+            )
+        )
+
+    if args.output is not None:
+        merge_report(report, Path(args.output), section=args.section)
+        print(
+            f"loadgen: report merged into {args.output} "
+            f"under {args.section!r}",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+
+    summary = (
+        f"loadgen: {report['counts']['arrivals']} arrivals @ "
+        f"{args.rate:g}rps, p99 {report['latency']['p99_ms']:.1f}ms, "
+        f"healthz p99 {report['healthz']['p99_ms']:.1f}ms, "
+        f"goodput {report['goodput_jobs_per_s']:.2f} jobs/s, "
+        f"rejected {report['rejection_rate']:.1%}"
+    )
+    print(summary, file=sys.stderr, flush=True)
+
+    if args.check:
+        failures = check_slos(
+            report,
+            p99_ms=args.slo_p99_ms,
+            healthz_p99_ms=args.slo_healthz_p99_ms,
+            reject_max=args.slo_reject_max,
+            error_max=args.slo_error_max,
+            goodput_min=args.slo_goodput_min,
+        )
+        if failures:
+            for failure in failures:
+                print(f"SLO FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("loadgen: all SLOs met", file=sys.stderr)
     return 0
 
 
@@ -1239,6 +1523,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
+        "loadgen": _cmd_loadgen,
         "query": _cmd_query,
         "table2": _cmd_table2,
         "bench": _cmd_bench,

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the online stack.
+
+A :class:`FaultPlan` describes *which* faults to inject and with what
+probability; a :class:`ChaosInjector` is a plan armed with a seeded RNG
+so every degradation path is reproducible from a ``(plan, seed)`` pair.
+The hooks live in the components themselves — the fleet worker may
+crash before computing or stall before completing, the HTTP server may
+answer ``/v1/*`` requests with a 503 or reset the connection, and the
+warehouse may see synthetic ``database is locked`` storms inside its
+retry loop — and every hook degrades to a no-op when no injector is
+installed, so production carries only a cheap ``None`` check.
+
+Plans come from three places, in priority order: an explicit
+:func:`install` (tests), a CLI ``--chaos SPEC`` flag, or the
+``REPRO_CHAOS`` environment variable (read lazily, once).  A spec is a
+comma-separated ``key=value`` list over the :class:`FaultPlan` fields::
+
+    REPRO_CHAOS="worker_crash_p=0.05,sqlite_busy_p=0.2,seed=7"
+"""
+
+from repro.chaos.plan import (
+    ChaosInjector,
+    FaultPlan,
+    active,
+    install,
+    parse_plan,
+    uninstall,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "FaultPlan",
+    "active",
+    "install",
+    "parse_plan",
+    "uninstall",
+]

@@ -1,0 +1,196 @@
+"""Fault plans and the process-wide injector registry."""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, fields
+from random import Random
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.telemetry import get_logger
+
+_log = get_logger("chaos")
+
+#: Environment variable holding a default fault-plan spec.
+ENV_VAR = "REPRO_CHAOS"
+
+
+class ChaosError(ReproError):
+    """A fault-plan spec was malformed."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and how often.
+
+    All probabilities are per-opportunity (per request, per lease, per
+    warehouse attempt...) in ``[0, 1]``.  A plan with every probability
+    at zero is inert; :meth:`enabled` is False and installing it is a
+    no-op.
+    """
+
+    #: Probability that a fleet worker dies (hard, like SIGKILL) right
+    #: after taking a lease, before computing anything.
+    worker_crash_p: float = 0.0
+    #: Probability that a worker stalls for ``complete_delay_s`` before
+    #: posting its completion (exercises lease expiry / late writers).
+    complete_delay_p: float = 0.0
+    #: Stall length for ``complete_delay_p`` hits.
+    complete_delay_s: float = 0.0
+    #: Probability that an HTTP ``/v1/*`` request is answered with a
+    #: synthetic 503 before routing.
+    http_error_p: float = 0.0
+    #: Probability that an HTTP ``/v1/*`` connection is reset without
+    #: any response at all.
+    http_reset_p: float = 0.0
+    #: Probability that one warehouse commit attempt sees a synthetic
+    #: ``sqlite3.OperationalError: database is locked``.
+    sqlite_busy_p: float = 0.0
+    #: RNG seed — the whole point: a (plan, seed) pair replays exactly.
+    seed: int = 0
+
+    def enabled(self) -> bool:
+        """True when any fault has a non-zero probability."""
+        return any(
+            getattr(self, spec.name) > 0
+            for spec in fields(self)
+            if spec.name.endswith("_p")
+        )
+
+    def validate(self) -> "FaultPlan":
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name.endswith("_p") and not 0.0 <= value <= 1.0:
+                raise ChaosError(
+                    f"{spec.name} must be in [0, 1], got {value}"
+                )
+        if self.complete_delay_s < 0:
+            raise ChaosError(
+                f"complete_delay_s must be >= 0, got {self.complete_delay_s}"
+            )
+        return self
+
+    def to_spec(self) -> str:
+        """The ``key=value,...`` form (round-trips via parse_plan)."""
+        parts = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value:
+                parts.append(f"{spec.name}={value:g}")
+        return ",".join(parts)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``key=value,key=value`` spec into a validated plan."""
+    values = {}
+    known = {spec_field.name: spec_field for spec_field in fields(FaultPlan)}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, raw = part.partition("=")
+        name = name.strip()
+        if name not in known:
+            raise ChaosError(
+                f"unknown fault-plan field {name!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        try:
+            values[name] = int(raw) if name == "seed" else float(raw)
+        except ValueError:
+            raise ChaosError(f"bad value for {name}: {raw!r}") from None
+    return FaultPlan(**values).validate()
+
+
+class ChaosInjector:
+    """A fault plan armed with its own seeded RNG.
+
+    Thread-safe: draws are serialized so concurrent hooks still consume
+    one deterministic stream.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan.validate()
+        self._rng = Random(plan.seed)
+        self._lock = threading.Lock()
+
+    def _draw(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < probability
+
+    # Per-fault hooks -------------------------------------------------
+    def worker_crash(self) -> bool:
+        """Should this lease kill the worker outright?"""
+        return self._draw(self.plan.worker_crash_p)
+
+    def completion_delay(self) -> float:
+        """Seconds to stall before posting a completion (0 = none)."""
+        if self._draw(self.plan.complete_delay_p):
+            return self.plan.complete_delay_s
+        return 0.0
+
+    def http_fault(self) -> Optional[str]:
+        """``"reset"``, ``"error"`` or None for one ``/v1/*`` request."""
+        if self._draw(self.plan.http_reset_p):
+            return "reset"
+        if self._draw(self.plan.http_error_p):
+            return "error"
+        return None
+
+    def sqlite_busy(self) -> bool:
+        """Should this warehouse attempt see a synthetic busy error?"""
+        return self._draw(self.plan.sqlite_busy_p)
+
+
+_REGISTRY_LOCK = threading.Lock()
+_injector: Optional[ChaosInjector] = None
+_env_checked = False
+
+
+def install(plan: FaultPlan) -> Optional[ChaosInjector]:
+    """Install a plan process-wide; returns the armed injector.
+
+    Installing an inert plan clears any previous injector (so tests
+    can switch chaos off with ``install(FaultPlan())``).
+    """
+    global _injector, _env_checked
+    with _REGISTRY_LOCK:
+        _env_checked = True  # an explicit install outranks the env
+        _injector = ChaosInjector(plan) if plan.enabled() else None
+        if _injector is not None:
+            _log.info(
+                "chaos installed", extra={"plan": plan.to_spec()}
+            )
+        return _injector
+
+
+def uninstall() -> None:
+    """Remove any installed plan and forget the env memo (tests)."""
+    global _injector, _env_checked
+    with _REGISTRY_LOCK:
+        _injector = None
+        _env_checked = False
+
+
+def active() -> Optional[ChaosInjector]:
+    """The installed injector, consulting ``REPRO_CHAOS`` lazily once."""
+    global _injector, _env_checked
+    if _env_checked:
+        return _injector
+    with _REGISTRY_LOCK:
+        if not _env_checked:
+            _env_checked = True
+            spec = os.environ.get(ENV_VAR, "").strip()
+            if spec:
+                plan = parse_plan(spec)
+                if plan.enabled():
+                    _injector = ChaosInjector(plan)
+                    _log.info(
+                        "chaos installed from env",
+                        extra={"plan": plan.to_spec()},
+                    )
+        return _injector

@@ -24,7 +24,7 @@ from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
-from repro.fleet.queue import LeaseGrant, LeaseQueue, error_payload
+from repro.fleet.queue import BATCH, LeaseGrant, LeaseQueue, error_payload
 from repro.telemetry import counter, gauge, get_logger, histogram
 
 _log = get_logger("fleet")
@@ -55,6 +55,7 @@ _COUNTED_EVENTS = frozenset(
         "released",
         "requeued",
         "rejected",
+        "deadline",
     }
 )
 
@@ -114,9 +115,12 @@ class FleetCoordinator:
         store=None,
         ttl: float = 60.0,
         max_attempts: int = 3,
+        class_weights: Optional[Dict[str, int]] = None,
     ) -> None:
         self._store = store
-        self.queue = LeaseQueue(ttl=ttl, max_attempts=max_attempts)
+        self.queue = LeaseQueue(
+            ttl=ttl, max_attempts=max_attempts, class_weights=class_weights
+        )
         self.queue.add_observer(self._on_queue_event)
         self._workers: Dict[str, WorkerInfo] = {}
         self._sweeper: Optional[asyncio.Task] = None
@@ -159,12 +163,20 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
     # submission (loop side)
     # ------------------------------------------------------------------
-    def submit(self, key: str, job_data: Dict[str, Any]) -> "asyncio.Future":
+    def submit(
+        self,
+        key: str,
+        job_data: Dict[str, Any],
+        job_class: str = BATCH,
+        deadline: Optional[float] = None,
+    ) -> "asyncio.Future":
         """Enqueue one job; the future resolves with its payload.
 
         Terminal entries are evicted as their future resolves, so a
         later resubmission of the same key runs fresh — the store, not
-        the queue, is the cache.  Must run on the event loop.
+        the queue, is the cache.  ``deadline`` (absolute,
+        ``time.monotonic``) cancels the job if it is still pending
+        when it passes.  Must run on the event loop.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -179,7 +191,13 @@ class FleetCoordinator:
 
             loop.call_soon_threadsafe(resolve)
 
-        self.queue.submit(key, job_data, on_done=on_done)
+        self.queue.submit(
+            key,
+            job_data,
+            on_done=on_done,
+            job_class=job_class,
+            deadline=deadline,
+        )
         return future
 
     # ------------------------------------------------------------------
@@ -291,6 +309,7 @@ class FleetCoordinator:
         return {
             "draining": self.queue.draining,
             "queue": self.queue.stats(),
+            "pending_by_class": self.queue.pending_by_class(),
             "leases": dict(sorted(self.counters.items())),
             "workers": [
                 info.describe(now)
@@ -328,11 +347,13 @@ class LocalWorkerPump:
         self._active: Set[asyncio.Task] = set()
         self._wake: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
+        self._closing = False
 
     def ensure_started(self) -> None:
         """Start the pump loop (idempotent, loop side)."""
         if self._task is None or self._task.done():
             loop = asyncio.get_running_loop()
+            self._closing = False
             self._wake = asyncio.Event()
             self._coordinator.queue.add_observer(self._on_queue_event(loop))
             self._task = loop.create_task(self._run())
@@ -346,7 +367,11 @@ class LocalWorkerPump:
 
     async def _run(self) -> None:
         assert self._wake is not None
-        while True:
+        # The loop re-checks _closing every pass: on Python 3.11 a
+        # task.cancel() that lands in the same loop step as a _wake.set()
+        # is swallowed by asyncio.wait_for (the pre-3.12 cancellation
+        # race), so close() cannot rely on cancellation alone.
+        while not self._closing:
             free = self._slots - len(self._active)
             if free > 0:
                 grants = self._coordinator.lease(
@@ -390,6 +415,9 @@ class LocalWorkerPump:
 
     async def close(self) -> None:
         """Cancel the pump loop and any in-flight local jobs."""
+        self._closing = True
+        if self._wake is not None:
+            self._wake.set()  # unblock _run even if its cancel is lost
         tasks = [self._task] if self._task is not None else []
         tasks.extend(self._active)
         for task in tasks:

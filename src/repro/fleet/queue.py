@@ -10,6 +10,13 @@ to steal.  Every grant carries a fresh token, so a late completion from
 an expired lease is detected and rejected ("late writer loses"), and a
 job can never be leased twice concurrently.
 
+Jobs carry a *class* (``interactive`` evaluates vs. ``batch``
+campaign/suite points) and leases are granted weighted-fair across
+classes, so a flood of batch work cannot starve the cheap interactive
+traffic.  Jobs may also carry a *request deadline*: a pending job whose
+deadline passes is settled ``failed`` without ever being leased —
+expired work is cancelled, not computed.
+
 The queue is deliberately transport- and execution-agnostic: the
 campaign executor drives it with an in-process pool, the service's
 :class:`~repro.fleet.coordinator.FleetCoordinator` exposes it over
@@ -45,6 +52,16 @@ FAILED = "failed"
 
 #: ``status`` of a job payload (mirrors the campaign executor's).
 _STATUS_OK = "ok"
+
+#: Job classes.  ``interactive`` is the cheap single-evaluate traffic;
+#: ``batch`` is campaign/suite fan-out.  Unknown classes are accepted
+#: (weight 1) so the queue stays open to future traffic shapes.
+INTERACTIVE = "interactive"
+BATCH = "batch"
+
+#: Default weighted-fair shares: four interactive grants for every
+#: batch grant while both queues are non-empty.
+DEFAULT_CLASS_WEIGHTS = {INTERACTIVE: 4, BATCH: 1}
 
 
 class FleetError(ReproError):
@@ -92,10 +109,15 @@ class _Entry:
     key: str
     job: Dict[str, Any]
     state: str = PENDING
+    job_class: str = BATCH
     attempts: int = 0
     token: Optional[str] = None
     worker: Optional[str] = None
     deadline: Optional[float] = None
+    #: Absolute request deadline (queue clock); pending past this is
+    #: cancelled without a lease.  Distinct from ``deadline``, which is
+    #: the *lease* expiry while the job is running.
+    expires_at: Optional[float] = None
     leased_at: Optional[float] = None
     payload: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
@@ -121,10 +143,13 @@ class LeaseQueue:
     attempt cap — off by default, because pipeline failures are
     deterministic and retrying them only wastes fleet time.
 
-    ``observer`` (or :meth:`add_observer`) receives
+    ``class_weights`` maps job classes to their weighted-fair share of
+    lease grants (smooth weighted round-robin; classes not listed get
+    weight 1).  ``observer`` (or :meth:`add_observer`) receives
     ``(event, key, info)`` tuples for telemetry: events are
     ``submitted``, ``granted``, ``renewed``, ``released``,
-    ``completed``, ``rejected``, ``expired``, ``requeued``, ``failed``.
+    ``completed``, ``rejected``, ``expired``, ``requeued``, ``failed``,
+    ``deadline``.
     """
 
     def __init__(
@@ -133,6 +158,7 @@ class LeaseQueue:
         max_attempts: int = 3,
         retry_errors: bool = False,
         clock: Callable[[], float] = time.monotonic,
+        class_weights: Optional[Dict[str, int]] = None,
     ) -> None:
         if ttl <= 0:
             raise FleetError(f"lease ttl must be positive, got {ttl}")
@@ -144,7 +170,11 @@ class LeaseQueue:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: Dict[str, _Entry] = {}
-        self._pending: Deque[str] = deque()
+        self._pending: Dict[str, Deque[str]] = {}
+        self._weights = dict(
+            DEFAULT_CLASS_WEIGHTS if class_weights is None else class_weights
+        )
+        self._credits: Dict[str, int] = {}
         self._by_token: Dict[str, str] = {}
         self._token_counter = itertools.count(1)
         self._draining = False
@@ -186,35 +216,81 @@ class LeaseQueue:
         key: str,
         job_data: Dict[str, Any],
         on_done: Optional[Callable[[Any], None]] = None,
+        job_class: str = BATCH,
+        deadline: Optional[float] = None,
     ) -> bool:
         """Enqueue one job; idempotent by key.
 
         Returns True when the job was newly added.  ``on_done`` is
         called exactly once with the entry when the job reaches a
-        terminal state — immediately, if it already has.
+        terminal state — immediately, if it already has.  ``deadline``
+        is an absolute request deadline on the queue clock; a duplicate
+        submission only ever *relaxes* an existing deadline (the most
+        patient caller wins, so dedup never tightens anyone's budget).
         """
         fire_now: Optional[_Entry] = None
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                entry = _Entry(key=key, job=job_data)
+                entry = _Entry(
+                    key=key,
+                    job=job_data,
+                    job_class=job_class,
+                    expires_at=deadline,
+                )
                 if on_done is not None:
                     entry.callbacks.append(on_done)
                 self._entries[key] = entry
-                self._pending.append(key)
+                self._pending_deque(job_class).append(key)
                 added = True
             else:
                 added = False
+                if entry.state not in (DONE, FAILED):
+                    if deadline is None:
+                        entry.expires_at = None
+                    elif entry.expires_at is not None:
+                        entry.expires_at = max(entry.expires_at, deadline)
                 if on_done is not None:
                     if entry.state in (DONE, FAILED):
                         fire_now = entry
                     else:
                         entry.callbacks.append(on_done)
         if added:
-            self._emit([("submitted", key, {})])
+            self._emit([("submitted", key, {"class": job_class})])
         if fire_now is not None and on_done is not None:
             self._fire([(on_done, fire_now)])
         return added
+
+    def _pending_deque(self, job_class: str) -> Deque[str]:
+        queue_ = self._pending.get(job_class)
+        if queue_ is None:
+            queue_ = self._pending[job_class] = deque()
+            self._credits.setdefault(job_class, 0)
+        return queue_
+
+    def _pick_pending_locked(self) -> Optional[_Entry]:
+        """Smooth weighted round-robin over non-empty class queues."""
+        best: Optional[str] = None
+        total = 0
+        for job_class, queue_ in self._pending.items():
+            # Drop stale heads (entries settled or forgotten while
+            # their key still sat in the deque).
+            while queue_:
+                entry = self._entries.get(queue_[0])
+                if entry is not None and entry.state == PENDING:
+                    break
+                queue_.popleft()
+            if not queue_:
+                continue
+            weight = max(1, self._weights.get(job_class, 1))
+            self._credits[job_class] = self._credits.get(job_class, 0) + weight
+            total += weight
+            if best is None or self._credits[job_class] > self._credits[best]:
+                best = job_class
+        if best is None:
+            return None
+        self._credits[best] -= total
+        return self._entries[self._pending[best].popleft()]
 
     # ------------------------------------------------------------------
     # the worker-facing protocol
@@ -241,11 +317,11 @@ class LeaseQueue:
         with self._lock:
             events, fired = self._expire_locked(now)
             if not self._draining:
-                while self._pending and len(grants) < max_jobs:
-                    key = self._pending.popleft()
-                    entry = self._entries[key]
-                    if entry.state != PENDING:  # defensive; should not happen
-                        continue
+                while len(grants) < max_jobs:
+                    entry = self._pick_pending_locked()
+                    if entry is None:
+                        break
+                    key = entry.key
                     entry.state = LEASED
                     entry.attempts += 1
                     entry.worker = worker
@@ -422,6 +498,34 @@ class LeaseQueue:
                 else:
                     self._requeue_locked(entry)
                     events.append(("requeued", entry.key, {"worker": worker}))
+        # Second pass: cancel pending jobs whose *request* deadline has
+        # passed — they are settled failed without ever being leased.
+        # Runs after the lease sweep so a job requeued above with an
+        # already-expired deadline is cancelled in the same call.
+        for entry in self._entries.values():
+            if (
+                entry.state == PENDING
+                and entry.expires_at is not None
+                and entry.expires_at < now
+            ):
+                queue_ = self._pending.get(entry.job_class)
+                if queue_ is not None:
+                    try:
+                        queue_.remove(entry.key)
+                    except ValueError:
+                        pass
+                fired.extend(
+                    self._settle_locked(
+                        entry,
+                        FAILED,
+                        error=(
+                            "request deadline exceeded before a lease "
+                            "was granted; job cancelled unexecuted"
+                        ),
+                    )
+                )
+                events.append(("deadline", entry.key, {}))
+                events.append(("failed", entry.key, {}))
         return events, fired
 
     def drain(self) -> None:
@@ -445,7 +549,7 @@ class LeaseQueue:
         entry.worker = None
         entry.deadline = None
         entry.leased_at = None
-        self._pending.append(entry.key)
+        self._pending_deque(entry.job_class).append(entry.key)
 
     def _settle_locked(
         self,
@@ -526,6 +630,17 @@ class LeaseQueue:
             for entry in self._entries.values():
                 counts[entry.state] += 1
             counts["total"] = len(self._entries)
+            return counts
+
+    def pending_by_class(self) -> Dict[str, int]:
+        """Pending job counts per class (fairness introspection)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for entry in self._entries.values():
+                if entry.state == PENDING:
+                    counts[entry.job_class] = (
+                        counts.get(entry.job_class, 0) + 1
+                    )
             return counts
 
     @property

@@ -80,6 +80,12 @@ class FleetWorker:
     heartbeats at ``ttl / 3``.  ``poll`` is the idle sleep between
     empty lease attempts.  ``exit_on_drain`` ends the loop once the
     server reports it is draining and no lease is held.
+
+    When a :mod:`repro.chaos` plan is active, a worker may crash hard
+    right after taking a lease (``worker_crash_p``, via ``crash`` —
+    ``os._exit`` by default, injectable for tests) or stall before
+    posting its completion (``complete_delay_p``), exercising lease
+    expiry and the late-writer-loses path under real processes.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class FleetWorker:
         execute: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
         exit_on_drain: bool = True,
         max_jobs: Optional[int] = None,
+        crash: Optional[Callable[[], None]] = None,
     ) -> None:
         self.client = client
         self.worker_id = worker_id or default_worker_id()
@@ -114,8 +121,17 @@ class FleetWorker:
                 job, self._stage_dir
             )
         self._execute = execute
+        self._crash = crash if crash is not None else self._hard_exit
         self._stop = threading.Event()
         self._abort = threading.Event()
+
+    @staticmethod
+    def _hard_exit() -> None:
+        # Chaos crash: die like SIGKILL — no release, no completion,
+        # no atexit — so the lease must expire and the job be stolen.
+        import os
+
+        os._exit(42)
 
     # ------------------------------------------------------------------
     def request_stop(self) -> None:
@@ -184,6 +200,18 @@ class FleetWorker:
         """Execute one granted job with heartbeats; post the outcome."""
         token = grant["token"]
         job_data = grant["job"]
+
+        from repro import chaos
+
+        injector = chaos.active()
+        if injector is not None and injector.worker_crash():
+            _log.warning(
+                "chaos: crashing worker on lease",
+                extra={"worker": self.worker_id, "key": grant.get("key")},
+            )
+            self._crash()
+            return  # only reached with an injected (test) crash
+
         outcome: Dict[str, Any] = {}
         done = threading.Event()
 
@@ -232,6 +260,14 @@ class FleetWorker:
             self.stats.lost += 1
             return
         payload = outcome["payload"]
+        if injector is not None:
+            delay = injector.completion_delay()
+            if delay > 0:
+                _log.warning(
+                    "chaos: stalling before completion",
+                    extra={"worker": self.worker_id, "delay_s": delay},
+                )
+                time.sleep(delay)
         accepted = False
         for attempt in range(3):
             try:

@@ -30,22 +30,30 @@ from repro.service.jobs import (
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
+    AdmissionPolicy,
     JobManager,
     ServiceError,
     ServiceJob,
 )
 from repro.service.http import ServiceServer, start_in_thread
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloadError,
+)
 
 __all__ = [
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",
     "JOB_RUNNING",
+    "AdmissionPolicy",
     "JobManager",
     "ServiceError",
     "ServiceJob",
     "ServiceServer",
     "ServiceClient",
+    "ServiceClientError",
+    "ServiceOverloadError",
     "start_in_thread",
 ]

@@ -35,8 +35,9 @@ import time
 import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
+from repro import chaos
 from repro.fleet.queue import FleetError
-from repro.service.jobs import JobManager, ServiceError
+from repro.service.jobs import JobManager, ServiceError, ServiceOverloadError
 from repro.telemetry import counter, histogram, render_prometheus
 from repro.warehouse.queries import (
     best_points,
@@ -101,39 +102,100 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Machine-readable error codes by status (overridable per error).
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "request_timeout",
+    409: "conflict",
+    413: "payload_too_large",
+    429: "overloaded",
+    500: "internal",
+    503: "unavailable",
+    504: "wait_timeout",
 }
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, code: Optional[str] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code
 
 
-def _head(status: int, content_type: str, length: Optional[int]) -> bytes:
+def _head(
+    status: int,
+    content_type: str,
+    length: Optional[int],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
         f"Content-Type: {content_type}",
         "Connection: close",
     ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
     if length is not None:
         lines.append(f"Content-Length: {length}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode()
 
 
-def _json_response(status: int, body: Dict[str, Any]) -> bytes:
+def _json_response(
+    status: int,
+    body: Dict[str, Any],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     encoded = (json.dumps(body, sort_keys=True) + "\n").encode()
-    return _head(status, "application/json", len(encoded)) + encoded
+    return (
+        _head(status, "application/json", len(encoded), extra_headers)
+        + encoded
+    )
+
+
+def _json_error(
+    status: int,
+    message: str,
+    code: Optional[str] = None,
+    retry_after_s: Optional[float] = None,
+    **extra: Any,
+) -> bytes:
+    """A structured error response: ``{"error": {"code", "message"}}``.
+
+    ``retry_after_s`` additionally emits a ``Retry-After`` header (in
+    whole seconds, rounded up) and mirrors the precise value in the
+    body for clients that parse JSON rather than headers.
+    """
+    error: Dict[str, Any] = {
+        "code": code or _DEFAULT_CODES.get(status, "error"),
+        "message": message,
+    }
+    headers = None
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+        headers = {"Retry-After": str(max(1, int(-(-retry_after_s // 1))))}
+    return _json_response(status, {"error": error, **extra}, headers)
 
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Tuple[str, str, Dict[str, Any], Optional[Dict[str, Any]]]:
-    """(method, path, query, body) of one request; raises ``_HttpError``."""
+) -> Tuple[
+    str, str, Dict[str, Any], Dict[str, str], Optional[Dict[str, Any]]
+]:
+    """(method, path, query, headers, body); raises ``_HttpError``."""
     try:
         header_blob = await reader.readuntil(b"\r\n\r\n")
     except asyncio.LimitOverrunError as error:
@@ -175,7 +237,7 @@ async def _read_request(
             raise _HttpError(400, f"body is not valid JSON: {error}") from error
         if not isinstance(body, dict):
             raise _HttpError(400, "body must be a JSON object")
-    return method.upper(), parsed.path, query, body
+    return method.upper(), parsed.path, query, headers, body
 
 
 def _single(query: Dict[str, Any], name: str) -> Optional[str]:
@@ -185,6 +247,15 @@ def _single(query: Dict[str, Any], name: str) -> Optional[str]:
 
 class ServiceServer:
     """Binds a :class:`JobManager` (and optional warehouse) to a socket."""
+
+    #: Server-side cap on ``?wait=`` long-polls and the idle window of
+    #: an ``/events`` stream: no handler blocks unboundedly on a job
+    #: that never finishes — the client gets a 504 (or a terminal
+    #: ``stream_timeout`` record) and re-polls.
+    MAX_WAIT_S = 60.0
+
+    #: Long-poll length when ``?wait=1`` gives no explicit timeout.
+    DEFAULT_WAIT_S = 30.0
 
     def __init__(
         self,
@@ -219,12 +290,19 @@ class ServiceServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
-        """Stop accepting connections and shut the manager down."""
+        """Stop accepting connections and shut the manager down.
+
+        The manager closes *before* we wait on open handlers: closing
+        it drives every live job terminal, which is what unblocks any
+        connection still streaming ``/events`` or long-polling
+        ``?wait=`` (the drain-while-streaming path).
+        """
         if self._server is not None:
-            self._server.close()
+            self._server.close()  # stop accepting; handlers continue
+        await self._manager.close()
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
-        await self._manager.close()
 
     # ------------------------------------------------------------------
     async def _handle(
@@ -232,11 +310,33 @@ class ServiceServer:
     ) -> None:
         try:
             try:
-                method, path, query, body = await _read_request(reader)
+                method, path, query, headers, body = await _read_request(
+                    reader
+                )
+                injector = chaos.active()
+                if injector is not None and path.startswith("/v1/"):
+                    fault = injector.http_fault()
+                    if fault == "reset":
+                        # Die mid-air: no response, no FIN handshake —
+                        # clients see a connection reset.
+                        writer.transport.abort()
+                        return
+                    if fault == "error":
+                        writer.write(
+                            _json_error(
+                                503,
+                                "injected fault (active chaos plan)",
+                                code="chaos_injected",
+                            )
+                        )
+                        await writer.drain()
+                        return
                 endpoint = _endpoint_label(path)
                 started = time.perf_counter()
                 try:
-                    await self._route(writer, method, path, query, body)
+                    await self._route(
+                        writer, method, path, query, headers, body
+                    )
                 finally:
                     _REQUESTS.inc(endpoint=endpoint)
                     _REQUEST_SECONDS.observe(
@@ -244,13 +344,22 @@ class ServiceServer:
                     )
             except _HttpError as error:
                 writer.write(
-                    _json_response(error.status, {"error": error.message})
+                    _json_error(error.status, error.message, code=error.code)
+                )
+            except ServiceOverloadError as error:
+                writer.write(
+                    _json_error(
+                        429,
+                        str(error),
+                        code="overloaded",
+                        retry_after_s=error.retry_after_s,
+                    )
                 )
             except (ServiceError, FleetError) as error:
-                writer.write(_json_response(400, {"error": str(error)}))
+                writer.write(_json_error(400, str(error)))
             except Exception as error:  # never kill the accept loop
                 writer.write(
-                    _json_response(500, {"error": f"internal error: {error!r}"})
+                    _json_error(500, f"internal error: {error!r}")
                 )
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -268,6 +377,7 @@ class ServiceServer:
         method: str,
         path: str,
         query: Dict[str, Any],
+        headers: Dict[str, str],
         body: Optional[Dict[str, Any]],
     ) -> None:
         manager = self._manager
@@ -294,6 +404,13 @@ class ServiceServer:
             return
         if path == "/stats" and method == "GET":
             stats: Dict[str, Any] = {"jobs": dict(manager.stats)}
+            stats["admission"] = {
+                "active": manager.active_by_class(),
+                "limits": {
+                    "interactive": manager.admission.max_interactive,
+                    "batch": manager.admission.max_batch,
+                },
+            }
             stats["fleet"] = manager.fleet.stats()
             if manager.warehouse is not None:
                 stats["warehouse"] = manager.warehouse.summary()
@@ -312,7 +429,13 @@ class ServiceServer:
                 "/v1/suite": manager.submit_suite,
                 "/v1/campaign": manager.submit_campaign,
             }[path]
-            job = submit(body or {})
+            request = dict(body or {})
+            # The deadline rides either in the body (``deadline_s``) or
+            # as a header; an explicit body field wins.
+            header_deadline = headers.get("x-repro-deadline")
+            if header_deadline is not None and "deadline_s" not in request:
+                request["deadline_s"] = header_deadline
+            job = submit(request)
             status = 200 if job.finished else 202
             writer.write(_json_response(status, {"job": job.describe()}))
             return
@@ -445,13 +568,28 @@ class ServiceServer:
             if _single(query, "wait"):
                 timeout = _single(query, "timeout")
                 try:
-                    seconds = float(timeout) if timeout else None
+                    seconds = (
+                        float(timeout) if timeout else self.DEFAULT_WAIT_S
+                    )
                 except ValueError as error:
                     raise _HttpError(400, "malformed timeout") from error
+                # Server-side cap: a long-poll never outlives MAX_WAIT_S
+                # even when the client asks for more (or for 'forever').
+                seconds = max(0.0, min(self.MAX_WAIT_S, seconds))
                 try:
                     job = await self._manager.wait(job.id, seconds)
-                except asyncio.TimeoutError:
-                    pass  # report current state; the client re-polls
+                except (asyncio.TimeoutError, TimeoutError):
+                    writer.write(
+                        _json_error(
+                            504,
+                            f"job {job.id} still {job.status} after "
+                            f"{seconds:g}s (server cap "
+                            f"{self.MAX_WAIT_S:g}s); poll again",
+                            code="wait_timeout",
+                            job=job.describe(),
+                        )
+                    )
+                    return
             writer.write(_json_response(200, {"job": job.describe()}))
             return
         if tail == "result":
@@ -476,15 +614,36 @@ class ServiceServer:
         raise _HttpError(404, f"no such job endpoint: {path}")
 
     async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
-        """ndjson event stream: replay history, follow live, then close."""
+        """ndjson event stream: replay history, follow live, then close.
+
+        The stream is bounded: after :attr:`MAX_WAIT_S` with no new
+        events it emits a ``stream_timeout`` record and closes, so a
+        stalled job cannot pin a connection (and its handler) forever.
+        """
         writer.write(_head(200, "application/x-ndjson", None))
         queue = job.subscribe()
         try:
             while True:
-                record = await queue.get()
+                try:
+                    record = await asyncio.wait_for(
+                        queue.get(), timeout=self.MAX_WAIT_S
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    record = {
+                        "event": "stream_timeout",
+                        "job": job.id,
+                        "t": time.time(),
+                        "idle_s": self.MAX_WAIT_S,
+                    }
+                    writer.write(
+                        (json.dumps(record, sort_keys=True) + "\n").encode()
+                    )
+                    break
                 if record is None:
                     break
-                writer.write((json.dumps(record, sort_keys=True) + "\n").encode())
+                writer.write(
+                    (json.dumps(record, sort_keys=True) + "\n").encode()
+                )
                 await writer.drain()
         finally:
             job.unsubscribe(queue)
@@ -575,8 +734,13 @@ class ThreadedService:
         self._loop = loop
         self.host, self.port = server.address
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Shut the server down and join its thread."""
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the server down and join its thread.
+
+        The timeout is generous: a loaded box can starve the loop
+        thread for seconds, and a slow clean shutdown beats a spurious
+        ``TimeoutError`` from a drain that was about to finish.
+        """
         asyncio.run_coroutine_threadsafe(
             self.server.close(), self._loop
         ).result(timeout)

@@ -43,6 +43,7 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.errors import ReproError
 from repro.fleet.coordinator import FleetCoordinator, LocalWorkerPump
+from repro.fleet.queue import BATCH, INTERACTIVE
 from repro.pipeline.experiment import ExperimentOptions
 from repro.pipeline.serialization import content_key, evaluation_ratios
 from repro.telemetry import counter, gauge, get_logger
@@ -65,7 +66,15 @@ _JOBS = counter(
 )
 _QUEUE_DEPTH = gauge(
     "repro_service_queue_depth",
-    "Service jobs currently queued or running",
+    "Service jobs currently queued or running, by admission class",
+)
+_REJECTED = counter(
+    "repro_service_rejected_total",
+    "Submissions refused by admission control, by admission class",
+)
+_DEADLINES = counter(
+    "repro_service_deadline_exceeded_total",
+    "Service jobs that failed their request deadline, by kind",
 )
 
 #: Service-job lifecycle states.
@@ -80,6 +89,53 @@ _STREAM_END = None
 
 class ServiceError(ReproError):
     """A malformed or unserviceable request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control refused a submission: the queue is full.
+
+    Carries the admission class that was full and a ``retry_after_s``
+    hint the HTTP layer surfaces as a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, job_class: str, retry_after_s: float
+    ) -> None:
+        super().__init__(message)
+        self.job_class = job_class
+        self.retry_after_s = retry_after_s
+
+
+#: Which admission class each job kind bills against: evaluates are
+#: the cheap interactive traffic, suite/campaign fan-out is batch.
+_KIND_CLASS = {
+    "evaluate": INTERACTIVE,
+    "suite": BATCH,
+    "campaign": BATCH,
+}
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds on concurrently admitted (queued or running) jobs.
+
+    Limits are per admission class; ``None`` means unbounded.  Dedup
+    attaches are always admitted — they add no work.  ``retry_after_s``
+    is the base backoff hint returned with a 429.
+    """
+
+    max_interactive: Optional[int] = 128
+    max_batch: Optional[int] = 16
+    retry_after_s: float = 1.0
+
+    def limit(self, job_class: str) -> Optional[int]:
+        if job_class == INTERACTIVE:
+            return self.max_interactive
+        return self.max_batch
+
+    @classmethod
+    def unbounded(cls) -> "AdmissionPolicy":
+        return cls(max_interactive=None, max_batch=None)
 
 
 @dataclass
@@ -97,6 +153,12 @@ class ServiceJob:
     error: Optional[str] = None
     #: How many submissions this job absorbed (1 = no dedup happened).
     submissions: int = 1
+    #: Admission class ("interactive" | "batch").
+    job_class: str = INTERACTIVE
+    #: Request deadline: relative budget (seconds) and its absolute
+    #: ``time.monotonic`` form, fixed at submission.
+    deadline_s: Optional[float] = None
+    deadline_at: Optional[float] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
     _queues: List[asyncio.Queue] = field(default_factory=list, repr=False)
     _done: Optional[asyncio.Event] = field(default=None, repr=False)
@@ -119,6 +181,8 @@ class ServiceJob:
             "submissions": self.submissions,
             "n_events": len(self.events),
         }
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
         if self.error is not None:
             data["error"] = self.error
         return data
@@ -248,6 +312,8 @@ class JobManager:
         max_workers: int = 2,
         lease_ttl: float = 60.0,
         fleet_retries: int = 3,
+        admission: Optional[AdmissionPolicy] = None,
+        default_deadline: Optional[float] = None,
     ) -> None:
         self._store = store
         self._warehouse = warehouse
@@ -255,6 +321,10 @@ class JobManager:
         self._own_executor = executor is None
         self._run_payload = run_payload
         self._max_workers = max_workers
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.default_deadline = default_deadline
+        #: Admitted (non-terminal) jobs per admission class.
+        self._active: Dict[str, int] = {INTERACTIVE: 0, BATCH: 0}
         #: All experiment execution dispatches through the fleet: the
         #: coordinator's queue feeds the local pump and remote workers
         #: alike, and owns the store write-through on completion.
@@ -275,7 +345,13 @@ class JobManager:
             "store_hits": 0,
             "inflight_hits": 0,
             "failed": 0,
+            "rejected": 0,
+            "deadline_exceeded": 0,
         }
+
+    def active_by_class(self) -> Dict[str, int]:
+        """Admitted (non-terminal) job counts per admission class."""
+        return dict(self._active)
 
     # ------------------------------------------------------------------
     @property
@@ -377,6 +453,21 @@ class JobManager:
         await asyncio.wait_for(job._done.wait(), timeout)
         return job
 
+    def _deadline_budget(self, request: Dict[str, Any]) -> Optional[float]:
+        """The request's deadline budget in seconds (None = unbounded)."""
+        raw = request.get("deadline_s", self.default_deadline)
+        if raw is None:
+            return None
+        try:
+            budget = float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"deadline_s must be a number, got {raw!r}"
+            ) from None
+        if budget <= 0:
+            raise ServiceError(f"deadline_s must be positive, got {budget}")
+        return budget
+
     def _admit(
         self,
         job_id: str,
@@ -384,7 +475,13 @@ class JobManager:
         request: Dict[str, Any],
         runner: Callable[[ServiceJob], Awaitable[Dict[str, Any]]],
     ) -> ServiceJob:
-        """Register (or dedup onto) a service job and start it."""
+        """Register (or dedup onto) a service job and start it.
+
+        Dedup attaches bypass admission control (they add no work);
+        genuinely new jobs are refused with
+        :class:`ServiceOverloadError` when their class is at its limit.
+        """
+        budget = self._deadline_budget(request)
         self.stats["submitted"] += 1
         existing = self._jobs.get(job_id)
         if existing is not None and existing.status != JOB_FAILED:
@@ -394,11 +491,36 @@ class JobManager:
             self.stats["deduped"] += 1
             _DEDUP_HITS.inc(level="job")
             return existing
-        job = ServiceJob(id=job_id, kind=kind, request=request)
+        job_class = _KIND_CLASS.get(kind, BATCH)
+        limit = self.admission.limit(job_class)
+        if limit is not None and self._active[job_class] >= limit:
+            self.stats["rejected"] += 1
+            _REJECTED.inc(job_class=job_class)
+            _log.warning(
+                "job rejected: admission queue full",
+                extra={"kind": kind, "job_class": job_class, "limit": limit},
+            )
+            raise ServiceOverloadError(
+                f"{job_class} admission queue full "
+                f"({self._active[job_class]}/{limit} jobs in flight)",
+                job_class=job_class,
+                retry_after_s=self.admission.retry_after_s,
+            )
+        job = ServiceJob(
+            id=job_id,
+            kind=kind,
+            request=request,
+            job_class=job_class,
+            deadline_s=budget,
+            deadline_at=(
+                None if budget is None else time.monotonic() + budget
+            ),
+        )
         if existing is None:
             self._order.append(job_id)
         self._jobs[job_id] = job
-        _QUEUE_DEPTH.inc()
+        self._active[job_class] += 1
+        _QUEUE_DEPTH.inc(job_class=job_class)
         _log.info("job submitted", extra={"job": job_id, "kind": kind})
         job.publish("submitted", kind=kind)
         task = asyncio.get_running_loop().create_task(self._drive(job, runner))
@@ -415,7 +537,16 @@ class JobManager:
         job.started_at = time.time()
         job.publish("started")
         try:
-            job.result = await runner(job)
+            if job.deadline_at is None:
+                job.result = await runner(job)
+            else:
+                # Enforce the request deadline here; the fleet queue
+                # additionally cancels still-pending experiment work at
+                # the same deadline so it is never computed at all.
+                job.result = await asyncio.wait_for(
+                    runner(job),
+                    timeout=max(0.0, job.deadline_at - time.monotonic()),
+                )
             job.status = JOB_DONE
             job.finished_at = time.time()
             job.publish("completed", summary=job.result.get("summary"))
@@ -426,6 +557,21 @@ class JobManager:
             self.stats["failed"] += 1
             job.publish("failed", error=job.error)
             raise
+        except (asyncio.TimeoutError, TimeoutError):
+            job.status = JOB_FAILED
+            job.error = (
+                f"deadline exceeded: job still incomplete after its "
+                f"{job.deadline_s:g}s budget"
+            )
+            job.finished_at = time.time()
+            self.stats["failed"] += 1
+            self.stats["deadline_exceeded"] += 1
+            _DEADLINES.inc(kind=job.kind)
+            _log.warning(
+                "job deadline exceeded",
+                extra={"job": job.id, "kind": job.kind},
+            )
+            job.publish("failed", error=job.error)
         except Exception:
             job.status = JOB_FAILED
             job.error = traceback.format_exc()
@@ -436,7 +582,8 @@ class JobManager:
             )
             job.publish("failed", error=job.error)
         finally:
-            _QUEUE_DEPTH.dec()
+            self._active[job.job_class] -= 1
+            _QUEUE_DEPTH.dec(job_class=job.job_class)
             _JOBS.inc(kind=job.kind, status=job.status)
 
     def submit_evaluate(self, request: Dict[str, Any]) -> ServiceJob:
@@ -445,7 +592,12 @@ class JobManager:
         job_id = experiment.key()
 
         async def run(job: ServiceJob) -> Dict[str, Any]:
-            payload = await self._run_experiment(experiment, source_job=job)
+            payload = await self._run_experiment(
+                experiment,
+                source_job=job,
+                job_class=INTERACTIVE,
+                deadline=job.deadline_at,
+            )
             if payload.get("status") != STATUS_OK:
                 raise ServiceError(
                     f"experiment failed:\n{payload.get('error')}"
@@ -515,6 +667,8 @@ class JobManager:
         experiment: ExperimentJob,
         source_job: Optional[ServiceJob] = None,
         campaign: Optional[str] = None,
+        job_class: str = BATCH,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One experiment payload, computed at most once per key.
 
@@ -527,35 +681,63 @@ class JobManager:
             if payload is not None and payload.get("status") == STATUS_OK:
                 self.stats["store_hits"] += 1
                 _DEDUP_HITS.inc(level="store")
-                self._record(key, payload, campaign)
+                await self._record_async(key, payload, campaign)
                 return payload
         task = self._inflight.get(key)
         if task is not None:
             self.stats["inflight_hits"] += 1
             _DEDUP_HITS.inc(level="inflight")
             payload = await asyncio.shield(task)
-            self._record(key, payload, campaign)
+            await self._record_async(key, payload, campaign)
             return payload
         task = asyncio.get_running_loop().create_task(
-            self._compute(experiment, key)
+            self._compute(experiment, key, job_class, deadline)
         )
         self._inflight[key] = task
         try:
             payload = await asyncio.shield(task)
         finally:
             self._inflight.pop(key, None)
-        self._record(key, payload, campaign)
+        await self._record_async(key, payload, campaign)
         return payload
 
     async def _compute(
-        self, experiment: ExperimentJob, key: str
+        self,
+        experiment: ExperimentJob,
+        key: str,
+        job_class: str = BATCH,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         self.stats["computed"] += 1
         self.fleet.ensure_sweeper()
         self._ensure_pump()
         # The coordinator saves accepted OK payloads to the store before
         # resolving this future, so downstream _record sees a fresh file.
-        return await self.fleet.submit(key, experiment.to_dict())
+        return await self.fleet.submit(
+            key,
+            experiment.to_dict(),
+            job_class=job_class,
+            deadline=deadline,
+        )
+
+    async def _record_async(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        campaign: Optional[str],
+    ) -> None:
+        """Warehouse write-through, off the event loop.
+
+        SQLite writes retry with backoff sleeps under contention (or an
+        injected busy storm); running them on a worker thread keeps
+        /healthz and every other handler responsive while they ride it
+        out.
+        """
+        if self._warehouse is None or payload.get("status") != STATUS_OK:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._record, key, payload, campaign
+        )
 
     def _record(
         self,
@@ -586,7 +768,12 @@ class JobManager:
         """Fan a suite/campaign over its points, with progress events."""
 
         async def one_point(experiment: ExperimentJob):
-            payload = await self._run_experiment(experiment, campaign=campaign)
+            payload = await self._run_experiment(
+                experiment,
+                campaign=campaign,
+                job_class=BATCH,
+                deadline=job.deadline_at,
+            )
             return experiment, payload
 
         points: List[Dict[str, Any]] = []

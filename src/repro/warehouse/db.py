@@ -28,6 +28,7 @@ Schema (version 2):
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -226,6 +227,10 @@ class Warehouse:
             self._path, check_same_thread=False, timeout=self.BUSY_TIMEOUT_S
         )
         self._conn.row_factory = sqlite3.Row
+        # Writes may come from executor threads (the service records
+        # results off its event loop so retry backoff never stalls it);
+        # one connection => serialize whole transactions ourselves.
+        self._write_lock = threading.RLock()
         # Fleet ingest is multi-process: several workers' completions and
         # `repro query` readers hit one database file.  WAL lets readers
         # proceed under a writer (no more SQLITE_BUSY on queries during
@@ -247,19 +252,34 @@ class Warehouse:
         re-run the whole operation — every write here is an idempotent
         upsert, so a re-run is safe.
         """
-        for attempt in range(self._RETRY_ATTEMPTS):
-            try:
-                return operation()
-            except sqlite3.OperationalError as error:
-                message = str(error).lower()
-                retryable = "locked" in message or "busy" in message
-                if not retryable or attempt == self._RETRY_ATTEMPTS - 1:
-                    raise
+        from repro import chaos
+
+        injector = chaos.active()
+        with self._write_lock:
+            for attempt in range(self._RETRY_ATTEMPTS):
                 try:
-                    self._conn.rollback()
-                except sqlite3.OperationalError:
-                    pass
-                time.sleep(0.05 * (2**attempt))
+                    if (
+                        injector is not None
+                        and attempt < self._RETRY_ATTEMPTS - 1
+                        and injector.sqlite_busy()
+                    ):
+                        # Synthetic busy storm: indistinguishable from a
+                        # starved writer.  The final attempt is never
+                        # faulted, so an idempotent upsert still lands.
+                        raise sqlite3.OperationalError(
+                            "database is locked (chaos)"
+                        )
+                    return operation()
+                except sqlite3.OperationalError as error:
+                    message = str(error).lower()
+                    retryable = "locked" in message or "busy" in message
+                    if not retryable or attempt == self._RETRY_ATTEMPTS - 1:
+                        raise
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.OperationalError:
+                        pass
+                    time.sleep(0.05 * (2**attempt))
 
     @classmethod
     def for_store(cls, store: ResultStore) -> "Warehouse":

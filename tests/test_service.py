@@ -422,17 +422,22 @@ class TestHttpService:
         client, _ = service
         status, document = client.request("GET", "/v1/jobs/ffffffffffffffff")
         assert status == 404
-        assert "no such job" in document["error"]
-        status, _document = client.request("PUT", "/v1/evaluate")
+        assert document["error"]["code"] == "not_found"
+        assert "no such job" in document["error"]["message"]
+        status, document = client.request("PUT", "/v1/evaluate")
         assert status == 405
+        assert document["error"]["code"] == "method_not_allowed"
         status, document = client.request("POST", "/v1/evaluate", body={})
         assert status == 400
-        status, _document = client.request("GET", "/nope")
+        assert document["error"]["code"] == "bad_request"
+        status, document = client.request("GET", "/nope")
         assert status == 404
+        assert document["error"]["code"] == "not_found"
 
     def test_malformed_json_body(self, service):
         client, _ = service
         import http.client
+        import json as json_module
 
         connection = http.client.HTTPConnection(
             client.host, client.port, timeout=10
@@ -446,7 +451,33 @@ class TestHttpService:
             )
             response = connection.getresponse()
             assert response.status == 400
-            assert b"not valid JSON" in response.read()
+            document = json_module.loads(response.read())
+            assert document["error"]["code"] == "bad_request"
+            assert "not valid JSON" in document["error"]["message"]
+        finally:
+            connection.close()
+
+    def test_oversized_body_rejected(self, service):
+        client, _ = service
+        import http.client
+        import json as json_module
+
+        from repro.service.http import MAX_BODY_BYTES
+
+        connection = http.client.HTTPConnection(
+            client.host, client.port, timeout=30
+        )
+        try:
+            # Declare an oversized body without uploading it: the
+            # server must refuse from the Content-Length alone.
+            connection.putrequest("POST", "/v1/evaluate")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            document = json_module.loads(response.read())
+            assert document["error"]["code"] == "payload_too_large"
         finally:
             connection.close()
 

@@ -184,9 +184,24 @@ def main() -> int:
                 )
             if metric_total(scrape, "repro_fleet_lease_seconds_count") < 1:
                 raise RuntimeError("/metrics lease latency histogram empty")
+            # This run never approached the admission limits or set a
+            # deadline: overload counters must not fire spuriously.
+            rejected = metric_total(scrape, "repro_service_rejected_total")
+            if rejected != 0:
+                raise RuntimeError(
+                    f"unloaded run rejected {rejected:g} submissions"
+                )
+            expired_deadlines = metric_total(
+                scrape, "repro_service_deadline_exceeded_total"
+            )
+            if expired_deadlines != 0:
+                raise RuntimeError(
+                    "deadline counter fired without deadlines: "
+                    f"{expired_deadlines:g}"
+                )
             print(
                 f"metrics ok: granted={granted:g} completed={completed:g} "
-                f"expired={expired:g}"
+                f"expired={expired:g} rejected=0 deadline_exceeded=0"
             )
 
             survivor = [w for w in workers if w != victim][0]
