@@ -582,6 +582,7 @@ def _parser() -> argparse.ArgumentParser:
             "pareto",
             "diff",
             "spans",
+            "cache",
         ),
         help="what to ask (see docs/service.md#queries)",
     )
@@ -1234,6 +1235,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.campaign import DEFAULT_CACHE_DIR
     from repro.reporting import (
         warehouse_best_table,
+        warehouse_cache_table,
         warehouse_diff_table,
         warehouse_jobs_table,
         warehouse_pareto_table,
@@ -1316,6 +1318,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 _emit(
                     {"spans": [vars(row) for row in rows]},
                     warehouse_spans_table(rows, selector=selector),
+                )
+                return 0
+            if args.op == "cache":
+                rows = warehouse.cache_rows(selector)
+                _emit(
+                    {
+                        "cache": [
+                            {"counter": counter, "total": total, "jobs": jobs}
+                            for counter, total, jobs in rows
+                        ]
+                    },
+                    warehouse_cache_table(rows, selector=selector),
                 )
                 return 0
             if args.op == "pareto":

@@ -58,6 +58,11 @@ class JobResult:
     #: for whole-job cache answers and payloads written before
     #: stage-granular caching existed.
     stage_cache: Optional[Dict[str, int]] = None
+    #: Per-loop cache counter deltas (same shape as ``stage_cache``):
+    #: hits/misses/disk_hits of the loop-granular profile/schedule
+    #: artifacts this job touched.  None for whole-job cache answers and
+    #: payloads written before per-loop caching existed.
+    loop_cache: Optional[Dict[str, int]] = None
     #: Serialized span tree of the job's execution (see
     #: :mod:`repro.telemetry.trace`); None unless tracing was enabled
     #: in the process — worker or inline — that ran the job.
@@ -77,6 +82,21 @@ class JobResult:
     def stage_cache_disk_hits(self) -> int:
         """Stage-cache hits answered from the on-disk layer."""
         return (self.stage_cache or {}).get("disk_hits", 0)
+
+    @property
+    def loop_cache_memory_hits(self) -> int:
+        """Per-loop cache hits answered from the in-memory LRU."""
+        return (self.loop_cache or {}).get("hits", 0)
+
+    @property
+    def loop_cache_disk_hits(self) -> int:
+        """Per-loop cache hits answered from the on-disk layer."""
+        return (self.loop_cache or {}).get("disk_hits", 0)
+
+    @property
+    def loop_cache_misses(self) -> int:
+        """Loops this job actually had to profile/schedule."""
+        return (self.loop_cache or {}).get("misses", 0)
 
 
 @dataclass
@@ -126,6 +146,26 @@ class CampaignResult:
         """Stage-level disk-layer hits across executed jobs."""
         return sum(r.stage_cache_disk_hits for r in self.results)
 
+    @property
+    def loop_cache_hits(self) -> int:
+        """Per-loop cache hits (memory + disk) across executed jobs."""
+        return self.loop_cache_memory_hits + self.loop_cache_disk_hits
+
+    @property
+    def loop_cache_memory_hits(self) -> int:
+        """Per-loop memory-LRU hits across executed jobs."""
+        return sum(r.loop_cache_memory_hits for r in self.results)
+
+    @property
+    def loop_cache_disk_hits(self) -> int:
+        """Per-loop disk-layer hits across executed jobs."""
+        return sum(r.loop_cache_disk_hits for r in self.results)
+
+    @property
+    def loop_cache_misses(self) -> int:
+        """Loops actually profiled/scheduled across executed jobs."""
+        return sum(r.loop_cache_misses for r in self.results)
+
 
 # ----------------------------------------------------------------------
 # worker side
@@ -163,6 +203,7 @@ def _worker_init(
     stage_dir: Optional[str],
     workload_packs: Sequence[str] = (),
     telemetry: bool = False,
+    loop_dir: Optional[str] = None,
 ) -> None:
     """One-time setup of a pool worker.
 
@@ -184,6 +225,10 @@ def _worker_init(
         from repro.pipeline.cache import STAGE_CACHE
 
         STAGE_CACHE.attach_store(stage_dir)
+    if loop_dir is not None:
+        from repro.pipeline.cache import LOOP_CACHE
+
+        LOOP_CACHE.attach_store(loop_dir)
     if workload_packs:
         from repro.scenarios import find_pack
 
@@ -194,8 +239,36 @@ def _worker_init(
     import repro.workloads.spec_profiles  # noqa: F401
 
 
+def _attach_for_job(cache, directory: Optional[str]):
+    """Attach ``directory`` for one job; returns the restore thunk.
+
+    The process-global caches must not keep pointing at a campaign store
+    afterwards (the directory may be temporary, and store=None runs are
+    promised to touch no disk).  No-op when the worker initializer
+    already attached this very directory.
+    """
+    previous = cache.store_dir
+    attached = directory is not None and (
+        previous is None or str(previous) != str(directory)
+    )
+    if attached:
+        cache.attach_store(directory)
+
+    def restore() -> None:
+        if not attached:
+            return
+        if previous is None:
+            cache.detach_store()
+        else:
+            cache.attach_store(previous)
+
+    return restore
+
+
 def execute_job_payload(
-    job_data: Dict[str, Any], stage_dir: Optional[str] = None
+    job_data: Dict[str, Any],
+    stage_dir: Optional[str] = None,
+    loop_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one job from its dict form; never raises.
 
@@ -205,41 +278,32 @@ def execute_job_payload(
     ``stage_dir`` attaches the pipeline's stage cache to an on-disk
     directory (the result store's ``stages/`` subdir), so profiling and
     calibration artifacts persist across jobs, workers *and* campaign
-    runs.  The payload records the job's stage-cache counter deltas.
-    Workers initialized by :func:`_worker_init` already point at the
-    store, so the attach/restore dance only runs on the inline path.
+    runs; ``loop_dir`` does the same for the per-loop cache (the
+    ``loops/`` subdir).  The payload records both caches' counter
+    deltas.  Workers initialized by :func:`_worker_init` already point
+    at the store, so the attach/restore dance only runs inline.
     """
     started = time.perf_counter()
     try:
         job = ExperimentJob.from_dict(job_data)
-        from repro.pipeline.cache import STAGE_CACHE
+        from repro.pipeline.cache import LOOP_CACHE, STAGE_CACHE
         from repro.pipeline.experiment import evaluate_corpus
 
-        # Attach the campaign's disk layer for the duration of this job
-        # only: the process-global cache must not keep pointing at the
-        # store afterwards (the directory may be temporary, and
-        # store=None runs are promised to touch no disk).  No-op when the
-        # worker initializer already attached this very store.
-        previous_store = STAGE_CACHE.store_dir
-        needs_attach = stage_dir is not None and (
-            previous_store is None or str(previous_store) != str(stage_dir)
-        )
-        if needs_attach:
-            STAGE_CACHE.attach_store(stage_dir)
+        restore_stages = _attach_for_job(STAGE_CACHE, stage_dir)
+        restore_loops = _attach_for_job(LOOP_CACHE, loop_dir)
         try:
             stats_before = STAGE_CACHE.stats()
+            loops_before = LOOP_CACHE.stats()
             with span(
                 "job", benchmark=job.benchmark, config=job.config_label()
             ) as job_span:
                 corpus = _corpus_for(job.benchmark, job.scale)
                 evaluation = evaluate_corpus(corpus, job.options)
             stats_after = STAGE_CACHE.stats()
+            loops_after = LOOP_CACHE.stats()
         finally:
-            if needs_attach:
-                if previous_store is None:
-                    STAGE_CACHE.detach_store()
-                else:
-                    STAGE_CACHE.attach_store(previous_store)
+            restore_loops()
+            restore_stages()
         return {
             "schema": 1,
             "job": job_data,
@@ -250,6 +314,10 @@ def execute_job_payload(
             "stage_cache": {
                 name: stats_after[name] - stats_before[name]
                 for name in stats_after
+            },
+            "loop_cache": {
+                name: loops_after[name] - loops_before[name]
+                for name in loops_after
             },
             # Serialized span tree: JSON-safe, so it crosses the worker
             # boundary with the payload and lands in store + warehouse.
@@ -267,10 +335,15 @@ def execute_job_payload(
 
 
 def _execute_chunk(
-    chunk: List[Dict[str, Any]], stage_dir: Optional[str]
+    chunk: List[Dict[str, Any]],
+    stage_dir: Optional[str],
+    loop_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run several jobs in one worker round-trip (less IPC per job)."""
-    return [execute_job_payload(job_data, stage_dir) for job_data in chunk]
+    return [
+        execute_job_payload(job_data, stage_dir, loop_dir)
+        for job_data in chunk
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +366,7 @@ def _result_from_payload(
         ),
         error=payload.get("error"),
         stage_cache=None if cached else payload.get("stage_cache"),
+        loop_cache=None if cached else payload.get("loop_cache"),
         trace=None if cached else payload.get("trace"),
     )
 
@@ -334,6 +408,7 @@ def run_campaign(
     from repro.fleet.queue import LeaseQueue, error_payload
 
     stage_dir = None if store is None else str(store.stage_dir)
+    loop_dir = None if store is None else str(store.loop_dir)
     keyed = [(job, job.key()) for job in jobs]
     results: Dict[str, JobResult] = {}
     by_key: Dict[str, ExperimentJob] = {}
@@ -393,7 +468,7 @@ def run_campaign(
             fleet.complete(
                 "driver-inline",
                 grant.token,
-                execute_job_payload(grant.job, stage_dir),
+                execute_job_payload(grant.job, stage_dir, loop_dir),
             )
     elif n_pending:
         workers = min(n_jobs, n_pending)
@@ -408,7 +483,12 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(stage_dir, tuple(workload_packs), tracing_enabled()),
+            initargs=(
+                stage_dir,
+                tuple(workload_packs),
+                tracing_enabled(),
+                loop_dir,
+            ),
         ) as pool:
             futures = {}
             while True:
@@ -419,6 +499,7 @@ def run_campaign(
                     _execute_chunk,
                     [grant.job for grant in grants],
                     stage_dir,
+                    loop_dir,
                 )
                 futures[future] = grants
             remaining = set(futures)

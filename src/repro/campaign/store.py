@@ -26,6 +26,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: (profiles, calibrations) written by the pipeline's stage cache.
 STAGE_SUBDIR = "stages"
 
+#: Subdirectory holding *per-loop* artifacts (loop profiles, schedules)
+#: written by the pipeline's loop cache — one level below ``stages/``.
+LOOP_SUBDIR = "loops"
+
 
 class StoreError(ReproError):
     """A result-store entry is missing or unreadable."""
@@ -60,6 +64,26 @@ class ResultStore:
         """All persisted stage-artifact keys, sorted."""
         stage_dir = self._root / STAGE_SUBDIR
         for path in sorted(stage_dir.glob("*.json")):
+            yield path.stem
+
+    @property
+    def loop_dir(self) -> Path:
+        """Directory for per-loop artifacts (created on demand).
+
+        The executor attaches the pipeline's loop cache here, one level
+        below :attr:`stage_dir`: a sweep resumed in a fresh process — or
+        picked up by a different fleet worker — reuses every per-loop
+        profile/schedule whose (loop x machine facets x point) key still
+        matches, even across campaigns that share no whole job or stage.
+        """
+        path = self._root / LOOP_SUBDIR
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def loop_keys(self) -> Iterator[str]:
+        """All persisted per-loop artifact keys, sorted."""
+        loop_dir = self._root / LOOP_SUBDIR
+        for path in sorted(loop_dir.glob("*.json")):
             yield path.stem
 
     def path(self, key: str) -> Path:

@@ -110,15 +110,18 @@ class FleetWorker:
         self.max_jobs = max_jobs  # None = run until drain/stop
         self.stats = WorkerStats()
         self._stage_dir: Optional[str] = None
+        self._loop_dir: Optional[str] = None
         if cache_dir is not None:
             from repro.campaign.store import ResultStore
 
-            self._stage_dir = str(ResultStore(cache_dir).stage_dir)
+            store = ResultStore(cache_dir)
+            self._stage_dir = str(store.stage_dir)
+            self._loop_dir = str(store.loop_dir)
         if execute is None:
             from repro.campaign.executor import execute_job_payload
 
             execute = lambda job: execute_job_payload(  # noqa: E731
-                job, self._stage_dir
+                job, self._stage_dir, self._loop_dir
             )
         self._execute = execute
         self._crash = crash if crash is not None else self._hard_exit
@@ -145,10 +148,12 @@ class FleetWorker:
 
     # ------------------------------------------------------------------
     def _warm(self) -> None:
-        """Campaign-worker startup: stage cache + registries, once."""
+        """Campaign-worker startup: stage + loop caches, registries, once."""
         from repro.campaign.executor import _worker_init
 
-        _worker_init(self._stage_dir, self.workload_packs)
+        _worker_init(
+            self._stage_dir, self.workload_packs, loop_dir=self._loop_dir
+        )
 
     def run(self) -> WorkerStats:
         """The worker loop; returns once stopped, drained or cut off."""

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.ir.ddg import DDG
 
@@ -21,6 +23,10 @@ class Loop:
     ddg: DDG
     trip_count: float = 100.0
     weight: float = 1.0
+    #: Lazily computed content fingerprint (see :meth:`fingerprint`).
+    _fingerprint: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.trip_count < 1:
@@ -37,6 +43,32 @@ class Loop:
     def total_iterations(self) -> float:
         """Iterations executed across all invocations."""
         return self.trip_count * self.weight
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this loop.
+
+        Hashes everything scheduling depends on: name, trip count,
+        weight, each operation's class, and every dependence edge (with
+        distance, kind and latency override).  Stable across processes —
+        node/edge iteration order is insertion order by construction —
+        and computed once per instance.  Corpus fingerprints and the
+        per-loop cache keys (ROADMAP item 2) are both built from it.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                f"{self.name}|{self.trip_count!r}|{self.weight!r}".encode()
+            )
+            for op in self.ddg.operations:
+                digest.update(f"{op.name}:{op.opclass.value};".encode())
+            for dep in self.ddg.dependences:
+                digest.update(
+                    f"{dep.src.name}>{dep.dst.name}"
+                    f"@{dep.distance}/{dep.kind.value}"
+                    f"/{dep.latency_override};".encode()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return (

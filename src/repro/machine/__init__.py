@@ -12,6 +12,11 @@ from repro.machine.cluster import ClusterConfig
 from repro.machine.interconnect import InterconnectConfig
 from repro.machine.memory import MemoryConfig
 from repro.machine.machine import MachineDescription, paper_machine
+from repro.machine.fingerprint import (
+    cluster_shape_fingerprint,
+    isa_fingerprint,
+    machine_facets,
+)
 from repro.machine.clocking import (
     CACHE_DOMAIN,
     ICN_DOMAIN,
@@ -38,4 +43,7 @@ __all__ = [
     "MachineDescription",
     "paper_machine",
     "FrequencyPalette",
+    "isa_fingerprint",
+    "cluster_shape_fingerprint",
+    "machine_facets",
 ]

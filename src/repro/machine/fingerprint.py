@@ -1,0 +1,84 @@
+"""Facet fingerprints: content hashes of what each stage actually reads.
+
+The whole-machine fingerprint (``scenarios.machine_file_fingerprint``)
+answers "is this the same machine file?"; it is the right key for
+registry-level dedup but too coarse for per-loop caching — a scenario
+pack edit that only renames the pack would still invalidate every
+schedule.  The per-loop cache (ROADMAP item 2) instead keys on the two
+*facets* the profile and schedule computations observe:
+
+* the **ISA facet** — the latency/energy table
+  (:func:`isa_fingerprint`): every latency feeds the DDG's recurrence
+  and resource bounds, every energy feeds the cost model;
+* the **cluster-shape facet** — FU mixes, register file sizes, bus
+  count/latency and the memory hierarchy
+  (:func:`cluster_shape_fingerprint`): the resources modulo scheduling
+  packs operations into.
+
+Anything else a pack can declare (its name, description, workload
+corpus, design-space palettes the pipeline never consults per loop)
+deliberately does **not** contribute, so editing it leaves warm per-loop
+artifacts valid.  Both hashes iterate in declaration order
+(``InstructionTable.rows()`` walks :class:`~repro.ir.opcodes.OpClass`
+declaration order; clusters are a tuple), so they are independent of
+dict insertion order and stable across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Tuple
+
+from repro.machine.isa import InstructionTable
+from repro.machine.machine import MachineDescription
+
+
+def isa_fingerprint(isa: InstructionTable) -> str:
+    """Content hash of the latency/energy table.
+
+    Walks :meth:`~repro.machine.isa.InstructionTable.rows` — OpClass
+    declaration order — so two tables built from differently-ordered
+    dicts with equal entries hash identically.
+    """
+    digest = hashlib.sha256()
+    for opclass, entry in isa.rows():
+        digest.update(
+            f"{opclass.value}:{entry.latency}/{entry.energy!r};".encode()
+        )
+    return digest.hexdigest()
+
+
+def cluster_shape_fingerprint(machine: MachineDescription) -> str:
+    """Content hash of the machine's spatial resources.
+
+    Covers per-cluster FU mixes and register file sizes (in cluster
+    order), the interconnect's bus count and latency, and the memory
+    hierarchy — everything the modulo scheduler packs against, and
+    nothing else.
+    """
+    digest = hashlib.sha256()
+    for cluster in machine.clusters:
+        digest.update(
+            f"c{cluster.n_int}/{cluster.n_fp}/{cluster.n_mem}"
+            f"/{cluster.n_regs};".encode()
+        )
+    digest.update(
+        f"icn{machine.interconnect.n_buses}"
+        f"@{machine.interconnect.latency};".encode()
+    )
+    digest.update(f"mem{int(machine.memory.always_hit)};".encode())
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=64)
+def machine_facets(machine: MachineDescription) -> Tuple[str, str]:
+    """``(isa_fingerprint, cluster_shape_fingerprint)`` of one machine.
+
+    Memoized on the (frozen, hashable) machine description so the hot
+    per-loop cache path hashes each distinct machine once per process.
+    """
+    return (
+        isa_fingerprint(machine.isa),
+        cluster_shape_fingerprint(machine),
+    )

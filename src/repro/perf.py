@@ -87,8 +87,13 @@ def run_pipeline_bench(
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
     options=None,
+    warm_sweep: bool = True,
 ) -> Dict[str, object]:
-    """The full harness: every benchmark, per-stage timings, metadata."""
+    """The full harness: every benchmark, per-stage timings, metadata.
+
+    ``warm_sweep`` appends the cold-vs-warm palette-sweep section (see
+    :func:`run_warm_sweep_bench`) — the loop cache's regression guard.
+    """
     from repro.workloads import SPEC2000_PROFILES, default_scale
 
     names = list(SPEC2000_PROFILES) if benchmarks is None else list(benchmarks)
@@ -103,7 +108,13 @@ def run_pipeline_bench(
         stage: sum(entry["stages"][stage] for entry in per_benchmark.values())
         for stage in STAGE_ORDER
     }
+    warm = (
+        run_warm_sweep_bench(benchmarks=names, scale=scale)
+        if warm_sweep
+        else None
+    )
     return {
+        **({"warm_sweep": warm} if warm is not None else {}),
         "schema": SCHEMA,
         "kind": "pipeline",
         "generated_unix": time.time(),
@@ -115,6 +126,99 @@ def run_pipeline_bench(
         "stage_totals_s": stage_totals,
         "total_s": total,
         "normalized_total": total / calibration if calibration > 0 else None,
+    }
+
+
+def _sweep_option_sets(n_palettes: int = 3):
+    """The frequency-palette sweep the warm bench replays.
+
+    One option set per palette, everything else at paper defaults —
+    the Figure 7 usage pattern the loop cache is built to accelerate.
+    """
+    from repro.machine.clocking import FrequencyPalette
+    from repro.pipeline import ExperimentOptions
+    from repro.scheduler import SchedulerOptions
+
+    palettes = [FrequencyPalette.any_frequency()]
+    for count in range(2, n_palettes + 1):
+        palettes.append(FrequencyPalette.per_domain_uniform(count))
+    return [
+        ExperimentOptions(scheduler=SchedulerOptions(palette=palette))
+        for palette in palettes[:n_palettes]
+    ]
+
+
+def run_warm_sweep_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    n_palettes: int = 3,
+) -> Dict[str, object]:
+    """Cold-vs-warm palette sweep: the loop cache's headline number.
+
+    Runs the same frequency-palette sweep twice.  The cold pass starts
+    with every cache empty; the warm pass drops the corpus-level stage
+    cache but keeps the per-loop cache, so profile/schedule reassemble
+    from loop artifacts without re-running the scheduler.  Records the
+    speedup, the loop-cache counters proving zero loops were
+    re-scheduled warm, and whether the warm results are byte-identical
+    to the cold ones (they must be).
+    """
+    from repro.pipeline import evaluate_suite
+    from repro.pipeline.cache import (
+        LOOP_CACHE,
+        STAGE_CACHE,
+        clear_loop_cache,
+        clear_stage_cache,
+    )
+    from repro.pipeline.serialization import canonical_json
+    from repro.workloads import (
+        SPEC2000_PROFILES,
+        build_corpus,
+        default_scale,
+        spec_profile,
+    )
+
+    names = list(SPEC2000_PROFILES) if benchmarks is None else list(benchmarks)
+    if scale is None:
+        scale = default_scale()
+    corpora = [build_corpus(spec_profile(name), scale=scale) for name in names]
+    option_sets = _sweep_option_sets(n_palettes)
+
+    def sweep() -> List[str]:
+        return [
+            canonical_json(evaluate_suite(corpora, options).to_dict())
+            for options in option_sets
+        ]
+
+    # Memory-only: an attached disk store would leak earlier state in.
+    STAGE_CACHE.detach_store()
+    LOOP_CACHE.detach_store()
+    clear_stage_cache(reset_stats=True)
+    clear_loop_cache(reset_stats=True)
+    started = time.perf_counter()
+    cold_docs = sweep()
+    cold_s = time.perf_counter() - started
+
+    # Warm: only the corpus-level memo is dropped; the loop cache stays.
+    clear_stage_cache(reset_stats=True)
+    before = LOOP_CACHE.stats()
+    started = time.perf_counter()
+    warm_docs = sweep()
+    warm_s = time.perf_counter() - started
+    after = LOOP_CACHE.stats()
+    loop_counters = {
+        counter: after[counter] - before[counter]
+        for counter in ("hits", "misses", "disk_hits", "corrupt")
+    }
+    return {
+        "scale": scale,
+        "benchmarks": [corpus.benchmark for corpus in corpora],
+        "n_palettes": len(option_sets),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "identical": warm_docs == cold_docs,
+        "loop_cache": loop_counters,
     }
 
 
@@ -148,6 +252,51 @@ def check_regression(
             f"baseline {base_norm:.1f} * (1 + {tolerance:.0%}) = {limit:.1f} "
             f"(raw {current['total_s']:.2f}s vs {baseline['total_s']:.2f}s)"
         )
+    failures.extend(_check_warm_sweep(current, baseline, tolerance))
+    return failures
+
+
+def _check_warm_sweep(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Warm-sweep gates: identity, zero re-schedules, warm-time trend.
+
+    Only active when the baseline carries a ``warm_sweep`` section, so
+    old baselines keep passing; once recorded, a current report without
+    the section (or with a broken one) fails.
+    """
+    base_warm = baseline.get("warm_sweep")
+    if not base_warm:
+        return []
+    cur_warm = current.get("warm_sweep")
+    if not cur_warm:
+        return ["baseline records a warm_sweep section but current does not"]
+    failures: List[str] = []
+    if not cur_warm.get("identical", False):
+        failures.append(
+            "warm sweep results are not byte-identical to the cold sweep"
+        )
+    misses = (cur_warm.get("loop_cache") or {}).get("misses", 0)
+    if misses:
+        failures.append(
+            f"warm sweep re-scheduled {misses} loop(s); the loop cache "
+            "must serve every one"
+        )
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    if base_cal and cur_cal:
+        base_norm = base_warm["warm_s"] / base_cal
+        cur_norm = cur_warm["warm_s"] / cur_cal
+        limit = base_norm * (1.0 + tolerance)
+        if cur_norm > limit:
+            failures.append(
+                f"warm sweep regressed: normalized {cur_norm:.1f} > "
+                f"baseline {base_norm:.1f} * (1 + {tolerance:.0%}) = "
+                f"{limit:.1f} (raw {cur_warm['warm_s']:.2f}s vs "
+                f"{base_warm['warm_s']:.2f}s)"
+            )
     return failures
 
 
@@ -182,7 +331,7 @@ def render_report(data: Dict[str, object]) -> str:
             f"{data['total_s']:.3f}",
         )
     )
-    return render_table(
+    table = render_table(
         ["benchmark", *STAGE_ORDER, "total"],
         rows,
         title=(
@@ -190,3 +339,14 @@ def render_report(data: Dict[str, object]) -> str:
             f"calibration {data['calibration_s'] * 1e3:.1f} ms"
         ),
     )
+    warm = data.get("warm_sweep")
+    if warm:
+        counters = warm["loop_cache"]
+        table += (
+            f"\nwarm palette sweep ({warm['n_palettes']} palettes): "
+            f"{warm['cold_s']:.2f}s cold -> {warm['warm_s']:.2f}s warm "
+            f"({warm['speedup']:.1f}x), {counters['hits']} loop hit(s), "
+            f"{counters['misses']} miss(es), "
+            + ("byte-identical" if warm["identical"] else "RESULTS DIFFER")
+        )
+    return table

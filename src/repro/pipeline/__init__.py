@@ -25,7 +25,6 @@ from repro.pipeline.experiment import (
     evaluate_corpus,
     evaluate_suite,
     profile_cache_info,
-    profile_corpus_cached,
 )
 from repro.pipeline.cache import (
     STAGE_CACHE,
@@ -69,7 +68,6 @@ __all__ = [
     "evaluate_corpus",
     "evaluate_suite",
     "profile_cache_info",
-    "profile_corpus_cached",
     # stage cache
     "STAGE_CACHE",
     "StageCache",

@@ -19,6 +19,20 @@ Keys are content hashes of everything a stage's output depends on
 weights, ...), prefixed by the stage name so the counters — and the
 on-disk files — stay attributable per stage.
 
+One level below the stage cache sits :data:`LOOP_CACHE`: the same
+mechanism, but holding *per-loop* profile and schedule artifacts keyed
+on (loop fingerprint x machine facet fingerprints x operating point x
+scheduler options x weights) — see :mod:`repro.machine.fingerprint`.
+A sweep that changes a knob only some loops can observe re-schedules
+only those loops; everything else is a hit.  Its disk layer lives in
+``<cache-dir>/loops/`` next to the stage layer's ``stages/``.
+
+On-disk artifacts are wrapped in a versioned envelope
+(:data:`PAYLOAD_SCHEMA`); truncated, garbage or wrong-version files are
+treated as *corrupt* — evicted, counted under
+``repro_stage_cache_events_total{event="corrupt"}``, and recomputed —
+never a crash.
+
 Observability: :func:`stage_cache_info` reports entry counts and
 hit/miss/eviction counters, overall and per stage.  It supersedes the
 former ``profile_cache_info``.
@@ -37,8 +51,8 @@ from typing import Any, Callable, Dict, Optional
 from repro.telemetry import counter
 
 #: Cache events by stage: ``event`` is ``hits`` (memory LRU), ``misses``,
-#: ``disk_hits`` or ``evictions`` — the per-stage hit/miss attribution
-#: ROADMAP item 2 (per-loop caching) needs to decide what to key next.
+#: ``disk_hits``, ``corrupt`` (an unreadable on-disk artifact was
+#: evicted and recomputed) or ``evictions``.
 _CACHE_EVENTS = counter(
     "repro_stage_cache_events_total",
     "Stage-cache lookups and evictions, by stage and event",
@@ -49,7 +63,19 @@ _CACHE_EVENTS = counter(
 #: passes per benchmark) plus the matching calibration artifacts.
 DEFAULT_CAPACITY = 128
 
+#: The loop cache holds one profile + one schedule artifact per
+#: (loop x machine facets x point); a ten-benchmark sweep at full scale
+#: is ~4000 loops, so default to headroom for one full sweep in memory.
+LOOP_CACHE_CAPACITY = 8192
+
+#: Version of the on-disk artifact envelope.  Every payload is written
+#: as ``{"schema": PAYLOAD_SCHEMA, "data": {...}}``; files whose
+#: envelope does not parse, or parses to a different version, are
+#: *corrupt*: evicted from disk, counted, and recomputed — never fatal.
+PAYLOAD_SCHEMA = 1
+
 _MISS = object()
+_CORRUPT = object()
 
 
 def stage_key(stage: str, *parts: Any) -> str:
@@ -76,6 +102,7 @@ class StageCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt = 0
         self.evictions = 0
         self._by_stage: Dict[str, Dict[str, int]] = {}
 
@@ -112,7 +139,7 @@ class StageCache:
         stage = self._stage_of(key)
         bucket = self._by_stage.setdefault(
             stage,
-            {"hits": 0, "misses": 0, "disk_hits": 0},
+            {"hits": 0, "misses": 0, "disk_hits": 0, "corrupt": 0},
         )
         bucket[event] += 1
         _CACHE_EVENTS.inc(stage=stage, event=event)
@@ -136,11 +163,17 @@ class StageCache:
             return value
         if self._store_dir is not None and decode is not None:
             payload = self._read_payload(key)
-            if payload is not None:
+            if payload is _CORRUPT:
+                self._discard_payload(key)
+            elif payload is not None:
                 try:
                     value = decode(payload)
                 except Exception:
-                    value = _MISS  # stale or incompatible artifact
+                    # The envelope was intact but the artifact body does
+                    # not decode (stale schema, missing field): same
+                    # treatment as corruption — evict and recompute.
+                    value = _MISS
+                    self._discard_payload(key)
                 if value is not _MISS:
                     self._insert(key, value)
                     self.disk_hits += 1
@@ -182,12 +215,36 @@ class StageCache:
         assert self._store_dir is not None
         return self._store_dir / f"{key}.json"
 
-    def _read_payload(self, key: str) -> Optional[Dict[str, Any]]:
+    def _read_payload(self, key: str):
+        """The artifact body, ``None`` (clean miss) or :data:`_CORRUPT`.
+
+        A missing file is an ordinary miss.  Anything else that cannot
+        yield a valid versioned payload — truncated JSON, garbage bytes,
+        a non-dict, a wrong or missing schema version — is corruption.
+        """
         try:
-            with open(self._payload_path(key)) as handle:
-                return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            with open(self._payload_path(key), "rb") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return _CORRUPT
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != PAYLOAD_SCHEMA
+            or not isinstance(envelope.get("data"), dict)
+        ):
+            return _CORRUPT
+        return envelope["data"]
+
+    def _discard_payload(self, key: str) -> None:
+        """Drop a corrupt on-disk artifact so it is recomputed, not re-read."""
+        self.corrupt += 1
+        self._count(key, "corrupt")
+        try:
+            os.unlink(self._payload_path(key))
+        except OSError:
+            pass  # already gone, or read-only store: the miss still recomputes
 
     def _write_payload(self, key: str, payload: Dict[str, Any]) -> None:
         # Atomic (temp file + rename): a killed process must never leave
@@ -197,7 +254,11 @@ class StageCache:
         )
         try:
             with os.fdopen(descriptor, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
+                json.dump(
+                    {"schema": PAYLOAD_SCHEMA, "data": payload},
+                    handle,
+                    sort_keys=True,
+                )
             os.replace(temp_name, self._payload_path(key))
         except BaseException:
             try:
@@ -219,6 +280,7 @@ class StageCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
             "evictions": self.evictions,
             "by_stage": {
                 stage: dict(counts)
@@ -232,6 +294,7 @@ class StageCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
         }
 
     def clear(self) -> None:
@@ -240,12 +303,21 @@ class StageCache:
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        self.hits = self.misses = self.disk_hits = self.evictions = 0
+        self.hits = self.misses = self.disk_hits = 0
+        self.corrupt = self.evictions = 0
         self._by_stage.clear()
 
 
 #: The process-wide cache every experiment run consults.
 STAGE_CACHE = StageCache()
+
+#: The process-wide *per-loop* artifact cache, one level below the stage
+#: cache: Profile and Schedule consult it per loop, keyed on
+#: (loop fingerprint x ISA fingerprint x cluster-shape fingerprint x
+#: point/options/weights).  A separate instance so loop-sized entries
+#: never evict corpus-sized stage artifacts; its disk layer attaches to
+#: ``<cache-dir>/loops/`` next to the stage layer's ``stages/``.
+LOOP_CACHE = StageCache(capacity=LOOP_CACHE_CAPACITY)
 
 
 def stage_cache_info() -> Dict[str, Any]:
@@ -262,3 +334,15 @@ def clear_stage_cache(reset_stats: bool = False) -> None:
     STAGE_CACHE.clear()
     if reset_stats:
         STAGE_CACHE.reset_stats()
+
+
+def loop_cache_info() -> Dict[str, Any]:
+    """Counters of the process-wide per-loop cache (see :data:`LOOP_CACHE`)."""
+    return LOOP_CACHE.info()
+
+
+def clear_loop_cache(reset_stats: bool = False) -> None:
+    """Drop the in-memory per-loop memo (tests, long-lived processes)."""
+    LOOP_CACHE.clear()
+    if reset_stats:
+        LOOP_CACHE.reset_stats()

@@ -64,9 +64,9 @@ class ExperimentContext:
     #: The reference homogeneous scheduler (profiling passes and the
     #: reference operating point both come from it).
     reference_scheduler: HomogeneousModuloScheduler
-    #: Experiment options; optional so artifact-level helpers (the
-    #: deprecated ``profile_corpus_cached``) can run a single stage
-    #: without synthesizing a full option set.
+    #: Experiment options; optional so artifact-level helpers (tests
+    #: driving a single stage) can run without synthesizing a full
+    #: option set.
     options: Optional[Any] = None
     #: ``(machine, technology, design_space) -> selector`` — see
     #: :mod:`repro.pipeline.registry`.

@@ -24,9 +24,8 @@ bit-identical results).  This module keeps the experiment *value types*:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.power.breakdown import EnergyBreakdown
 from repro.power.calibration import CalibratedUnits
@@ -209,42 +208,3 @@ def profile_cache_info() -> Dict[str, int]:
     from repro.pipeline.cache import STAGE_CACHE
 
     return {"entries": len(STAGE_CACHE)}
-
-
-def profile_corpus_cached(
-    corpus: Corpus,
-    scheduler,
-    weights=None,
-) -> Tuple[ProgramProfile, Dict[str, object]]:
-    """Memoized profiling pass (deprecated public entry point).
-
-    .. deprecated::
-        Use ``Experiment.paper().run(...)`` for full runs or
-        :class:`repro.pipeline.stages.ProfileStage` for a single stage;
-        both share the process-wide stage cache this function now
-        consults.
-
-    Keyed on the corpus content fingerprint, the scheduler configuration
-    (machine, technology, options) and the partition weights.  The
-    returned profile and schedule containers are fresh per call; their
-    elements are shared with the memo and treated as read-only.
-    """
-    warnings.warn(
-        "profile_corpus_cached is deprecated; use "
-        "repro.pipeline.stages.ProfileStage (or Experiment.paper()) — "
-        "both share the same stage cache",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.pipeline.context import ExperimentContext
-    from repro.pipeline.stages import ProfileStage
-
-    context = ExperimentContext(
-        corpus=corpus,
-        machine=scheduler.machine,
-        technology=scheduler.technology,
-        reference_scheduler=scheduler,
-        weights=weights,
-    )
-    ProfileStage().run(context)
-    return context.profile, context.reference_schedules

@@ -296,6 +296,81 @@ def units_from_dict(data: Dict[str, Any]) -> CalibratedUnits:
 
 
 # ----------------------------------------------------------------------
+# schedules (the per-loop cache's disk form)
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """JSON-safe form of a live :class:`~repro.scheduler.schedule.Schedule`.
+
+    Operations and dependences are referenced by their index in the
+    loop's DDG (the per-loop cache key embeds the loop fingerprint, so
+    indices are stable for any DDG the payload is restored against).
+    Placements, copies and assignments serialize as *lists* preserving
+    dict insertion order: ``cluster_energy_units`` sums floats in
+    placement order, so restoring into a differently-ordered dict would
+    break bit-identity of warm results.
+    """
+    op_index = {op: i for i, op in enumerate(schedule.ddg.operations)}
+    dep_index = {dep: i for i, dep in enumerate(schedule.ddg.dependences)}
+    return {
+        "it": _fraction_str(schedule.it),
+        "sync_penalties": schedule.sync_penalties,
+        "assignments": [
+            [domain, _fraction_str(a.frequency), a.ii]
+            for domain, a in schedule.assignments.items()
+        ],
+        "placements": [
+            [op_index[op], placed.cluster, placed.cycle]
+            for op, placed in schedule.placements.items()
+        ],
+        "copies": [
+            [dep_index[dep], copy.bus_cycle]
+            for dep, copy in schedule.copies.items()
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any], ddg, machine):
+    """Rebuild a live schedule for ``ddg`` on ``machine``.
+
+    The inverse of :func:`schedule_to_dict`; the caller guarantees the
+    DDG/machine pair matches the one the payload was encoded against
+    (the per-loop cache key does exactly that).
+    """
+    from repro.scheduler.schedule import (
+        DomainAssignment,
+        PlacedCopy,
+        PlacedOp,
+        Schedule,
+    )
+
+    ops = ddg.operations
+    deps = ddg.dependences
+    assignments = {
+        domain: DomainAssignment(
+            domain=domain, frequency=Fraction(frequency), ii=ii
+        )
+        for domain, frequency, ii in data["assignments"]
+    }
+    placements = {}
+    for index, cluster, cycle in data["placements"]:
+        op = ops[index]
+        placements[op] = PlacedOp(op=op, cluster=cluster, cycle=cycle)
+    copies = {}
+    for index, bus_cycle in data["copies"]:
+        dep = deps[index]
+        copies[dep] = PlacedCopy(dep=dep, bus_cycle=bus_cycle)
+    return Schedule(
+        ddg,
+        machine,
+        it=Fraction(data["it"]),
+        assignments=assignments,
+        placements=placements,
+        copies=copies,
+        sync_penalties=data["sync_penalties"],
+    )
+
+
+# ----------------------------------------------------------------------
 # profiles
 # ----------------------------------------------------------------------
 def loop_profile_to_dict(loop: LoopProfile) -> Dict[str, Any]:

@@ -38,7 +38,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from repro.errors import PipelineError
 from repro.machine.machine import MachineDescription
 from repro.pipeline import registry
-from repro.pipeline.cache import STAGE_CACHE, StageCache, stage_key
+from repro.machine.fingerprint import machine_facets
+from repro.pipeline.cache import LOOP_CACHE, STAGE_CACHE, StageCache, stage_key
 from repro.pipeline.context import ExperimentContext
 from repro.power.calibration import calibrate
 from repro.power.energy import EnergyModel, EventCounts
@@ -286,8 +287,73 @@ class ProfileStage(Stage):
     def compute_value(self, context: ExperimentContext):
         from repro.pipeline.profiling import profile_corpus
 
-        return profile_corpus(
-            context.corpus, context.reference_scheduler, weights=context.weights
+        scheduler = context.reference_scheduler
+        if not getattr(scheduler, "supports_loop_cache", False):
+            return profile_corpus(
+                context.corpus, scheduler, weights=context.weights
+            )
+        return self._compute_per_loop(context, scheduler)
+
+    def _compute_per_loop(self, context: ExperimentContext, scheduler):
+        """Profile loop by loop through :data:`LOOP_CACHE`.
+
+        A hit restores ``(LoopProfile, ScheduleSummary)`` — the summary
+        carries exactly what homogeneous measurement reads, so warm runs
+        are bit-identical to cold (the PR 3 protocol).  A miss schedules
+        the loop and keeps the *live* schedule for this run while
+        memoizing the summary.
+        """
+        from repro.pipeline.profiling import profile_loop
+        from repro.pipeline.serialization import loop_profile_to_dict
+
+        reference = scheduler.reference_point()
+        isa_fp, shape_fp = machine_facets(scheduler.machine)
+        technology_key = repr(scheduler.technology)
+        options_key = repr(scheduler.options)
+        weights_key = _weights_key(context.weights)
+        profiles = []
+        schedules: Dict[str, Any] = {}
+        for loop in context.corpus.loops:
+            key = stage_key(
+                "profile_loop",
+                loop.fingerprint(),
+                isa_fp,
+                shape_fp,
+                technology_key,
+                options_key,
+                weights_key,
+            )
+            cached = LOOP_CACHE.lookup(key, decode=self._decode_loop)
+            if not StageCache.is_miss(cached):
+                profile, summary = cached
+                profiles.append(profile)
+                schedules[loop.name] = summary
+                continue
+            schedule = scheduler.schedule(loop, reference, weights=context.weights)
+            profile = profile_loop(loop, schedule, scheduler.machine)
+            summary = ScheduleSummary.from_schedule(schedule)
+            LOOP_CACHE.store(
+                key,
+                (profile, summary),
+                payload={
+                    "profile": loop_profile_to_dict(profile),
+                    "schedule": summary.to_dict(),
+                },
+            )
+            profiles.append(profile)
+            schedules[loop.name] = schedule
+        return (
+            ProgramProfile(name=context.corpus.benchmark, loops=profiles),
+            schedules,
+        )
+
+    @staticmethod
+    def _decode_loop(payload: Dict[str, Any]):
+        from repro.pipeline.serialization import loop_profile_from_dict
+
+        return (
+            loop_profile_from_dict(payload["profile"]),
+            ScheduleSummary.from_dict(payload["schedule"]),
         )
 
     def apply(self, context: ExperimentContext, value) -> None:
@@ -467,15 +533,69 @@ class ScheduleStage(Stage):
         scheduler = factory(context.machine, options.scheduler)
         selection = context.require("heterogeneous_selection")
         weights = context.require("weights")
+        if not getattr(scheduler, "supports_loop_cache", False):
+            # An engine that has not declared determinism must run live.
+            context.provide(
+                "heterogeneous_schedules",
+                {
+                    loop.name: scheduler.schedule(
+                        loop, selection.point, weights=weights
+                    )
+                    for loop in context.corpus.loops
+                },
+            )
+            return
         context.provide(
             "heterogeneous_schedules",
-            {
-                loop.name: scheduler.schedule(
-                    loop, selection.point, weights=weights
-                )
-                for loop in context.corpus.loops
-            },
+            self._schedule_per_loop(context, scheduler, selection, weights),
         )
+
+    @staticmethod
+    def _schedule_per_loop(
+        context: ExperimentContext, scheduler, selection, weights
+    ) -> Dict[str, Any]:
+        """Schedule loop by loop through :data:`LOOP_CACHE`.
+
+        Hits restore *live* :class:`~repro.scheduler.schedule.Schedule`
+        objects (measurement simulates them), reconstructed against this
+        run's DDG/machine; placement/copy insertion order round-trips
+        exactly, so energy sums — float addition is order-sensitive —
+        stay bit-identical to the cold compute.
+        """
+        from repro.pipeline.serialization import (
+            schedule_from_dict,
+            schedule_to_dict,
+        )
+
+        isa_fp, shape_fp = machine_facets(scheduler.machine)
+        point_key = repr(selection.point)
+        options_key = repr(scheduler.options)
+        weights_key = _weights_key(weights)
+        schedules: Dict[str, Any] = {}
+        for loop in context.corpus.loops:
+            key = stage_key(
+                "schedule_loop",
+                loop.fingerprint(),
+                isa_fp,
+                shape_fp,
+                point_key,
+                options_key,
+                weights_key,
+            )
+
+            def decode(payload, loop=loop):
+                return schedule_from_dict(
+                    payload, loop.ddg, scheduler.machine
+                )
+
+            cached = LOOP_CACHE.lookup(key, decode=decode)
+            if not StageCache.is_miss(cached):
+                schedules[loop.name] = cached
+                continue
+            schedule = scheduler.schedule(loop, selection.point, weights=weights)
+            LOOP_CACHE.store(key, schedule, payload=schedule_to_dict(schedule))
+            schedules[loop.name] = schedule
+        return schedules
 
 
 class MeasureStage(Stage):

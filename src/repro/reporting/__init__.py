@@ -15,6 +15,7 @@ from repro.reporting.scenarios import scenario_detail, scenario_list_table
 from repro.reporting.telemetry import render_trace, warehouse_spans_table
 from repro.reporting.warehouse import (
     warehouse_best_table,
+    warehouse_cache_table,
     warehouse_diff_table,
     warehouse_jobs_table,
     warehouse_pareto_table,
@@ -42,6 +43,7 @@ __all__ = [
     "scenario_list_table",
     "warehouse_spans_table",
     "warehouse_best_table",
+    "warehouse_cache_table",
     "warehouse_diff_table",
     "warehouse_jobs_table",
     "warehouse_pareto_table",

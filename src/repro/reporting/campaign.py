@@ -96,5 +96,12 @@ def campaign_summary(result: CampaignResult) -> str:
             f"({result.stage_cache_memory_hits} memory + "
             f"{result.stage_cache_disk_hits} disk)"
         )
+    loop_hits = result.loop_cache_hits
+    if loop_hits:
+        parts.append(
+            f"{loop_hits} loop-cache hit(s) "
+            f"({result.loop_cache_memory_hits} memory + "
+            f"{result.loop_cache_disk_hits} disk)"
+        )
     parts.append(f"{result.total_elapsed_s:.1f}s compute")
     return ", ".join(parts)

@@ -109,6 +109,28 @@ class ScenarioPack:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    def facet_fingerprints(self) -> Dict[str, str]:
+        """Per-facet content hashes of the pack's machine.
+
+        ``{"isa": ..., "cluster_shape": ...}`` — the two keys the
+        per-loop cache layers on (see :mod:`repro.machine.fingerprint`).
+        Unlike :attr:`fingerprint`, these ignore the pack's name,
+        description, workloads and palette, so they answer the finer
+        question "which warm per-loop artifacts does this edit keep?".
+        Empty when the pack declares no machine.
+        """
+        if self.machine is None:
+            return {}
+        from repro.machine.fingerprint import (
+            cluster_shape_fingerprint,
+            isa_fingerprint,
+        )
+
+        return {
+            "isa": isa_fingerprint(self.machine.isa),
+            "cluster_shape": cluster_shape_fingerprint(self.machine),
+        }
+
     def describe(self) -> str:
         """One-line summary used by listings."""
         parts = []

@@ -378,10 +378,13 @@ class JobManager:
             stage_dir = (
                 None if self._store is None else str(self._store.stage_dir)
             )
+            loop_dir = (
+                None if self._store is None else str(self._store.loop_dir)
+            )
             self._executor = ProcessPoolExecutor(
                 max_workers=self._max_workers,
                 initializer=_worker_init,
-                initargs=(stage_dir, ()),
+                initargs=(stage_dir, (), False, loop_dir),
             )
         return self._executor
 
@@ -400,12 +403,16 @@ class JobManager:
             stage_dir = (
                 None if self._store is None else str(self._store.stage_dir)
             )
+            loop_dir = (
+                None if self._store is None else str(self._store.loop_dir)
+            )
             self._pump = LocalWorkerPump(
                 self.fleet,
                 self._ensure_executor,
                 self._run_payload,
                 stage_dir,
                 slots=slots,
+                loop_dir=loop_dir,
             )
         self._pump.ensure_started()
 

@@ -410,15 +410,28 @@ class Warehouse:
                 time.time(),
             ),
         )
+        # One generic (counter, value) table serves both cache layers:
+        # stage-cache counters keep their bare names, per-loop counters
+        # land with a ``loop_`` prefix (``loop_hits``, ``loop_misses``,
+        # ``loop_disk_hits``, ``loop_corrupt``).
+        cache_rows = []
         stage_cache = payload.get("stage_cache")
         if isinstance(stage_cache, dict):
+            cache_rows.extend(
+                (key, counter, int(value))
+                for counter, value in sorted(stage_cache.items())
+            )
+        loop_cache = payload.get("loop_cache")
+        if isinstance(loop_cache, dict):
+            cache_rows.extend(
+                (key, f"loop_{counter}", int(value))
+                for counter, value in sorted(loop_cache.items())
+            )
+        if cache_rows:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO stage_stats (job_key, counter, value)"
                 " VALUES (?, ?, ?)",
-                [
-                    (key, counter, int(value))
-                    for counter, value in sorted(stage_cache.items())
-                ],
+                cache_rows,
             )
         trace = payload.get("trace")
         if isinstance(trace, dict):
@@ -626,6 +639,28 @@ class Warehouse:
         )
         return [
             (row["span"], row["n"], row["total_s"], row["jobs"])
+            for row in self._conn.execute(sql, params).fetchall()
+        ]
+
+    def cache_rows(
+        self, selector: Optional[str] = None
+    ) -> List[Tuple[str, int, int]]:
+        """Aggregated ``(counter, total, jobs)`` cache rows over a selector.
+
+        Covers both the corpus-level stage cache (bare counter names)
+        and the per-loop cache (``loop_``-prefixed counters) — the
+        "how incremental were we" answer for a campaign or machine.
+        """
+        where, params = self._selector_sql(selector)
+        sql = (
+            "SELECT s.counter AS counter, SUM(s.value) AS total,"
+            " COUNT(DISTINCT s.job_key) AS jobs"
+            " FROM stage_stats s JOIN jobs ON jobs.key = s.job_key"
+            " WHERE " + where + " GROUP BY s.counter"
+            " ORDER BY counter"
+        )
+        return [
+            (row["counter"], row["total"], row["jobs"])
             for row in self._conn.execute(sql, params).fetchall()
         ]
 

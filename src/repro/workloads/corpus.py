@@ -59,27 +59,18 @@ class Corpus:
     def fingerprint(self) -> str:
         """Content hash identifying this corpus.
 
-        Hashes everything scheduling depends on: loop names, trip counts,
-        weights, each operation's class, and every dependence edge (with
-        distance, kind and latency override).  Stable across processes —
-        node/edge iteration order is insertion order by construction —
-        and computed once per instance.
+        Built from the per-loop content fingerprints
+        (:meth:`repro.ir.loop.Loop.fingerprint`), which hash everything
+        scheduling depends on: loop name, trip count, weight, each
+        operation's class, and every dependence edge (with distance,
+        kind and latency override).  Stable across processes and
+        computed once per instance.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()
             digest.update(self.benchmark.encode())
             for loop in self.loops:
-                digest.update(
-                    f"{loop.name}|{loop.trip_count!r}|{loop.weight!r}".encode()
-                )
-                for op in loop.ddg.operations:
-                    digest.update(f"{op.name}:{op.opclass.value};".encode())
-                for dep in loop.ddg.dependences:
-                    digest.update(
-                        f"{dep.src.name}>{dep.dst.name}"
-                        f"@{dep.distance}/{dep.kind.value}"
-                        f"/{dep.latency_override};".encode()
-                    )
+                digest.update(loop.fingerprint().encode())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
@@ -162,7 +153,10 @@ def _build_corpus(
         "balanced": spec.balanced_share,
         "recurrence": spec.recurrence_share,
     }
-    active = {cls for cls, count in counts.items() if count > 0}
+    # Fixed iteration order: float summation is not associative, so a
+    # hash-ordered set here would make loop weights (and hence loop
+    # fingerprints) vary with PYTHONHASHSEED.
+    active = [cls for cls in ("resource", "balanced", "recurrence") if counts[cls] > 0]
     share_total = sum(shares[cls] for cls in active)
     multipliers: Dict[str, float] = {}
     for cls in active:

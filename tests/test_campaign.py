@@ -242,7 +242,7 @@ class TestRunCampaign:
         calls = []
         real = executor.execute_job_payload
 
-        def counting(job_data, stage_dir=None):
+        def counting(job_data, stage_dir=None, loop_dir=None):
             calls.append(job_data["benchmark"])
             return real(job_data)
 
@@ -266,7 +266,7 @@ class TestRunCampaign:
         assert outcome.results[0].ok
 
 
-def _exit_worker(job_data, stage_dir=None):
+def _exit_worker(job_data, stage_dir=None, loop_dir=None):
     """Simulates a worker killed by the OS (picklable module-level fn)."""
     import os
 

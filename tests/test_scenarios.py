@@ -575,3 +575,146 @@ class TestScenariosCLI:
         data = json.loads(capsys.readouterr().out)
         assert data["benchmark"] == "stress.deep"
         assert len(data["baseline_selection"]["point"]["clusters"]) == 2
+
+
+# ----------------------------------------------------------------------
+# the loop-cache invalidation matrix
+# ----------------------------------------------------------------------
+MATRIX_BASE = """
+[scenario]
+name = "matrix-base"
+
+[[machine.clusters]]
+count = 2
+int = 1
+fp = 1
+mem = 1
+registers = 16
+
+[machine.interconnect]
+buses = 1
+latency = 1
+
+[machine.memory]
+always_hit = true
+
+[machine.isa]
+base = "paper"
+"""
+
+#: knob -> (toml mutation, facets whose per-loop artifacts it must
+#: invalidate).  "Exactly" is the contract: a knob that should leave the
+#: loop cache warm must change *neither* facet fingerprint.
+MATRIX = {
+    "fu_mix": ("int = 1\n", "int = 2\n", {"cluster_shape"}),
+    "latency_entry": (
+        'base = "paper"\n',
+        'base = "paper"\n\n[machine.isa.overrides.fmul]\nlatency = 5\n',
+        {"isa"},
+    ),
+    "isa_energy_override": (
+        'base = "paper"\n',
+        'base = "paper"\n\n[machine.isa.overrides.fmul]\nenergy = 2.0\n',
+        {"isa"},
+    ),
+    "cluster_count": ("count = 2\n", "count = 4\n", {"cluster_shape"}),
+    "cluster_width": ("mem = 1\n", "mem = 2\n", {"cluster_shape"}),
+    "register_file": ("registers = 16\n", "registers = 32\n", {"cluster_shape"}),
+    "bus_count": ("buses = 1\n", "buses = 2\n", {"cluster_shape"}),
+    "bus_latency": ("latency = 1\n", "latency = 2\n", {"cluster_shape"}),
+    "frequency_palette": (
+        "[machine.memory]\n",
+        "[machine.palette]\nper_domain_size = 4\n\n[machine.memory]\n",
+        set(),
+    ),
+    "scenario_name": ('name = "matrix-base"\n', 'name = "renamed"\n', set()),
+}
+
+
+class TestLoopCacheInvalidationMatrix:
+    """Which pack edits throw away warm per-loop artifacts — exactly.
+
+    Per-loop cache keys are built from the two machine facet
+    fingerprints (ISA table, cluster shape), so an edit invalidates a
+    loop artifact iff it moves a facet fingerprint.  The matrix pins
+    both directions: schedule-relevant knobs must invalidate, and
+    advisory ones (pack palette, naming) must not.
+    """
+
+    @pytest.mark.parametrize("knob", sorted(MATRIX))
+    def test_knob_invalidates_exactly_the_expected_facets(self, knob):
+        old, new, expected = MATRIX[knob]
+        assert old in MATRIX_BASE, f"matrix template drifted for {knob}"
+        mutated_text = MATRIX_BASE.replace(old, new, 1)
+        assert mutated_text != MATRIX_BASE
+        base = loads(MATRIX_BASE)
+        mutated = loads(mutated_text)
+        base_facets = base.facet_fingerprints()
+        mutated_facets = mutated.facet_fingerprints()
+        assert set(base_facets) == {"isa", "cluster_shape"}
+        churned = {
+            facet
+            for facet in base_facets
+            if base_facets[facet] != mutated_facets[facet]
+        }
+        assert churned == expected, (
+            f"{knob}: expected exactly {sorted(expected)} to change, "
+            f"got {sorted(churned)}"
+        )
+
+    def test_full_pack_fingerprint_still_sees_every_edit(self):
+        # The *job-level* fingerprint must move for every knob (even the
+        # advisory ones) — coarse invalidation stays conservative while
+        # the loop layer stays fine-grained.
+        base = loads(MATRIX_BASE)
+        for knob, (old, new, _) in MATRIX.items():
+            mutated = loads(MATRIX_BASE.replace(old, new, 1))
+            assert mutated.fingerprint != base.fingerprint, knob
+
+    def _run(self, pack_text, tmp_path, name):
+        from repro.pipeline.cache import LOOP_CACHE
+
+        path = tmp_path / f"{name}.toml"
+        path.write_text(pack_text)
+        corpus = build_corpus(spec_profile("swim"), scale=0.02)
+        options = ExperimentOptions(machine_file=str(path), simulate=False)
+        before = LOOP_CACHE.stats()
+        Experiment.paper(options).run(corpus)
+        after = LOOP_CACHE.stats()
+        return {
+            counter: after[counter] - before[counter]
+            for counter in ("hits", "misses")
+        }
+
+    def test_palette_edit_keeps_every_loop_artifact_warm(self, tmp_path):
+        from repro.pipeline.cache import clear_loop_cache
+
+        clear_stage_cache(reset_stats=True)
+        clear_loop_cache(reset_stats=True)
+        cold = self._run(MATRIX_BASE, tmp_path, "base")
+        assert cold["misses"] > 0 and cold["hits"] == 0
+        old, new, _ = MATRIX["frequency_palette"]
+        clear_stage_cache(reset_stats=True)
+        warm = self._run(
+            MATRIX_BASE.replace(old, new, 1), tmp_path, "palette"
+        )
+        # The advisory palette invalidates nothing: every per-loop
+        # artifact is served warm, zero loops are re-scheduled.
+        assert warm["misses"] == 0
+        assert warm["hits"] == cold["misses"]
+
+    def test_register_file_edit_invalidates_every_loop_artifact(self, tmp_path):
+        from repro.pipeline.cache import clear_loop_cache
+
+        clear_stage_cache(reset_stats=True)
+        clear_loop_cache(reset_stats=True)
+        cold = self._run(MATRIX_BASE, tmp_path, "base")
+        old, new, _ = MATRIX["register_file"]
+        clear_stage_cache(reset_stats=True)
+        churned = self._run(
+            MATRIX_BASE.replace(old, new, 1), tmp_path, "registers"
+        )
+        # A schedule-relevant knob invalidates everything: the warm run
+        # recomputes exactly as many artifacts as the cold one did.
+        assert churned["hits"] == 0
+        assert churned["misses"] == cold["misses"]

@@ -76,6 +76,7 @@ class TestLRU:
             "hits": 1,
             "misses": 1,
             "disk_hits": 0,
+            "corrupt": 0,
         }
 
     def test_capacity_validated(self):
@@ -219,6 +220,7 @@ class TestCampaignStageReuse:
             "hits": 0,
             "misses": 4,
             "disk_hits": 0,
+            "corrupt": 0,
         }
         assert len(list(store.stage_keys())) == 4
         reference = first.results[0].evaluation.to_dict()

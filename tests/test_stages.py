@@ -329,16 +329,30 @@ class TestCustomMachineEndToEnd:
 
 
 class TestLegacyWrappers:
-    def test_profile_corpus_cached_deprecated_but_working(self):
-        from repro.pipeline import profile_corpus_cached
+    def test_profile_corpus_cached_is_gone(self):
+        # The deprecated entry point was removed; ProfileStage is the
+        # single-stage replacement and produces the same artifacts.
+        import repro.pipeline
+
+        assert not hasattr(repro.pipeline, "profile_corpus_cached")
+
+    def test_profile_stage_replaces_the_old_helper(self):
+        from repro.pipeline.context import ExperimentContext
+        from repro.pipeline.stages import ProfileStage
         from repro.scheduler.homogeneous import HomogeneousModuloScheduler
         from repro.machine.machine import paper_machine
         from repro.power.technology import TechnologyModel
 
         corpus = _corpus("swim")
         scheduler = HomogeneousModuloScheduler(paper_machine(), TechnologyModel())
-        with pytest.deprecated_call():
-            profile, schedules = profile_corpus_cached(corpus, scheduler)
+        context = ExperimentContext(
+            corpus=corpus,
+            machine=scheduler.machine,
+            technology=scheduler.technology,
+            reference_scheduler=scheduler,
+        )
+        ProfileStage().run(context)
+        profile, schedules = context.profile, context.reference_schedules
         assert len(profile.loops) == len(corpus.loops)
         assert set(schedules) == {loop.name for loop in corpus.loops}
 
