@@ -22,7 +22,8 @@ Commands:
   ``--cache-dir``, ``--jobs``, ``--runner``),
 * ``query`` — ask the warehouse cross-campaign questions: ``ingest``,
   ``summary``, ``jobs``, ``best``, ``pareto``, ``diff``, ``campaigns``,
-  ``spans`` (``--db``, ``--campaign``, ``--metric``, ``--output json``),
+  ``spans``, ``timeline`` (``--db``, ``--campaign``, ``--metric``,
+  ``--output json``),
 * ``trace`` — run ``evaluate`` or ``suite`` with tracing enabled and
   print the span tree showing where the wall time went
   (``--output json`` for the raw tree),
@@ -583,6 +584,7 @@ def _parser() -> argparse.ArgumentParser:
             "diff",
             "spans",
             "cache",
+            "timeline",
         ),
         help="what to ask (see docs/service.md#queries)",
     )
@@ -591,8 +593,9 @@ def _parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="SELECTOR",
         help="for ingest: cache dirs to index; for diff: exactly two "
-        "selectors (campaign labels or machine:NAME); for best/pareto/"
-        "jobs: an optional single selector narrowing the population",
+        "selectors (campaign labels or machine:NAME); for timeline: a "
+        "job id or trace id; for best/pareto/jobs: an optional single "
+        "selector narrowing the population",
     )
     query.add_argument(
         "--db",
@@ -1312,6 +1315,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
                         warehouse, selector, metric=args.metric, rows=rows
                     ),
                 )
+                return 0
+            if args.op == "timeline":
+                from repro.reporting import render_timeline
+
+                if selector is None:
+                    print(
+                        "query timeline takes a job id or trace id",
+                        file=sys.stderr,
+                    )
+                    return 2
+                document = warehouse.trace(selector)
+                if document is None:
+                    print(f"no trace for {selector!r}", file=sys.stderr)
+                    return 2
+                _emit(document, render_timeline(document))
                 return 0
             if args.op == "spans":
                 rows = span_breakdown(warehouse, selector)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import threading
 import time
 import traceback
 from concurrent.futures import Executor
@@ -25,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.fleet.queue import BATCH, LeaseGrant, LeaseQueue, error_payload
-from repro.telemetry import counter, gauge, get_logger, histogram
+from repro.telemetry import (
+    counter,
+    gauge,
+    get_logger,
+    histogram,
+    record_event,
+)
 
 _log = get_logger("fleet")
 
@@ -58,6 +65,26 @@ _COUNTED_EVENTS = frozenset(
         "deadline",
     }
 )
+
+#: Queue events that describe a *lease* (flight-recorder kind prefix);
+#: ``submitted``/``deadline`` are queue-lifecycle, not lease-protocol.
+_LEASE_EVENTS = frozenset(
+    {
+        "granted",
+        "renewed",
+        "expired",
+        "completed",
+        "failed",
+        "released",
+        "requeued",
+        "rejected",
+    }
+)
+
+#: Lease-log outcomes: the first terminal event a granted attempt sees
+#: wins (an ``expired`` attempt later echoed as ``failed`` at the retry
+#: cap stays ``expired``).
+_ATTEMPT_OUTCOMES = frozenset({"completed", "failed", "expired", "released"})
 
 #: The in-process pump's worker id and its lease TTL.  The pump cannot
 #: silently die while the server lives, so its leases are effectively
@@ -125,6 +152,13 @@ class FleetCoordinator:
         self._workers: Dict[str, WorkerInfo] = {}
         self._sweeper: Optional[asyncio.Task] = None
         self.counters: Dict[str, int] = {}
+        #: Per-key lease history of *traced* jobs: submit time plus one
+        #: record per granted attempt (worker, token, outcome, clocks).
+        #: The service pops it at settle (:meth:`take_lease_log`) to
+        #: build the per-attempt lease spans of the distributed trace,
+        #: so the map stays bounded by in-flight traced work.
+        self._lease_log: Dict[str, Dict[str, Any]] = {}
+        self._lease_log_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # telemetry
@@ -137,6 +171,57 @@ class FleetCoordinator:
             self.counters[event] = self.counters.get(event, 0) + 1
         if event == "completed" and "duration" in info:
             _LEASE_SECONDS.observe(info["duration"])
+        trace = info.get("trace")
+        if trace is not None:
+            self._log_lease_event(event, key, info)
+        extra = {"duration": info["duration"]} if "duration" in info else {}
+        record_event(
+            ("lease." if event in _LEASE_EVENTS else "queue.") + event,
+            trace=trace,
+            key=key,
+            worker=info.get("worker"),
+            token=info.get("token"),
+            attempt=info.get("attempt"),
+            **extra,
+        )
+
+    def _log_lease_event(
+        self, event: str, key: str, info: Dict[str, Any]
+    ) -> None:
+        now_wall = time.time()
+        with self._lease_log_lock:
+            log = self._lease_log.setdefault(
+                key,
+                {"submitted_t": None, "submitted_wall": None, "attempts": []},
+            )
+            if event == "submitted":
+                log["submitted_t"] = info.get("t")
+                log["submitted_wall"] = now_wall
+            elif event == "granted":
+                log["attempts"].append(
+                    {
+                        "worker": info.get("worker"),
+                        "token": info.get("token"),
+                        "attempt": info.get("attempt"),
+                        "granted_t": info.get("t"),
+                        "granted_wall": now_wall,
+                        "outcome": None,
+                        "end_t": None,
+                    }
+                )
+            elif event in _ATTEMPT_OUTCOMES:
+                token = info.get("token")
+                for record in reversed(log["attempts"]):
+                    if record["token"] == token:
+                        if record["outcome"] is None:
+                            record["outcome"] = event
+                            record["end_t"] = info.get("t")
+                        break
+
+    def take_lease_log(self, key: str) -> Optional[Dict[str, Any]]:
+        """Pop (and return) the lease history of one traced job."""
+        with self._lease_log_lock:
+            return self._lease_log.pop(key, None)
 
     def _touch(self, worker: str) -> WorkerInfo:
         now = time.time()
@@ -169,6 +254,7 @@ class FleetCoordinator:
         job_data: Dict[str, Any],
         job_class: str = BATCH,
         deadline: Optional[float] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> "asyncio.Future":
         """Enqueue one job; the future resolves with its payload.
 
@@ -176,7 +262,9 @@ class FleetCoordinator:
         later resubmission of the same key runs fresh — the store, not
         the queue, is the cache.  ``deadline`` (absolute,
         ``time.monotonic``) cancels the job if it is still pending
-        when it passes.  Must run on the event loop.
+        when it passes.  ``trace`` is the distributed-trace context
+        carried into every lease grant for this job.  Must run on the
+        event loop.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -197,6 +285,7 @@ class FleetCoordinator:
             on_done=on_done,
             job_class=job_class,
             deadline=deadline,
+            trace=trace,
         )
         return future
 
@@ -414,6 +503,13 @@ class LocalWorkerPump:
             payload = error_payload(
                 grant.job, f"local worker died:\n{traceback.format_exc()}"
             )
+        if grant.trace is not None and isinstance(payload, dict):
+            # Stamp traced payloads only: untraced fleet results stay
+            # byte-identical to direct execution.
+            payload = dict(payload)
+            payload["trace_id"] = grant.trace.get("trace_id")
+            payload["worker"] = LOCAL_WORKER
+            payload["attempt"] = grant.attempt
         self._coordinator.complete(LOCAL_WORKER, grant.token, payload)
 
     async def close(self) -> None:

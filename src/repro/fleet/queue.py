@@ -90,16 +90,22 @@ class LeaseGrant:
     job: Dict[str, Any]
     ttl: float
     attempt: int
+    #: Trace context (``{"trace_id": ..., "parent": ...}``) propagated
+    #: from the submitting service job, or None for untraced work.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (the ``/v1/fleet/lease`` response item)."""
-        return {
+        data = {
             "key": self.key,
             "token": self.token,
             "job": self.job,
             "ttl": self.ttl,
             "attempt": self.attempt,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
 
 @dataclass
@@ -121,7 +127,34 @@ class _Entry:
     leased_at: Optional[float] = None
     payload: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    trace: Optional[Dict[str, Any]] = None
     callbacks: List[Callable[["_Entry"], None]] = field(default_factory=list)
+
+    def trace_id(self) -> Optional[str]:
+        """The correlating trace id, when a context was propagated."""
+        if isinstance(self.trace, dict):
+            raw = self.trace.get("trace_id")
+            return None if raw is None else str(raw)
+        return None
+
+    def event_info(self, t: float, **extra: Any) -> Dict[str, Any]:
+        """The normalized observer-event payload for this entry.
+
+        Every queue event carries the same base shape —
+        ``worker``, ``token``, ``attempt``, ``trace``, ``t`` (queue
+        clock) — so observers (metrics, the flight recorder, the
+        coordinator's lease log) never special-case per-kind dicts.
+        Call *before* a transition clears token/worker.
+        """
+        info: Dict[str, Any] = {
+            "worker": self.worker,
+            "token": self.token,
+            "attempt": self.attempts,
+            "trace": self.trace_id(),
+            "t": t,
+        }
+        info.update(extra)
+        return info
 
     def result_payload(self) -> Dict[str, Any]:
         """The payload consumers see: the real one, or a synthesized
@@ -149,7 +182,12 @@ class LeaseQueue:
     ``(event, key, info)`` tuples for telemetry: events are
     ``submitted``, ``granted``, ``renewed``, ``released``,
     ``completed``, ``rejected``, ``expired``, ``requeued``, ``failed``,
-    ``deadline``.
+    ``deadline``.  Every ``info`` dict carries the same normalized base
+    schema — ``worker``, ``token``, ``attempt``, ``trace`` (the
+    correlating trace id or None), and ``t`` (the queue clock at
+    emission) — plus per-kind extras (``class`` on ``submitted``,
+    ``duration`` on ``completed``/``failed`` after a held lease), so
+    consumers never special-case per-kind shapes.
     """
 
     def __init__(
@@ -218,6 +256,7 @@ class LeaseQueue:
         on_done: Optional[Callable[[Any], None]] = None,
         job_class: str = BATCH,
         deadline: Optional[float] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Enqueue one job; idempotent by key.
 
@@ -227,8 +266,13 @@ class LeaseQueue:
         is an absolute request deadline on the queue clock; a duplicate
         submission only ever *relaxes* an existing deadline (the most
         patient caller wins, so dedup never tightens anyone's budget).
+        ``trace`` is an opaque trace context propagated into every
+        :class:`LeaseGrant` for this job; on a duplicate submission the
+        first submitter's context wins (dedup attaches the second
+        caller to the first caller's trace).
         """
         fire_now: Optional[_Entry] = None
+        now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -237,6 +281,7 @@ class LeaseQueue:
                     job=job_data,
                     job_class=job_class,
                     expires_at=deadline,
+                    trace=trace,
                 )
                 if on_done is not None:
                     entry.callbacks.append(on_done)
@@ -255,8 +300,10 @@ class LeaseQueue:
                         fire_now = entry
                     else:
                         entry.callbacks.append(on_done)
+            if added:
+                submitted_info = entry.event_info(now, **{"class": job_class})
         if added:
-            self._emit([("submitted", key, {"class": job_class})])
+            self._emit([("submitted", key, submitted_info)])
         if fire_now is not None and on_done is not None:
             self._fire([(on_done, fire_now)])
         return added
@@ -314,6 +361,7 @@ class LeaseQueue:
             raise FleetError(f"lease ttl must be positive, got {ttl}")
         now = self._clock()
         grants: List[LeaseGrant] = []
+        granted_events: List[Tuple[str, str, Dict[str, Any]]] = []
         with self._lock:
             events, fired = self._expire_locked(now)
             if not self._draining:
@@ -337,12 +385,13 @@ class LeaseQueue:
                             job=entry.job,
                             ttl=lease_ttl,
                             attempt=entry.attempts,
+                            trace=entry.trace,
                         )
                     )
-        events = list(events) + [
-            ("granted", grant.key, {"worker": worker}) for grant in grants
-        ]
-        self._emit(events)
+                    granted_events.append(
+                        ("granted", key, entry.event_info(now))
+                    )
+        self._emit(list(events) + granted_events)
         self._fire(fired)
         return grants
 
@@ -362,6 +411,7 @@ class LeaseQueue:
         now = self._clock()
         renewed: List[str] = []
         lost: List[str] = []
+        renewed_events: List[Tuple[str, str, Dict[str, Any]]] = []
         with self._lock:
             events, fired = self._expire_locked(now)
             for token in tokens:
@@ -375,12 +425,12 @@ class LeaseQueue:
                 ):
                     entry.deadline = now + lease_ttl
                     renewed.append(token)
+                    renewed_events.append(
+                        ("renewed", entry.key, entry.event_info(now))
+                    )
                 else:
                     lost.append(token)
-        self._emit(
-            list(events)
-            + [("renewed", self._by_token.get(t, "?"), {}) for t in renewed]
-        )
+        self._emit(list(events) + renewed_events)
         self._fire(fired)
         return {"renewed": renewed, "lost": lost}
 
@@ -400,9 +450,10 @@ class LeaseQueue:
                 or entry.worker != worker
             ):
                 return False
+            info = entry.event_info(self._clock())
             entry.attempts -= 1
             self._requeue_locked(entry)
-        self._emit([("released", entry.key, {"worker": worker})])
+        self._emit([("released", entry.key, info)])
         return True
 
     def complete(
@@ -419,37 +470,40 @@ class LeaseQueue:
         """
         events: List[Tuple[str, str, Dict[str, Any]]] = []
         fired: List[Tuple[Callable, _Entry]] = []
+        now = self._clock()
         with self._lock:
             key = self._by_token.get(token)
             entry = self._entries.get(key) if key is not None else None
             if entry is None or entry.state != LEASED or entry.token != token:
-                self._emit([("rejected", key or "?", {"worker": worker})])
+                # No live entry to describe: synthesize the normalized
+                # shape from what the rejected caller presented.
+                self._emit([
+                    ("rejected", key or "?", {
+                        "worker": worker, "token": token, "attempt": None,
+                        "trace": None, "t": now,
+                    })
+                ])
                 return False, "unknown or superseded lease"
             if entry.worker != worker:
-                self._emit([("rejected", entry.key, {"worker": worker})])
+                info = entry.event_info(now)
+                info["worker"] = worker  # the rejected caller, not the holder
+                self._emit([("rejected", entry.key, info)])
                 return False, f"lease is held by {entry.worker!r}"
-            duration = self._clock() - (entry.leased_at or self._clock())
+            duration = now - (entry.leased_at if entry.leased_at is not None else now)
+            info = entry.event_info(now, duration=duration)
             if payload.get("status") == _STATUS_OK:
                 fired = self._settle_locked(entry, DONE, payload=payload)
-                events.append(
-                    ("completed", entry.key, {
-                        "worker": worker, "duration": duration,
-                    })
-                )
+                events.append(("completed", entry.key, info))
             elif self.retry_errors and entry.attempts < self.max_attempts:
                 entry.payload = None
                 self._requeue_locked(entry)
-                events.append(("requeued", entry.key, {"worker": worker}))
+                events.append(("requeued", entry.key, info))
             else:
                 fired = self._settle_locked(
                     entry, FAILED, payload=payload,
                     error=str(payload.get("error") or "job failed"),
                 )
-                events.append(
-                    ("failed", entry.key, {
-                        "worker": worker, "duration": duration,
-                    })
-                )
+                events.append(("failed", entry.key, info))
         self._emit(events)
         self._fire(fired)
         return True, None
@@ -481,7 +535,8 @@ class LeaseQueue:
                 and entry.deadline < now
             ):
                 worker = entry.worker
-                events.append(("expired", entry.key, {"worker": worker}))
+                info = entry.event_info(now)
+                events.append(("expired", entry.key, info))
                 if entry.attempts >= self.max_attempts:
                     fired.extend(
                         self._settle_locked(
@@ -494,10 +549,10 @@ class LeaseQueue:
                             ),
                         )
                     )
-                    events.append(("failed", entry.key, {"worker": worker}))
+                    events.append(("failed", entry.key, dict(info)))
                 else:
                     self._requeue_locked(entry)
-                    events.append(("requeued", entry.key, {"worker": worker}))
+                    events.append(("requeued", entry.key, dict(info)))
         # Second pass: cancel pending jobs whose *request* deadline has
         # passed — they are settled failed without ever being leased.
         # Runs after the lease sweep so a job requeued above with an
@@ -514,6 +569,7 @@ class LeaseQueue:
                         queue_.remove(entry.key)
                     except ValueError:
                         pass
+                info = entry.event_info(now)
                 fired.extend(
                     self._settle_locked(
                         entry,
@@ -524,8 +580,8 @@ class LeaseQueue:
                         ),
                     )
                 )
-                events.append(("deadline", entry.key, {}))
-                events.append(("failed", entry.key, {}))
+                events.append(("deadline", entry.key, info))
+                events.append(("failed", entry.key, dict(info)))
         return events, fired
 
     def drain(self) -> None:

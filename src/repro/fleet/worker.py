@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.fleet.coordinator import default_worker_id
 from repro.fleet.queue import error_payload
-from repro.telemetry import get_logger
+from repro.telemetry import enable_tracing, get_logger, record_event
 
 _log = get_logger("fleet")
 
@@ -205,6 +205,18 @@ class FleetWorker:
         """Execute one granted job with heartbeats; post the outcome."""
         token = grant["token"]
         job_data = grant["job"]
+        trace_ctx = grant.get("trace")
+        trace_id = (
+            trace_ctx.get("trace_id")
+            if isinstance(trace_ctx, dict)
+            else None
+        )
+        if trace_id is not None:
+            # The submitter wants a distributed trace: make sure this
+            # process produces a span tree for the payload to carry
+            # back (the worker is a dedicated job runner — turning
+            # tracing on costs nothing it was saving).
+            enable_tracing()
 
         from repro import chaos
 
@@ -213,6 +225,12 @@ class FleetWorker:
             _log.warning(
                 "chaos: crashing worker on lease",
                 extra={"worker": self.worker_id, "key": grant.get("key")},
+            )
+            record_event(
+                "chaos.worker_crash",
+                trace=trace_id,
+                worker=self.worker_id,
+                key=grant.get("key"),
             )
             self._crash()
             return  # only reached with an injected (test) crash
@@ -265,12 +283,26 @@ class FleetWorker:
             self.stats.lost += 1
             return
         payload = outcome["payload"]
+        if trace_id is not None and isinstance(payload, dict):
+            # Stamp traced payloads only: untraced fleet results stay
+            # byte-identical to direct execution.
+            payload = dict(payload)
+            payload["trace_id"] = trace_id
+            payload["worker"] = self.worker_id
+            payload["attempt"] = grant.get("attempt")
         if injector is not None:
             delay = injector.completion_delay()
             if delay > 0:
                 _log.warning(
                     "chaos: stalling before completion",
                     extra={"worker": self.worker_id, "delay_s": delay},
+                )
+                record_event(
+                    "chaos.completion_delay",
+                    trace=trace_id,
+                    worker=self.worker_id,
+                    key=grant.get("key"),
+                    delay_s=delay,
                 )
                 time.sleep(delay)
         accepted = False

@@ -88,11 +88,15 @@ def run_pipeline_bench(
     scale: Optional[float] = None,
     options=None,
     warm_sweep: bool = True,
+    trace_overhead: bool = True,
 ) -> Dict[str, object]:
     """The full harness: every benchmark, per-stage timings, metadata.
 
     ``warm_sweep`` appends the cold-vs-warm palette-sweep section (see
     :func:`run_warm_sweep_bench`) — the loop cache's regression guard.
+    ``trace_overhead`` appends the span-cost microbench (see
+    :func:`run_trace_overhead_bench`) — the guard keeping the tracing
+    plumbing free when tracing is off.
     """
     from repro.workloads import SPEC2000_PROFILES, default_scale
 
@@ -113,8 +117,10 @@ def run_pipeline_bench(
         if warm_sweep
         else None
     )
+    overhead = run_trace_overhead_bench() if trace_overhead else None
     return {
         **({"warm_sweep": warm} if warm is not None else {}),
+        **({"trace_overhead": overhead} if overhead is not None else {}),
         "schema": SCHEMA,
         "kind": "pipeline",
         "generated_unix": time.time(),
@@ -222,6 +228,64 @@ def run_warm_sweep_bench(
     }
 
 
+def run_trace_overhead_bench(
+    iterations: int = 200_000, rounds: int = 3
+) -> Dict[str, object]:
+    """Cost of the ``span()`` context manager, traced and untraced.
+
+    The distributed-tracing work rides on :func:`repro.telemetry.span`
+    being near-free when tracing is off (the default for every
+    pipeline run that nobody is watching).  This times three loops —
+    empty, ``span()`` with tracing disabled, ``span()`` with tracing
+    enabled — best of ``rounds`` each, and reports per-call costs; the
+    regression gate watches the *disabled* path.
+    """
+    from repro.telemetry import (
+        disable_tracing,
+        enable_tracing,
+        span,
+        tracing_enabled,
+    )
+
+    def best_of(run) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def empty_loop() -> None:
+        for _ in range(iterations):
+            pass
+
+    def span_loop() -> None:
+        for _ in range(iterations):
+            with span("bench_overhead"):
+                pass
+
+    was_enabled = tracing_enabled()
+    try:
+        disable_tracing()
+        empty_s = best_of(empty_loop)
+        disabled_s = best_of(span_loop)
+        enable_tracing()
+        enabled_s = best_of(span_loop)
+    finally:
+        enable_tracing() if was_enabled else disable_tracing()
+    return {
+        "iterations": iterations,
+        "empty_s": empty_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_ns_per_call": disabled_s / iterations * 1e9,
+        "enabled_ns_per_call": enabled_s / iterations * 1e9,
+        "disabled_overhead_ns_per_call": max(0.0, disabled_s - empty_s)
+        / iterations
+        * 1e9,
+    }
+
+
 def check_regression(
     current: Dict[str, object],
     baseline: Dict[str, object],
@@ -253,6 +317,7 @@ def check_regression(
             f"(raw {current['total_s']:.2f}s vs {baseline['total_s']:.2f}s)"
         )
     failures.extend(_check_warm_sweep(current, baseline, tolerance))
+    failures.extend(_check_trace_overhead(current, baseline, tolerance))
     return failures
 
 
@@ -298,6 +363,47 @@ def _check_warm_sweep(
                 f"{base_warm['warm_s']:.2f}s)"
             )
     return failures
+
+
+def _check_trace_overhead(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Trace-overhead gate: the disabled span path must stay near-free.
+
+    Section-gated like the warm sweep, so pre-tracing baselines keep
+    passing.  The compared quantity is the whole disabled-path loop
+    time over the calibration time — dimensionless, so it cancels
+    machine speed — with doubled tolerance: a sub-microsecond
+    microbench is noisier than the minutes-long suite total.
+    """
+    base_overhead = baseline.get("trace_overhead")
+    if not base_overhead:
+        return []
+    cur_overhead = current.get("trace_overhead")
+    if not cur_overhead:
+        return [
+            "baseline records a trace_overhead section but current does not"
+        ]
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    if not base_cal or not cur_cal:
+        return []
+    base_iters = base_overhead.get("iterations") or 1
+    cur_iters = cur_overhead.get("iterations") or 1
+    base_norm = base_overhead["disabled_s"] / base_iters / base_cal
+    cur_norm = cur_overhead["disabled_s"] / cur_iters / cur_cal
+    limit = base_norm * (1.0 + 2.0 * tolerance)
+    if cur_norm > limit:
+        return [
+            f"tracing-disabled span() path regressed: "
+            f"{cur_overhead['disabled_ns_per_call']:.0f} ns/call vs "
+            f"baseline {base_overhead['disabled_ns_per_call']:.0f} ns/call "
+            f"(normalized {cur_norm:.3g} > {base_norm:.3g} * "
+            f"(1 + {2.0 * tolerance:.0%}))"
+        ]
+    return []
 
 
 def write_report(data: Dict[str, object], path) -> Path:
@@ -348,5 +454,12 @@ def render_report(data: Dict[str, object]) -> str:
             f"({warm['speedup']:.1f}x), {counters['hits']} loop hit(s), "
             f"{counters['misses']} miss(es), "
             + ("byte-identical" if warm["identical"] else "RESULTS DIFFER")
+        )
+    overhead = data.get("trace_overhead")
+    if overhead:
+        table += (
+            f"\nspan() overhead: {overhead['disabled_ns_per_call']:.0f} ns/"
+            f"call disabled, {overhead['enabled_ns_per_call']:.0f} ns/call "
+            f"enabled ({overhead['iterations']} iterations)"
         )
     return table

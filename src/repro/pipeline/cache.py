@@ -48,7 +48,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
-from repro.telemetry import counter
+from repro.telemetry import counter, record_event
 
 #: Cache events by stage: ``event`` is ``hits`` (memory LRU), ``misses``,
 #: ``disk_hits``, ``corrupt`` (an unreadable on-disk artifact was
@@ -241,6 +241,9 @@ class StageCache:
         """Drop a corrupt on-disk artifact so it is recomputed, not re-read."""
         self.corrupt += 1
         self._count(key, "corrupt")
+        record_event(
+            "cache.corrupt", key=key, stage=self._stage_of(key)
+        )
         try:
             os.unlink(self._payload_path(key))
         except OSError:

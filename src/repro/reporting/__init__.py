@@ -13,6 +13,7 @@ from repro.reporting.campaign import (
 )
 from repro.reporting.scenarios import scenario_detail, scenario_list_table
 from repro.reporting.telemetry import render_trace, warehouse_spans_table
+from repro.reporting.timeline import render_timeline, timeline_attribution
 from repro.reporting.warehouse import (
     warehouse_best_table,
     warehouse_cache_table,
@@ -39,6 +40,8 @@ __all__ = [
     "campaign_results_table",
     "campaign_summary",
     "render_trace",
+    "render_timeline",
+    "timeline_attribution",
     "scenario_detail",
     "scenario_list_table",
     "warehouse_spans_table",

@@ -288,6 +288,18 @@ class ServiceClient:
         """``GET /v1/jobs/<id>/result``."""
         return self._ok("GET", f"/v1/jobs/{job_id}/result")
 
+    def timeline(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/timeline``: the job's distributed trace."""
+        return self._ok("GET", f"/v1/jobs/{job_id}/timeline")
+
+    def debug_events(self, **query: Any) -> Dict[str, Any]:
+        """``GET /v1/debug/events``: the service's flight recorder.
+
+        Accepts ``trace=``, ``kind=`` and ``limit=`` filters; returns
+        ``{"events": [...], "stats": {...}}``.
+        """
+        return self._ok("GET", "/v1/debug/events", query=query)
+
     def events(self, job_id: str, timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
         """Stream ``GET /v1/jobs/<id>/events`` as parsed dicts."""
         connection = http.client.HTTPConnection(

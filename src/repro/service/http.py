@@ -18,12 +18,19 @@ Endpoints (see ``docs/service.md`` for the full contract):
 * ``GET  /v1/jobs/<id>[?wait=1]`` — job status (optionally long-poll),
 * ``GET  /v1/jobs/<id>/result`` — the result document,
 * ``GET  /v1/jobs/<id>/events`` — ndjson event stream until terminal,
+* ``GET  /v1/jobs/<id>/timeline`` — the job's live distributed trace,
 * ``GET  /v1/query/pareto | best | diff | campaigns | spans`` —
   warehouse queries,
 * ``POST /v1/fleet/lease | complete | renew | release | drain`` — the
   worker-pull fleet protocol (see ``docs/fleet.md``),
+* ``GET  /v1/debug/events[?trace=<id>&kind=<k>&limit=<n>]`` — the
+  flight recorder (see ``docs/observability.md``),
 * ``GET  /metrics`` — Prometheus text exposition of the process-wide
   metrics registry.
+
+Distributed-trace context rides the ``X-Repro-Trace`` header (or a
+``trace`` body field) on submissions; the service mints an id when
+neither is given and returns it in the job document.
 """
 
 from __future__ import annotations
@@ -38,7 +45,13 @@ from typing import Any, Dict, Optional, Tuple
 from repro import chaos
 from repro.fleet.queue import FleetError
 from repro.service.jobs import JobManager, ServiceError, ServiceOverloadError
-from repro.telemetry import counter, histogram, render_prometheus
+from repro.telemetry import (
+    counter,
+    flight_recorder,
+    histogram,
+    record_event,
+    render_prometheus,
+)
 from repro.warehouse.queries import (
     best_points,
     pareto_frontier,
@@ -72,12 +85,13 @@ def _endpoint_label(path: str) -> str:
         "/v1/suite",
         "/v1/campaign",
         "/v1/jobs",
+        "/v1/debug/events",
     }
     if path in fixed:
         return path
     if path.startswith("/v1/jobs/"):
         tail = path[len("/v1/jobs/"):].split("/")
-        if len(tail) > 1 and tail[1] in ("result", "events"):
+        if len(tail) > 1 and tail[1] in ("result", "events", "timeline"):
             return f"/v1/jobs/{{id}}/{tail[1]}"
         return "/v1/jobs/{id}"
     if path.startswith("/v1/query/"):
@@ -308,6 +322,8 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        path = ""
+        headers: Dict[str, str] = {}
         try:
             try:
                 method, path, query, headers, body = await _read_request(
@@ -316,6 +332,13 @@ class ServiceServer:
                 injector = chaos.active()
                 if injector is not None and path.startswith("/v1/"):
                     fault = injector.http_fault()
+                    if fault is not None:
+                        record_event(
+                            "chaos.http_fault",
+                            trace=headers.get("x-repro-trace"),
+                            fault=fault,
+                            path=_endpoint_label(path),
+                        )
                     if fault == "reset":
                         # Die mid-air: no response, no FIN handshake —
                         # clients see a connection reset.
@@ -358,6 +381,12 @@ class ServiceServer:
             except (ServiceError, FleetError) as error:
                 writer.write(_json_error(400, str(error)))
             except Exception as error:  # never kill the accept loop
+                record_event(
+                    "http.internal_error",
+                    trace=headers.get("x-repro-trace"),
+                    path=_endpoint_label(path),
+                    error=repr(error),
+                )
                 writer.write(
                     _json_error(500, f"internal error: {error!r}")
                 )
@@ -435,6 +464,10 @@ class ServiceServer:
             header_deadline = headers.get("x-repro-deadline")
             if header_deadline is not None and "deadline_s" not in request:
                 request["deadline_s"] = header_deadline
+            # Same for trace context: header or ``trace`` body field.
+            header_trace = headers.get("x-repro-trace")
+            if header_trace is not None and "trace" not in request:
+                request["trace"] = header_trace
             job = submit(request)
             status = 200 if job.finished else 202
             writer.write(_json_response(status, {"job": job.describe()}))
@@ -454,6 +487,27 @@ class ServiceServer:
             return
         if path.startswith("/v1/fleet/"):
             self._route_fleet(writer, method, path, body)
+            return
+        if path == "/v1/debug/events" and method == "GET":
+            recorder = flight_recorder()
+            raw_limit = _single(query, "limit")
+            try:
+                limit = int(raw_limit) if raw_limit else None
+            except ValueError as error:
+                raise _HttpError(400, "malformed limit") from error
+            writer.write(
+                _json_response(
+                    200,
+                    {
+                        "events": recorder.events(
+                            trace=_single(query, "trace"),
+                            kind=_single(query, "kind"),
+                            limit=limit,
+                        ),
+                        "stats": recorder.stats(),
+                    },
+                )
+            )
             return
         raise _HttpError(404, f"no such endpoint: {method} {path}")
 
@@ -610,6 +664,14 @@ class ServiceServer:
             return
         if tail == "events":
             await self._stream_events(writer, job)
+            return
+        if tail == "timeline":
+            timeline = self._manager.timeline(job.id)
+            if timeline is None:
+                raise _HttpError(
+                    404, f"job {job.id} has no trace", code="no_trace"
+                )
+            writer.write(_json_response(200, timeline))
             return
         raise _HttpError(404, f"no such job endpoint: {path}")
 

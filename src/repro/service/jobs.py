@@ -33,9 +33,10 @@ from __future__ import annotations
 import asyncio
 import time
 import traceback
+import uuid
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Dict, List, Optional
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.executor import STATUS_OK, execute_job_payload
 from repro.campaign.job import ExperimentJob
@@ -46,7 +47,7 @@ from repro.fleet.coordinator import FleetCoordinator, LocalWorkerPump
 from repro.fleet.queue import BATCH, INTERACTIVE
 from repro.pipeline.experiment import ExperimentOptions
 from repro.pipeline.serialization import content_key, evaluation_ratios
-from repro.telemetry import counter, gauge, get_logger
+from repro.telemetry import Span, counter, gauge, get_logger, record_event
 from repro.warehouse.db import Warehouse
 from repro.workloads.spec_profiles import SPEC2000_PROFILES
 
@@ -115,6 +116,83 @@ _KIND_CLASS = {
 }
 
 
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (minted at HTTP/manager ingress)."""
+    return uuid.uuid4().hex[:16]
+
+
+class JobTrace:
+    """Assembles one service job's distributed trace, span by span.
+
+    The process-local span machinery in :mod:`repro.telemetry.trace`
+    keeps a per-*thread* stack — exactly wrong for a ``JobManager``,
+    where many jobs interleave on one event-loop thread.  This
+    assembler therefore builds the tree explicitly: the root span is
+    the submit, and the manager attaches lifecycle children
+    (``admission``, per-experiment spans wrapping ``queue_wait`` /
+    per-attempt ``lease`` spans / ``warehouse_record``,
+    ``deadline_cancel``) as the job progresses.  Worker-side span
+    trees re-parent under the lease attempt that completed them,
+    byte-stable (:meth:`Span.from_dict` of a :meth:`Span.to_dict`
+    round-trips exactly).
+
+    All mutation happens on the manager's loop thread; no locking.
+    """
+
+    __slots__ = ("trace_id", "root", "_t0")
+
+    def __init__(self, trace_id: str, kind: str, job_id: str) -> None:
+        self.trace_id = trace_id
+        self.root = Span(
+            "submit", {"kind": kind, "job": job_id, "trace_id": trace_id}
+        )
+        self.root.start_s = time.time()
+        self._t0 = time.perf_counter()
+
+    def begin(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Tuple[Span, float]:
+        """Open a child span; returns ``(span, perf_counter_mark)``."""
+        child = Span(name, attrs)
+        child.start_s = time.time()
+        (self.root if parent is None else parent).children.append(child)
+        return child, time.perf_counter()
+
+    @staticmethod
+    def end(child: Span, started: float) -> None:
+        """Close a span opened with :meth:`begin`."""
+        child.elapsed_s = time.perf_counter() - started
+
+    def mark(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Span:
+        """A zero-duration marker span (instantaneous events)."""
+        child = Span(name, attrs)
+        child.start_s = time.time()
+        (self.root if parent is None else parent).children.append(child)
+        return child
+
+    def finish(self, status: str) -> None:
+        """Seal the root span at job settle."""
+        self.root.annotate(status=status)
+        self.root.elapsed_s = time.perf_counter() - self._t0
+
+    @property
+    def finished(self) -> bool:
+        return self.root.elapsed_s > 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The tree as of now (live root patched to elapsed-so-far)."""
+        data = self.root.to_dict()
+        if not self.finished:
+            data["elapsed_s"] = time.perf_counter() - self._t0
+        return data
+
+    def context(self, parent: str) -> Dict[str, Any]:
+        """The propagation context carried inside fleet lease grants."""
+        return {"trace_id": self.trace_id, "parent": parent}
+
+
 @dataclass(frozen=True)
 class AdmissionPolicy:
     """Bounds on concurrently admitted (queued or running) jobs.
@@ -159,6 +237,11 @@ class ServiceJob:
     #: ``time.monotonic`` form, fixed at submission.
     deadline_s: Optional[float] = None
     deadline_at: Optional[float] = None
+    #: Distributed-trace correlation: the id every lease grant, worker
+    #: payload and flight-recorder event of this job carries, and the
+    #: assembler building the cross-process span tree.
+    trace_id: Optional[str] = None
+    trace: Optional[JobTrace] = field(default=None, repr=False)
     events: List[Dict[str, Any]] = field(default_factory=list)
     _queues: List[asyncio.Queue] = field(default_factory=list, repr=False)
     _done: Optional[asyncio.Event] = field(default=None, repr=False)
@@ -183,6 +266,8 @@ class ServiceJob:
         }
         if self.deadline_s is not None:
             data["deadline_s"] = self.deadline_s
+        if self.trace_id is not None:
+            data["trace"] = self.trace_id
         if self.error is not None:
             data["error"] = self.error
         return data
@@ -487,16 +572,31 @@ class JobManager:
         Dedup attaches bypass admission control (they add no work);
         genuinely new jobs are refused with
         :class:`ServiceOverloadError` when their class is at its limit.
+
+        Every new job gets a distributed trace: its id comes from the
+        request's ``trace`` field (the ``X-Repro-Trace`` header at the
+        HTTP layer) or is minted here, and the admission decision is
+        the trace's first lifecycle span.
         """
+        admitted_at = time.perf_counter()
         budget = self._deadline_budget(request)
+        raw_trace = request.get("trace")
+        trace_id = str(raw_trace) if raw_trace else mint_trace_id()
         self.stats["submitted"] += 1
         existing = self._jobs.get(job_id)
         if existing is not None and existing.status != JOB_FAILED:
             # In-flight or completed: attach, don't recompute.  Failed
             # jobs fall through and retry — errors are not cached.
+            # The attach joins the existing job's trace.
             existing.submissions += 1
             self.stats["deduped"] += 1
             _DEDUP_HITS.inc(level="job")
+            record_event(
+                "admission.dedup",
+                trace=existing.trace_id,
+                job=job_id,
+                job_kind=kind,
+            )
             return existing
         job_class = _KIND_CLASS.get(kind, BATCH)
         limit = self.admission.limit(job_class)
@@ -507,12 +607,22 @@ class JobManager:
                 "job rejected: admission queue full",
                 extra={"kind": kind, "job_class": job_class, "limit": limit},
             )
+            record_event(
+                "admission.rejected",
+                trace=str(raw_trace) if raw_trace else None,
+                job=job_id,
+                job_kind=kind,
+                job_class=job_class,
+                limit=limit,
+                active=self._active[job_class],
+            )
             raise ServiceOverloadError(
                 f"{job_class} admission queue full "
                 f"({self._active[job_class]}/{limit} jobs in flight)",
                 job_class=job_class,
                 retry_after_s=self.admission.retry_after_s,
             )
+        trace = JobTrace(trace_id, kind, job_id)
         job = ServiceJob(
             id=job_id,
             kind=kind,
@@ -522,14 +632,31 @@ class JobManager:
             deadline_at=(
                 None if budget is None else time.monotonic() + budget
             ),
+            trace_id=trace_id,
+            trace=trace,
+        )
+        admission = trace.mark(
+            "admission", job_class=job_class, outcome="admitted"
+        )
+        admission.elapsed_s = time.perf_counter() - admitted_at
+        admission.start_s -= admission.elapsed_s  # opened at _admit entry
+        record_event(
+            "admission.admitted",
+            trace=trace_id,
+            job=job_id,
+            job_kind=kind,
+            job_class=job_class,
         )
         if existing is None:
             self._order.append(job_id)
         self._jobs[job_id] = job
         self._active[job_class] += 1
         _QUEUE_DEPTH.inc(job_class=job_class)
-        _log.info("job submitted", extra={"job": job_id, "kind": kind})
-        job.publish("submitted", kind=kind)
+        _log.info(
+            "job submitted",
+            extra={"job": job_id, "kind": kind, "trace": trace_id},
+        )
+        job.publish("submitted", kind=kind, trace=trace_id)
         task = asyncio.get_running_loop().create_task(self._drive(job, runner))
         self._drivers.add(task)
         task.add_done_callback(self._drivers.discard)
@@ -578,6 +705,15 @@ class JobManager:
                 "job deadline exceeded",
                 extra={"job": job.id, "kind": job.kind},
             )
+            if job.trace is not None:
+                job.trace.mark("deadline_cancel", budget_s=job.deadline_s)
+            record_event(
+                "deadline.exceeded",
+                trace=job.trace_id,
+                job=job.id,
+                job_kind=job.kind,
+                budget_s=job.deadline_s,
+            )
             job.publish("failed", error=job.error)
         except Exception:
             job.status = JOB_FAILED
@@ -592,6 +728,16 @@ class JobManager:
             self._active[job.job_class] -= 1
             _QUEUE_DEPTH.dec(job_class=job.job_class)
             _JOBS.inc(kind=job.kind, status=job.status)
+            if job.trace is not None:
+                job.trace.finish(job.status)
+                if self._warehouse is not None:
+                    # Fire-and-forget: the live timeline serves from
+                    # memory, the warehouse copy is for post-hoc
+                    # ``repro query timeline`` — not worth blocking
+                    # (or failing) the settle path on a busy SQLite.
+                    asyncio.get_running_loop().run_in_executor(
+                        None, self._record_trace, job
+                    )
 
     def submit_evaluate(self, request: Dict[str, Any]) -> ServiceJob:
         """Submit one experiment; job id == the experiment's cache key."""
@@ -681,32 +827,65 @@ class JobManager:
 
         Resolution order: result store (completed history), in-flight
         table (running right now, await the same task), fresh compute.
+
+        When the source job carries a trace, the whole resolution is
+        wrapped in an ``experiment`` span: dedup hits get a span tagged
+        with their source, computed experiments additionally gain
+        ``queue_wait``, one ``lease`` span per granted attempt (from
+        the coordinator's lease log, tagged worker/token/outcome, the
+        completing attempt holding the re-parented worker span tree)
+        and a ``warehouse_record`` span.
         """
         key = experiment.key()
-        if self._store is not None:
-            payload = self._store.get(key)
-            if payload is not None and payload.get("status") == STATUS_OK:
-                self.stats["store_hits"] += 1
-                _DEDUP_HITS.inc(level="store")
-                await self._record_async(key, payload, campaign)
-                return payload
-        task = self._inflight.get(key)
-        if task is not None:
-            self.stats["inflight_hits"] += 1
-            _DEDUP_HITS.inc(level="inflight")
-            payload = await asyncio.shield(task)
-            await self._record_async(key, payload, campaign)
-            return payload
-        task = asyncio.get_running_loop().create_task(
-            self._compute(experiment, key, job_class, deadline)
-        )
-        self._inflight[key] = task
+        trace = None if source_job is None else source_job.trace
+        exp_span: Optional[Span] = None
+        exp_mark = 0.0
+        if trace is not None:
+            exp_span, exp_mark = trace.begin(
+                "experiment",
+                key=key,
+                benchmark=experiment.benchmark,
+                config=experiment.config_label(),
+            )
         try:
-            payload = await asyncio.shield(task)
+            if self._store is not None:
+                payload = self._store.get(key)
+                if payload is not None and payload.get("status") == STATUS_OK:
+                    self.stats["store_hits"] += 1
+                    _DEDUP_HITS.inc(level="store")
+                    if exp_span is not None:
+                        exp_span.annotate(source="store")
+                    await self._record_traced(
+                        key, payload, campaign, trace, exp_span
+                    )
+                    return payload
+            task = self._inflight.get(key)
+            if task is not None:
+                self.stats["inflight_hits"] += 1
+                _DEDUP_HITS.inc(level="inflight")
+                if exp_span is not None:
+                    exp_span.annotate(source="inflight")
+                payload = await asyncio.shield(task)
+                await self._record_traced(
+                    key, payload, campaign, trace, exp_span
+                )
+                return payload
+            task = asyncio.get_running_loop().create_task(
+                self._compute(experiment, key, job_class, deadline, trace)
+            )
+            self._inflight[key] = task
+            try:
+                payload = await asyncio.shield(task)
+            finally:
+                self._inflight.pop(key, None)
+            if exp_span is not None:
+                exp_span.annotate(source="fleet")
+                self._attach_lease_spans(trace, exp_span, key, payload)
+            await self._record_traced(key, payload, campaign, trace, exp_span)
+            return payload
         finally:
-            self._inflight.pop(key, None)
-        await self._record_async(key, payload, campaign)
-        return payload
+            if exp_span is not None:
+                JobTrace.end(exp_span, exp_mark)
 
     async def _compute(
         self,
@@ -714,6 +893,7 @@ class JobManager:
         key: str,
         job_class: str = BATCH,
         deadline: Optional[float] = None,
+        trace: Optional[JobTrace] = None,
     ) -> Dict[str, Any]:
         self.stats["computed"] += 1
         self.fleet.ensure_sweeper()
@@ -725,7 +905,91 @@ class JobManager:
             experiment.to_dict(),
             job_class=job_class,
             deadline=deadline,
+            trace=None if trace is None else trace.context(parent=key),
         )
+
+    def _attach_lease_spans(
+        self,
+        trace: JobTrace,
+        exp_span: Span,
+        key: str,
+        payload: Dict[str, Any],
+    ) -> None:
+        """Rebuild queue/lease history as spans under the experiment.
+
+        The coordinator's lease log recorded the queue's own monotonic
+        clock at submit, each grant, and each attempt's terminal event;
+        durations come from that single clock (never from wall-clock
+        differences across processes), while ``start_s`` wall stamps
+        only *place* the spans on the merged timeline.  The worker's
+        serialized span tree — shipped back inside the payload —
+        re-parents under the attempt that produced it, byte-stable.
+        """
+        log = self.fleet.take_lease_log(key)
+        if log is None:
+            return
+        now_mono = time.monotonic()
+        submitted_t = log.get("submitted_t")
+        attempts = log.get("attempts") or []
+        if submitted_t is not None:
+            waited_until = (
+                attempts[0]["granted_t"] if attempts else now_mono
+            )
+            queue_wait = trace.mark(
+                "queue_wait",
+                parent=exp_span,
+                leased=bool(attempts),
+            )
+            queue_wait.start_s = log.get("submitted_wall")
+            queue_wait.elapsed_s = max(0.0, waited_until - submitted_t)
+        worker_tree = payload.get("trace")
+        worker_attempt = payload.get("attempt")
+        for record in attempts:
+            end_t = record["end_t"] if record["end_t"] is not None else now_mono
+            lease_span = trace.mark(
+                "lease",
+                parent=exp_span,
+                worker=record["worker"],
+                token=record["token"],
+                attempt=record["attempt"],
+                outcome=record["outcome"] or "abandoned",
+            )
+            lease_span.start_s = record["granted_wall"]
+            lease_span.elapsed_s = max(0.0, end_t - record["granted_t"])
+            if (
+                isinstance(worker_tree, dict)
+                and record["outcome"] == "completed"
+                and (
+                    worker_attempt is None
+                    or worker_attempt == record["attempt"]
+                )
+            ):
+                lease_span.children.append(Span.from_dict(worker_tree))
+
+    async def _record_traced(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        campaign: Optional[str],
+        trace: Optional[JobTrace],
+        exp_span: Optional[Span],
+    ) -> None:
+        """``_record_async`` wrapped in a ``warehouse_record`` span."""
+        if (
+            trace is None
+            or exp_span is None
+            or self._warehouse is None
+            or payload.get("status") != STATUS_OK
+        ):
+            await self._record_async(key, payload, campaign)
+            return
+        record_span, mark = trace.begin(
+            "warehouse_record", parent=exp_span, key=key
+        )
+        try:
+            await self._record_async(key, payload, campaign)
+        finally:
+            JobTrace.end(record_span, mark)
 
     async def _record_async(
         self,
@@ -745,6 +1009,44 @@ class JobManager:
         await asyncio.get_running_loop().run_in_executor(
             None, self._record, key, payload, campaign
         )
+
+    def _record_trace(self, job: ServiceJob) -> None:
+        """Persist a settled job's trace tree (worker thread).
+
+        Best-effort by design: the in-memory timeline already answered
+        any live consumer, and a trace lost to a closing warehouse is
+        not worth failing the job over.
+        """
+        if self._warehouse is None or job.trace is None:
+            return
+        try:
+            self._warehouse.record_trace(
+                trace_id=job.trace_id or job.trace.trace_id,
+                job_id=job.id,
+                kind=job.kind,
+                created_at=job.created_at,
+                tree=job.trace.snapshot(),
+            )
+        except Exception:
+            _log.warning("trace record failed", extra={"job": job.id})
+
+    def timeline(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The live distributed trace of one job (by id or trace id)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            for candidate in self._jobs.values():
+                if candidate.trace_id == job_id:
+                    job = candidate
+                    break
+        if job is None or job.trace is None:
+            return None
+        return {
+            "job": job.id,
+            "trace": job.trace_id,
+            "kind": job.kind,
+            "status": job.status,
+            "tree": job.trace.snapshot(),
+        }
 
     def _record(
         self,
@@ -777,6 +1079,7 @@ class JobManager:
         async def one_point(experiment: ExperimentJob):
             payload = await self._run_experiment(
                 experiment,
+                source_job=job,
                 campaign=campaign,
                 job_class=BATCH,
                 deadline=job.deadline_at,

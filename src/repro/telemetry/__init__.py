@@ -1,6 +1,6 @@
-"""Cross-cutting telemetry: tracing, metrics, structured logging.
+"""Cross-cutting telemetry: tracing, metrics, logging, flight recorder.
 
-Three independent layers, all stdlib-only:
+Four independent layers, all stdlib-only:
 
 * :mod:`repro.telemetry.trace` — opt-in timed span trees
   (``with span("schedule_loop", loop=name): ...``), serialized across
@@ -9,7 +9,11 @@ Three independent layers, all stdlib-only:
   in a process-wide registry, served as Prometheus text on the
   service's ``GET /metrics``;
 * :mod:`repro.telemetry.logs` — opt-in per-subsystem loggers configured
-  by the CLI's ``-v``/``-q`` flags and ``REPRO_LOG=json|text``.
+  by the CLI's ``-v``/``-q`` flags and ``REPRO_LOG=json|text``;
+* :mod:`repro.telemetry.recorder` — an always-on bounded ring of
+  structured debug events (lease transitions, chaos injections,
+  admission rejections...), correlated by trace id and served on the
+  service's ``GET /v1/debug/events`` for post-hoc debugging.
 
 See ``docs/observability.md`` for naming conventions and walkthroughs.
 """
@@ -36,6 +40,14 @@ from repro.telemetry.metrics import (
     histogram,
     render_prometheus,
 )
+from repro.telemetry.recorder import (
+    CAPACITY_ENV,
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    configure_flight_recorder,
+    flight_recorder,
+    record_event,
+)
 from repro.telemetry.trace import (
     TRACE_ENV,
     Span,
@@ -54,7 +66,13 @@ from repro.telemetry.trace import (
 __all__ = [
     "LOG_ENV",
     "TRACE_ENV",
+    "CAPACITY_ENV",
     "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "configure_flight_recorder",
+    "flight_recorder",
+    "record_event",
     "REGISTRY",
     "Counter",
     "Gauge",

@@ -1,0 +1,177 @@
+"""The flight recorder: a bounded ring of structured debug events.
+
+Metrics answer "how much"; traces answer "where did the time go" for
+one job.  Neither answers "what exactly happened around the failure" —
+which lease expired, which chaos fault fired, which request was shed —
+once the moment has passed.  The flight recorder keeps the last N
+structured events (lease transitions, admission rejections, deadline
+expiries, chaos injections, cache corruption, HTTP 5xx) in memory so a
+failing smoke test or a ``GET /v1/debug/events`` call can reconstruct
+the sequence post-hoc.
+
+Design constraints:
+
+* **Bounded**: a fixed-capacity ring (drop-oldest).  Dropping is
+  counted — ``repro_flightrecorder_dropped_total`` — so "the evidence
+  scrolled away" is itself observable.
+* **Correlated**: every event may carry a ``trace`` id, so
+  ``/v1/debug/events?trace=<id>`` returns exactly the events of one
+  distributed trace.
+* **Never in the way**: recording is a dict append under a lock; the
+  feeders (queue observers, HTTP error paths) already swallow observer
+  exceptions, so the recorder can never break the thing it watches.
+
+Event shape::
+
+    {"seq": 42, "kind": "lease.granted", "trace": "ab12...",
+     "t_wall": 1760000000.1, "t_mono": 12.345, ...free-form fields}
+
+``seq`` is a process-wide monotonic ordinal (gaps reveal drops);
+``t_mono`` orders events exactly within the process, ``t_wall`` places
+them against other processes' recorders.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.telemetry.metrics import counter
+
+#: Default ring capacity; enough for several smoke-test campaigns.
+DEFAULT_CAPACITY = 2048
+
+#: Environment variable overriding the global recorder's capacity.
+CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
+
+_DROPPED = counter(
+    "repro_flightrecorder_dropped_total",
+    "Flight-recorder events evicted because the ring was full",
+)
+
+
+class FlightRecorder:
+    """A thread-safe drop-oldest ring buffer of event dicts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, Any]] = deque()
+        self._seq = 0
+        self.dropped = 0
+
+    def record(
+        self, kind: str, trace: Optional[str] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """Append one event; evicts (and counts) the oldest when full.
+
+        ``fields`` are free-form context; the reserved keys (``seq``,
+        ``kind``, ``trace``, ``t_wall``, ``t_mono``) always win over a
+        same-named field.
+        """
+        event = dict(fields)
+        with self._lock:
+            self._seq += 1
+            event.update(
+                seq=self._seq,
+                kind=str(kind),
+                trace=None if trace is None else str(trace),
+                t_wall=time.time(),
+                t_mono=time.monotonic(),
+            )
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+                _DROPPED.inc()
+            self._events.append(event)
+        return event
+
+    def events(
+        self,
+        trace: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Events oldest-first, optionally filtered.
+
+        ``trace`` keeps only events correlated with that trace id;
+        ``kind`` filters by exact event kind; ``limit`` keeps the most
+        recent N *after* filtering.
+        """
+        with self._lock:
+            snapshot = [dict(event) for event in self._events]
+        if trace is not None:
+            wanted = str(trace)
+            snapshot = [e for e in snapshot if e.get("trace") == wanted]
+        if kind is not None:
+            snapshot = [e for e in snapshot if e.get("kind") == kind]
+        if limit is not None and limit >= 0:
+            snapshot = snapshot[len(snapshot) - min(limit, len(snapshot)):]
+        return snapshot
+
+    def stats(self) -> Dict[str, int]:
+        """Ring occupancy: capacity, current size, drops, total seen."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._events),
+                "dropped": self.dropped,
+                "recorded": self._seq,
+            }
+
+    def clear(self) -> None:
+        """Drop buffered events (the sequence counter keeps counting)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+# ----------------------------------------------------------------------
+# the process-wide recorder
+# ----------------------------------------------------------------------
+_global_lock = threading.Lock()
+_recorder: Optional[FlightRecorder] = None
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(CAPACITY_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CAPACITY
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide recorder (created on first use)."""
+    global _recorder
+    if _recorder is None:
+        with _global_lock:
+            if _recorder is None:
+                _recorder = FlightRecorder(_env_capacity())
+    return _recorder
+
+
+def configure_flight_recorder(capacity: int) -> FlightRecorder:
+    """Replace the process-wide recorder (serve startup, tests)."""
+    global _recorder
+    with _global_lock:
+        _recorder = FlightRecorder(capacity)
+        return _recorder
+
+
+def record_event(
+    kind: str, trace: Optional[str] = None, **fields: Any
+) -> Dict[str, Any]:
+    """Record one event on the process-wide recorder."""
+    return flight_recorder().record(kind, trace=trace, **fields)

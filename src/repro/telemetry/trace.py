@@ -46,7 +46,9 @@ _enabled = False
 class Span:
     """One named, timed region: attributes, counters, children."""
 
-    __slots__ = ("name", "attributes", "counters", "children", "elapsed_s")
+    __slots__ = (
+        "name", "attributes", "counters", "children", "elapsed_s", "start_s",
+    )
 
     def __init__(
         self, name: str, attributes: Optional[Dict[str, Any]] = None
@@ -55,7 +57,14 @@ class Span:
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.counters: Dict[str, int] = {}
         self.children: List["Span"] = []
+        #: Monotonic duration (``perf_counter`` delta) — the authoritative
+        #: length of the span, immune to wall-clock steps.
         self.elapsed_s: float = 0.0
+        #: Wall-clock start (``time.time()``), set when the span opens.
+        #: Used only to *place* spans from different processes on one
+        #: timeline; durations always come from ``elapsed_s``, so clock
+        #: skew between hosts can shift a span but never stretch it.
+        self.start_s: Optional[float] = None
 
     def count(self, counter: str, n: int = 1) -> None:
         """Accumulate a named counter on this span."""
@@ -82,6 +91,8 @@ class Span:
             "name": self.name,
             "elapsed_s": self.elapsed_s,
         }
+        if self.start_s is not None:
+            data["start_s"] = self.start_s
         if self.attributes:
             data["attributes"] = dict(self.attributes)
         if self.counters:
@@ -95,6 +106,8 @@ class Span:
         """Rebuild a span tree from :meth:`to_dict` output."""
         span = cls(str(data["name"]), data.get("attributes"))
         span.elapsed_s = float(data.get("elapsed_s", 0.0))
+        raw_start = data.get("start_s")
+        span.start_s = None if raw_start is None else float(raw_start)
         span.counters = {
             str(name): int(value)
             for name, value in (data.get("counters") or {}).items()
@@ -186,6 +199,7 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         _stack().append(self._span)
+        self._span.start_s = time.time()
         self._started = time.perf_counter()
         return self._span
 

@@ -6,7 +6,7 @@ One :class:`Warehouse` wraps one SQLite database (by convention
 payloads, so the database is a disposable index: deleting it and
 re-ingesting the store rebuilds it exactly.
 
-Schema (version 2):
+Schema (version 3):
 
 * ``jobs`` — one row per content-addressed job key: identity columns
   (benchmark, scale, config label, machine, machine/workload
@@ -21,12 +21,19 @@ Schema (version 2):
 * ``span_stats`` — per-job span summaries (count and total seconds per
   span name, flattened from the payload's serialized trace) for jobs
   executed with tracing enabled; answers "where did campaign X spend
-  its time".
+  its time".  Distributed-trace columns (``trace_id``, ``worker``,
+  ``attempt``) are filled when the payload was executed under a
+  service-minted trace.
+* ``traces`` — one row per finished distributed trace: the full merged
+  span tree (service lifecycle + worker pipeline spans) as JSON,
+  keyed by trace id and looked up by trace id or job id for
+  ``repro query timeline``.
 * ``warehouse_meta`` — schema version.
 """
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
 import time
@@ -43,7 +50,7 @@ DEFAULT_WAREHOUSE_NAME = "warehouse.sqlite"
 
 #: Bumped on incompatible schema changes; a mismatching database is
 #: rebuilt from scratch (it is only an index over the JSON store).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS warehouse_meta (
@@ -88,12 +95,23 @@ CREATE TABLE IF NOT EXISTS stage_stats (
     PRIMARY KEY (job_key, counter)
 );
 CREATE TABLE IF NOT EXISTS span_stats (
-    job_key TEXT NOT NULL REFERENCES jobs(key),
-    span    TEXT NOT NULL,
-    n       INTEGER NOT NULL,
-    total_s REAL NOT NULL,
+    job_key  TEXT NOT NULL REFERENCES jobs(key),
+    span     TEXT NOT NULL,
+    n        INTEGER NOT NULL,
+    total_s  REAL NOT NULL,
+    trace_id TEXT,
+    worker   TEXT,
+    attempt  INTEGER,
     PRIMARY KEY (job_key, span)
 );
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id   TEXT PRIMARY KEY,
+    job_id     TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    tree       TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS traces_by_job ON traces (job_id);
 """
 
 
@@ -266,6 +284,13 @@ class Warehouse:
                         # Synthetic busy storm: indistinguishable from a
                         # starved writer.  The final attempt is never
                         # faulted, so an idempotent upsert still lands.
+                        from repro.telemetry import record_event
+
+                        record_event(
+                            "chaos.sqlite_busy",
+                            path=self._path,
+                            attempt=attempt,
+                        )
                         raise sqlite3.OperationalError(
                             "database is locked (chaos)"
                         )
@@ -315,6 +340,7 @@ class Warehouse:
         elif int(row["value"]) != SCHEMA_VERSION:
             # The warehouse is only an index — rebuild instead of migrating.
             for table in (
+                "traces",
                 "span_stats",
                 "stage_stats",
                 "campaign_jobs",
@@ -444,14 +470,29 @@ class Warehouse:
             if summary:
                 # Replace wholesale: a recomputed job's trace supersedes
                 # the old one, including spans that no longer appear.
+                # Fleet-executed traced payloads carry their distributed
+                # provenance (which trace, which worker, which attempt).
+                trace_id = payload.get("trace_id")
+                worker = payload.get("worker")
+                raw_attempt = payload.get("attempt")
+                attempt = None if raw_attempt is None else int(raw_attempt)
                 self._conn.execute(
                     "DELETE FROM span_stats WHERE job_key = ?", (key,)
                 )
                 self._conn.executemany(
-                    "INSERT INTO span_stats (job_key, span, n, total_s)"
-                    " VALUES (?, ?, ?, ?)",
+                    "INSERT INTO span_stats"
+                    " (job_key, span, n, total_s, trace_id, worker, attempt)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)",
                     [
-                        (key, name, int(stats["n"]), float(stats["total_s"]))
+                        (
+                            key,
+                            name,
+                            int(stats["n"]),
+                            float(stats["total_s"]),
+                            trace_id,
+                            worker,
+                            attempt,
+                        )
                         for name, stats in sorted(summary.items())
                     ],
                 )
@@ -464,6 +505,57 @@ class Warehouse:
             )
         self._conn.commit()
         return key
+
+    def record_trace(
+        self,
+        trace_id: str,
+        job_id: str,
+        kind: str,
+        created_at: float,
+        tree: Dict[str, Any],
+    ) -> None:
+        """Persist one finished distributed trace (upsert by trace id).
+
+        ``tree`` is a serialized span tree (:meth:`Span.to_dict`
+        shape); it is stored verbatim as JSON so ``repro query
+        timeline`` can re-render it byte-identically later.  Retries on
+        cross-process lock contention like every other write.
+        """
+        encoded = json.dumps(tree, sort_keys=True)
+
+        def write() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO traces"
+                " (trace_id, job_id, kind, created_at, tree)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (trace_id, job_id, kind, float(created_at), encoded),
+            )
+            self._conn.commit()
+
+        self._with_retry(write)
+
+    def trace(self, selector: str) -> Optional[Dict[str, Any]]:
+        """One stored trace by trace id or job id, or ``None``.
+
+        Trace ids win on a collision; among several jobs' traces under
+        one job id (not expected, but ids are client-suppliable) the
+        newest wins.
+        """
+        row = self._conn.execute(
+            "SELECT trace_id, job_id, kind, created_at, tree FROM traces"
+            " WHERE trace_id = ? OR job_id = ?"
+            " ORDER BY (trace_id = ?) DESC, created_at DESC LIMIT 1",
+            (selector, selector, selector),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "trace": row["trace_id"],
+            "job": row["job_id"],
+            "kind": row["kind"],
+            "created_at": row["created_at"],
+            "tree": json.loads(row["tree"]),
+        }
 
     def ingest_store(
         self,

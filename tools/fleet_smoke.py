@@ -10,7 +10,15 @@ processes and a real ``kill -9``.  Finishes by checking the fleet
 series in ``/metrics`` (granted/completed counters, the expired lease
 from the kill) and the worker registry in ``/stats``.
 
-Exits non-zero (with the server log on stderr) on any failure.
+Every job the service runs carries a distributed trace; after the
+campaign settles, the smoke test additionally asserts one complete
+trace — per-point lease attempts tagged with worker ids (including the
+expired attempt of the killed worker), worker-side pipeline spans
+re-parented under the completing attempts — and that the flight
+recorder correlates the lease story by trace id.
+
+Exits non-zero (with the server log and the flight recorder's event
+ring on stderr) on any failure.
 """
 
 import os
@@ -46,6 +54,94 @@ def metric_total(text: str, name: str) -> float:
             continue  # a different family sharing the prefix
         total += float(line.rsplit(" ", 1)[1])
     return total
+
+
+def check_distributed_trace(client, job, total):
+    """One settled job must yield one complete distributed trace."""
+    from repro.reporting import timeline_attribution
+
+    timeline = client.timeline(job["id"])
+    trace_id = timeline["trace"]
+    if trace_id != job.get("trace"):
+        raise RuntimeError(
+            f"timeline trace {trace_id!r} != submitted {job.get('trace')!r}"
+        )
+    tree = timeline["tree"]
+    if tree["name"] != "submit":
+        raise RuntimeError(f"trace root is {tree['name']!r}, not 'submit'")
+    experiments = [
+        child for child in tree.get("children", ())
+        if child["name"] == "experiment"
+    ]
+    if len(experiments) != total:
+        raise RuntimeError(
+            f"expected {total} experiment spans, got {len(experiments)}"
+        )
+    expired = 0
+    reparented = 0
+    for experiment in experiments:
+        leases = [
+            child for child in experiment.get("children", ())
+            if child["name"] == "lease"
+        ]
+        outcomes = [span["attributes"].get("outcome") for span in leases]
+        if "completed" not in outcomes:
+            raise RuntimeError(
+                f"a point settled without a completed lease: {outcomes}"
+            )
+        for span in leases:
+            if not span["attributes"].get("worker"):
+                raise RuntimeError(f"lease span without a worker id: {span}")
+            if span["attributes"].get("outcome") == "expired":
+                expired += 1
+            if span["attributes"].get("outcome") == "completed" and span.get(
+                "children"
+            ):
+                reparented += 1
+    if expired < 1:
+        raise RuntimeError(
+            "the killed worker's expired lease attempt is missing from "
+            "the trace"
+        )
+    if reparented < 1:
+        raise RuntimeError(
+            "no completed lease attempt carries a re-parented worker "
+            "span tree"
+        )
+    coverage = timeline_attribution(tree)
+    if coverage < 0.95:
+        raise RuntimeError(
+            f"only {coverage:.1%} of submit->settle wall time is "
+            "attributed to spans (need >= 95%)"
+        )
+    events = client.debug_events(trace=trace_id)["events"]
+    kinds = {event["kind"] for event in events}
+    for wanted in ("lease.granted", "lease.expired", "lease.completed"):
+        if wanted not in kinds:
+            raise RuntimeError(
+                f"flight recorder has no {wanted} event for trace "
+                f"{trace_id} (kinds: {sorted(kinds)})"
+            )
+    print(
+        f"distributed trace ok: {total} points, {expired} expired "
+        f"attempt(s), {reparented} worker tree(s) re-parented, "
+        f"{coverage:.1%} attributed, {len(events)} recorder events"
+    )
+
+
+def dump_flight_recorder(client):
+    """Best-effort post-mortem: print the event ring to stderr."""
+    try:
+        if client is None:
+            raise RuntimeError("client never connected")
+        debug = client.debug_events(limit=200)
+    except Exception as error:  # server already gone
+        print(f"--- flight recorder unavailable: {error!r}", file=sys.stderr)
+        return
+    print("--- flight recorder (most recent last) ---", file=sys.stderr)
+    for event in debug["events"]:
+        print(event, file=sys.stderr)
+    print(f"--- recorder stats: {debug['stats']}", file=sys.stderr)
 
 
 def start_worker(env, port, worker_id):
@@ -98,6 +194,7 @@ def main() -> int:
             text=True,
         )
         workers = {}
+        client = None
         try:
             sys.path.insert(0, str(ROOT / "src"))
             from repro.service import ServiceClient
@@ -163,6 +260,8 @@ def main() -> int:
                 raise RuntimeError(f"failed points: {failed}")
             print(f"campaign done: {total} points, all ok, no duplicates")
 
+            check_distributed_trace(client, job, total)
+
             scrape = client.metrics()
             granted = metric_total(
                 scrape, 'repro_fleet_leases_total{event="granted"}'
@@ -209,6 +308,7 @@ def main() -> int:
             if survivor not in ids:
                 raise RuntimeError(f"{survivor} missing from registry: {ids}")
         except Exception:
+            dump_flight_recorder(client)
             server.terminate()
             output, _ = server.communicate(timeout=30)
             print("--- server log ---\n" + (output or ""), file=sys.stderr)

@@ -10,7 +10,9 @@ service stays responsive and completes every admitted job even while
 faults fire — and leaves ``BENCH_service.json``-shaped output at the
 path given by ``--output`` (CI uploads it as an artifact).
 
-Exits non-zero (with the server log on stderr) on any failure.
+Exits non-zero on any failure, dumping the server log and the flight
+recorder's event ring (chaos injections, shed requests, internal
+errors, all trace-correlated) to stderr for post-hoc debugging.
 """
 
 import os
@@ -36,6 +38,21 @@ def free_port() -> int:
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))
         return sock.getsockname()[1]
+
+
+def dump_flight_recorder(client):
+    """Best-effort post-mortem: print the event ring to stderr."""
+    try:
+        if client is None:
+            raise RuntimeError("client never connected")
+        debug = client.debug_events(limit=200)
+    except Exception as error:  # server already gone
+        print(f"--- flight recorder unavailable: {error!r}", file=sys.stderr)
+        return
+    print("--- flight recorder (most recent last) ---", file=sys.stderr)
+    for event in debug["events"]:
+        print(event, file=sys.stderr)
+    print(f"--- recorder stats: {debug['stats']}", file=sys.stderr)
 
 
 def main() -> int:
@@ -69,6 +86,7 @@ def main() -> int:
             stderr=subprocess.STDOUT,
             text=True,
         )
+        client = None
         try:
             sys.path.insert(0, str(ROOT / "src"))
             from repro.service import ServiceClient
@@ -129,6 +147,7 @@ def main() -> int:
                 )
             print(f"load smoke passed; report in {output}")
         except Exception:
+            dump_flight_recorder(client)
             server.terminate()
             output_text, _ = server.communicate(timeout=30)
             print(
